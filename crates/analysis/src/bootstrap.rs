@@ -1,0 +1,113 @@
+//! Percentile-bootstrap confidence intervals.
+//!
+//! Routing-step distributions are skewed (geometric-ish tails), so normal
+//! approximations for small trial counts are dubious; the bootstrap is the
+//! standard robust alternative and costs nothing at our sample sizes.
+
+use crate::quantile::quantile_sorted;
+
+/// A (lo, point, hi) confidence interval for the mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// The point estimate (sample mean).
+    pub point: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+/// Percentile bootstrap CI for the mean with `resamples` resamples at
+/// confidence `level` (e.g. 0.95). Deterministic given `seed`. Returns
+/// `None` on empty input.
+///
+/// The resampler is a self-contained SplitMix64 so this crate stays
+/// dependency-free.
+pub fn bootstrap_mean_ci(
+    samples: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    if samples.is_empty() || !(0.0..1.0).contains(&level) && level != 0.0 {
+        return None;
+    }
+    let n = samples.len();
+    let point = samples.iter().sum::<f64>() / n as f64;
+    if n == 1 || resamples == 0 {
+        return Some(ConfidenceInterval {
+            lo: point,
+            point,
+            hi: point,
+        });
+    }
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let idx = (next() % n as u64) as usize;
+            sum += samples[idx];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - level) / 2.0;
+    Some(ConfidenceInterval {
+        lo: quantile_sorted(&means, alpha),
+        point,
+        hi: quantile_sorted(&means, 1.0 - alpha),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_brackets_the_mean() {
+        let samples: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_mean_ci(&samples, 500, 0.95, 42).unwrap();
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!((ci.point - 4.5).abs() < 1e-9);
+        // CI width should be modest for 200 near-uniform samples.
+        assert!(ci.hi - ci.lo < 1.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let samples = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let a = bootstrap_mean_ci(&samples, 300, 0.9, 7).unwrap();
+        let b = bootstrap_mean_ci(&samples, 300, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&samples, 300, 0.9, 8).unwrap();
+        assert!(a.lo != c.lo || a.hi != c.hi);
+    }
+
+    #[test]
+    fn singleton_degenerates() {
+        let ci = bootstrap_mean_ci(&[3.0], 100, 0.95, 1).unwrap();
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(bootstrap_mean_ci(&[], 100, 0.95, 1).is_none());
+    }
+
+    #[test]
+    fn tighter_level_wider_interval() {
+        let samples: Vec<f64> = (0..50).map(|i| ((i * 37) % 23) as f64).collect();
+        let ci90 = bootstrap_mean_ci(&samples, 800, 0.90, 5).unwrap();
+        let ci99 = bootstrap_mean_ci(&samples, 800, 0.99, 5).unwrap();
+        assert!(ci99.hi - ci99.lo >= ci90.hi - ci90.lo);
+    }
+}

@@ -1,0 +1,93 @@
+//! Order statistics on collected samples.
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of the samples using linear
+/// interpolation between order statistics (type-7, the numpy default).
+/// Returns `None` on empty input or out-of-range `q`.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Like [`quantile`] but on pre-sorted input (no allocation, no checks on
+/// the ordering).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The median.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    quantile(samples, 0.5)
+}
+
+/// Convenience: (p05, median, p95) — the spread band used in the tables.
+pub fn spread_band(samples: &[f64]) -> Option<(f64, f64, f64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Some((
+        quantile_sorted(&sorted, 0.05),
+        quantile_sorted(&sorted, 0.5),
+        quantile_sorted(&sorted, 0.95),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[5.0]), Some(5.0));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let v = [10.0, 20.0, 30.0];
+        assert_eq!(quantile(&v, 0.0), Some(10.0));
+        assert_eq!(quantile(&v, 1.0), Some(30.0));
+        assert_eq!(quantile(&v, 0.5), Some(20.0));
+    }
+
+    #[test]
+    fn interpolation() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile(&v, 0.25), Some(2.5));
+        assert_eq!(quantile(&v, 0.75), Some(7.5));
+    }
+
+    #[test]
+    fn out_of_range_q() {
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.1), None);
+    }
+
+    #[test]
+    fn band_ordering() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (lo, med, hi) = spread_band(&v).unwrap();
+        assert!(lo < med && med < hi);
+        assert!((med - 49.5).abs() < 1e-9);
+        assert!((lo - 4.95).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Streaming summary statistics (Welford's algorithm).
+
+/// Single-pass summary: count, mean, variance (sample), min, max.
+/// Numerically stable under long streams.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let delta = other.mean - self.mean;
+        let n = na + nb;
+        self.mean += delta * nb / n;
+        self.m2 += other.m2 + delta * delta * na * nb / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1 denominator; 0 if < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum (NaN-free streams assumed); +∞ when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum; −∞ when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Geometric mean of positive values (0 if any value ≤ 0 or empty input).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.std_err() - s.std_dev() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::new();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_pooled() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let pooled = Summary::of(&all);
+        let mut a = Summary::of(&all[..37]);
+        let b = Summary::of(&all[37..]);
+        a.merge(&b);
+        assert_eq!(a.count(), pooled.count());
+        assert!((a.mean() - pooled.mean()).abs() < 1e-10);
+        assert!((a.variance() - pooled.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), pooled.min());
+        assert_eq!(a.max(), pooled.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Summary::of(&[1.0, 2.0]);
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), 2);
+        let mut e = Summary::new();
+        e.merge(&Summary::of(&[5.0]));
+        assert_eq!(e.mean(), 5.0);
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        let base = 1e9;
+        let s = Summary::of(&[base + 1.0, base + 2.0, base + 3.0]);
+        assert!((s.mean() - (base + 2.0)).abs() < 1e-3);
+        assert!((s.variance() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), 0.0);
+        assert_eq!(geometric_mean(&[-1.0, 2.0]), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion benches — one group per experiment (representative instance
+//! each, so `cargo bench` terminates quickly while still timing every
+//! experiment's code path end-to-end).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nav_bench::workloads::{interval_instance, theorem2_for, Workload};
+use nav_core::ball::BallScheme;
+use nav_core::exact::exact_expected_steps;
+use nav_core::kleinberg::KleinbergScheme;
+use nav_core::matrix::{AugmentationMatrix, MatrixScheme};
+use nav_core::routing::{default_step_cap, GreedyRouter};
+use nav_core::scheme::AugmentationScheme;
+use nav_core::theorem1::adversarial_path_instance;
+use nav_core::theorem3::{budget_for_epsilon, RestrictedLabelScheme};
+use nav_core::uniform::UniformScheme;
+use nav_par::rng::seeded_rng;
+
+/// Times a full routing trial (extremal pair) on a prepared (g, scheme).
+fn bench_route<S: AugmentationScheme>(
+    c: &mut Criterion,
+    group: &str,
+    id: &str,
+    g: &nav_graph::Graph,
+    scheme: &S,
+) {
+    let (s, t, _) = nav_graph::distance::double_sweep(g, 0);
+    let router = GreedyRouter::new(g, t).expect("connected");
+    let cap = default_step_cap(g);
+    let mut grp = c.benchmark_group(group);
+    grp.sample_size(10);
+    grp.bench_function(BenchmarkId::new(id, g.num_nodes()), |b| {
+        let mut rng = seeded_rng(7);
+        b.iter(|| {
+            let out = router.route(scheme, s, &mut rng, cap, false);
+            assert!(out.reached);
+            out.steps
+        })
+    });
+    grp.finish();
+}
+
+fn e1_uniform(c: &mut Criterion) {
+    let g = Workload::Path.build(4096, 1);
+    bench_route(c, "e1_uniform", "path", &g, &UniformScheme);
+    let g = Workload::Grid2d.build(4096, 1);
+    bench_route(c, "e1_uniform", "grid2d", &g, &UniformScheme);
+}
+
+fn e2_adversarial(c: &mut Criterion) {
+    let n = 256usize;
+    let g = nav_gen::classic::path(n).expect("path");
+    let matrix = AugmentationMatrix::uniform(n);
+    let mut rng = seeded_rng(3);
+    let inst = adversarial_path_instance(&matrix, &mut rng);
+    let scheme = MatrixScheme::new("adv", matrix, inst.labeling.clone());
+    let mut grp = c.benchmark_group("e2_theorem1");
+    grp.sample_size(10);
+    grp.bench_function(BenchmarkId::new("exact-dp", n), |b| {
+        b.iter(|| exact_expected_steps(&g, &scheme, inst.t).expect("connected")[inst.s as usize])
+    });
+    grp.finish();
+}
+
+fn e3_trees(c: &mut Criterion) {
+    let g = Workload::RandomTree.build(4096, 5);
+    let t2 = theorem2_for(&g);
+    bench_route(c, "e3_theorem2_trees", "random-tree", &g, &t2);
+}
+
+fn e4_interval(c: &mut Criterion) {
+    let (g, intervals) = interval_instance(4096, 7);
+    let pd = nav_decomp::interval_pd::from_intervals(&intervals);
+    let t2 = nav_core::theorem2::Theorem2Scheme::new(&g, &pd);
+    bench_route(c, "e4_theorem2_interval", "interval", &g, &t2);
+}
+
+fn e5_fallback(c: &mut Criterion) {
+    let g = Workload::Grid2d.build(4096, 9);
+    let t2 = theorem2_for(&g);
+    bench_route(c, "e5_theorem2_fallback", "grid2d", &g, &t2);
+}
+
+fn e6_restricted(c: &mut Criterion) {
+    let n = 4096usize;
+    let g = nav_gen::classic::path(n).expect("path");
+    let pd = nav_decomp::construct::path_graph_pd(n);
+    let scheme = RestrictedLabelScheme::new(&g, &pd, budget_for_epsilon(n, 0.5));
+    bench_route(c, "e6_theorem3", "path-eps0.5", &g, &scheme);
+}
+
+fn e7_ball(c: &mut Criterion) {
+    let g = Workload::Path.build(4096, 11);
+    let ball = BallScheme::new(&g);
+    bench_route(c, "e7_ball", "path", &g, &ball);
+    let g = Workload::Lollipop.build(4096, 11);
+    let ball = BallScheme::new(&g);
+    bench_route(c, "e7_ball", "lollipop", &g, &ball);
+}
+
+fn e8_kleinberg(c: &mut Criterion) {
+    let g = nav_gen::grid::torus2d(32, 32).expect("torus");
+    let scheme = KleinbergScheme::new(2.0);
+    bench_route(c, "e8_kleinberg", "torus-alpha2", &g, &scheme);
+}
+
+criterion_group!(
+    experiments,
+    e1_uniform,
+    e2_adversarial,
+    e3_trees,
+    e4_interval,
+    e5_fallback,
+    e6_restricted,
+    e7_ball,
+    e8_kleinberg
+);
+criterion_main!(experiments);

@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the substrates (BFS, ball sampling, scheme
+//! sampling, decomposition construction, matrix row sampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nav_bench::workloads::Workload;
+use nav_core::ball::BallScheme;
+use nav_core::scheme::AugmentationScheme;
+use nav_core::theorem2::Theorem2Scheme;
+use nav_core::uniform::UniformScheme;
+use nav_graph::bfs::Bfs;
+use nav_par::rng::seeded_rng;
+
+fn bfs_full(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("micro_bfs");
+    grp.sample_size(20);
+    for n in [1024usize, 16384] {
+        let g = Workload::Grid2d.build(n, 1);
+        let mut bfs = Bfs::new(g.num_nodes());
+        grp.bench_function(BenchmarkId::new("grid-full", g.num_nodes()), |b| {
+            b.iter(|| {
+                bfs.run(&g, 0, u32::MAX, |_, _| true);
+                bfs.dist((g.num_nodes() - 1) as u32)
+            })
+        });
+    }
+    grp.finish();
+}
+
+fn ball_sampling(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("micro_ball_sample");
+    grp.sample_size(20);
+    for n in [1024usize, 16384] {
+        let g = Workload::Path.build(n, 1);
+        let scheme = BallScheme::new(&g);
+        let mut rng = seeded_rng(2);
+        grp.bench_function(BenchmarkId::new("path", n), |b| {
+            b.iter(|| scheme.sample_contact(&g, (n / 2) as u32, &mut rng))
+        });
+    }
+    grp.finish();
+}
+
+fn scheme_sampling(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("micro_scheme_sample");
+    grp.sample_size(20);
+    let n = 16384usize;
+    let g = Workload::Path.build(n, 1);
+    let mut rng = seeded_rng(3);
+    grp.bench_function("uniform", |b| {
+        b.iter(|| UniformScheme.sample_contact(&g, 7, &mut rng))
+    });
+    let pd = nav_decomp::construct::path_graph_pd(n);
+    let t2 = Theorem2Scheme::new(&g, &pd);
+    grp.bench_function("theorem2", |b| {
+        b.iter(|| t2.sample_contact(&g, 7, &mut rng))
+    });
+    grp.finish();
+}
+
+fn decompositions(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("micro_decomposition");
+    grp.sample_size(10);
+    let tree = Workload::RandomTree.build(16384, 4);
+    grp.bench_function("tree-heavy-path-16k", |b| {
+        b.iter(|| nav_decomp::tree_pd::tree_path_decomposition(&tree).num_bags())
+    });
+    let g = Workload::Grid2d.build(4096, 4);
+    grp.bench_function("bfs-layers-grid-4k", |b| {
+        b.iter(|| nav_decomp::construct::bfs_layers_pd(&g, 0).num_bags())
+    });
+    grp.finish();
+}
+
+fn prufer(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("micro_prufer");
+    grp.sample_size(20);
+    let n = 16384usize;
+    let mut rng = seeded_rng(5);
+    use rand::Rng;
+    let seq: Vec<u32> = (0..n - 2).map(|_| rng.gen_range(0..n as u32)).collect();
+    grp.bench_function("decode-16k", |b| {
+        b.iter(|| nav_graph::prufer::tree_from_prufer(n, &seq).unwrap().num_edges())
+    });
+    grp.finish();
+}
+
+criterion_group!(
+    micro,
+    bfs_full,
+    ball_sampling,
+    scheme_sampling,
+    decompositions,
+    prufer
+);
+criterion_main!(micro);

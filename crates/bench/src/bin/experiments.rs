@@ -1,0 +1,64 @@
+//! The experiment binary: regenerates every table/figure of the
+//! reproduction (EXPERIMENTS.md records a full run).
+//!
+//! ```text
+//! cargo run -p nav-bench --release --bin experiments -- [--quick] [--exp e1,e7] [--threads N] [--seed S] [--csv]
+//! ```
+
+use nav_bench::experiments::run_experiments;
+use nav_bench::ExpConfig;
+
+fn main() {
+    let mut cfg = ExpConfig::default();
+    let mut which: Vec<String> = Vec::new();
+    let mut csv = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--csv" => csv = true,
+            "--exp" => {
+                let v = args.next().expect("--exp needs a value, e.g. e1,e7");
+                which.extend(v.split(',').map(|s| s.trim().to_string()));
+            }
+            "--threads" => {
+                cfg.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--quick] [--exp e1,..,e8] [--threads N] [--seed S] [--csv]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "[experiments] mode={} seed={} threads={}",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.seed,
+        cfg.threads
+    );
+    let start = std::time::Instant::now();
+    let tables = run_experiments(&cfg, &which);
+    for t in &tables {
+        if csv {
+            println!("{}", t.to_csv());
+        } else {
+            println!("{}", t.to_markdown());
+        }
+    }
+    eprintln!("[experiments] total {:.1?}", start.elapsed());
+}

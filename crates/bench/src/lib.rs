@@ -1,0 +1,74 @@
+//! # nav-bench — the experiment harness
+//!
+//! Regenerates every "table/figure" of the reproduction (the paper is a
+//! theory paper with no empirical section, so the experiment suite defined
+//! in DESIGN.md §4 plays that role). Each `eN_*` function returns rendered
+//! tables; the `experiments` binary prints them, and the Criterion benches
+//! time representative instances of the same code paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod workloads;
+
+/// Global experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Quick mode: smaller sweeps and fewer trials (CI-friendly).
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            quick: false,
+            seed: 20070610, // SPAA 2007, San Diego
+            threads: nav_par::default_threads(),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// The dyadic n-sweep for scaling experiments.
+    pub fn sweep(&self) -> Vec<usize> {
+        if self.quick {
+            vec![256, 1024, 4096]
+        } else {
+            vec![256, 512, 1024, 2048, 4096, 8192, 16384, 32768]
+        }
+    }
+
+    /// Trials per (s, t) pair.
+    pub fn trials(&self) -> usize {
+        if self.quick {
+            24
+        } else {
+            96
+        }
+    }
+
+    /// Extra random pairs besides the extremal ones.
+    pub fn random_pairs(&self) -> usize {
+        if self.quick {
+            2
+        } else {
+            6
+        }
+    }
+
+    /// Deterministic per-measurement seed.
+    pub fn seed_for(&self, tag: &str, n: usize) -> u64 {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a
+        for b in tag.bytes().chain(n.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        self.seed ^ h
+    }
+}

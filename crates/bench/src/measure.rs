@@ -1,0 +1,118 @@
+//! Shared measurement helpers.
+
+use crate::ExpConfig;
+use nav_core::scheme::AugmentationScheme;
+use nav_core::trial::{extremal_pairs, random_pairs, run_trials, TrialConfig};
+use nav_graph::Graph;
+use nav_par::rng::seeded_rng;
+
+/// One sweep-point measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Instance size (nodes).
+    pub n: usize,
+    /// Greedy-diameter estimate: max of per-pair mean steps.
+    pub max_mean: f64,
+    /// Mean of per-pair mean steps.
+    pub grand_mean: f64,
+    /// Graph diameter proxy (distance of the extremal pair).
+    pub diameter: u32,
+}
+
+/// Measures a scheme on a graph: extremal pairs (both directions) plus a
+/// few random pairs; returns the aggregate point.
+pub fn measure(
+    g: &Graph,
+    scheme: &(impl AugmentationScheme + ?Sized),
+    cfg: &ExpConfig,
+    tag: &str,
+) -> Point {
+    let seed = cfg.seed_for(tag, g.num_nodes());
+    let mut pairs = extremal_pairs(g);
+    let diameter = {
+        let (a, b) = (pairs[0].0, pairs[0].1);
+        let mut bfs = nav_graph::bfs::Bfs::new(g.num_nodes());
+        bfs.distance_to(g, a, b)
+    };
+    let mut rng = seeded_rng(seed ^ 0x7a17);
+    pairs.extend(random_pairs(g, cfg.random_pairs(), &mut rng));
+    let tc = TrialConfig {
+        trials_per_pair: cfg.trials(),
+        seed,
+        threads: cfg.threads,
+    };
+    let result = run_trials(g, scheme, &pairs, &tc).expect("valid pairs");
+    assert_eq!(result.failures(), 0, "routing failures on {tag}");
+    Point {
+        n: g.num_nodes(),
+        max_mean: result.max_pair_mean(),
+        grand_mean: result.grand_mean(),
+        diameter,
+    }
+}
+
+/// Fits a power law `steps = C·n^γ` through sweep points (using the
+/// greedy-diameter estimate) and renders `γ (R²)` for tables.
+pub fn fit_summary(points: &[Point]) -> String {
+    let data: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.n as f64, p.max_mean.max(1e-9)))
+        .collect();
+    match nav_analysis::fit::fit_power_law(&data) {
+        Some(f) => format!("γ={:.3} (R²={:.3})", f.exponent, f.r2),
+        None => "n/a".into(),
+    }
+}
+
+/// The fitted exponent alone (for assertions and summary rows).
+pub fn fitted_exponent(points: &[Point]) -> Option<f64> {
+    let data: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.n as f64, p.max_mean.max(1e-9)))
+        .collect();
+    nav_analysis::fit::fit_power_law(&data).map(|f| f.exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Workload;
+    use nav_core::uniform::{NoAugmentation, UniformScheme};
+
+    fn quick_cfg() -> ExpConfig {
+        ExpConfig {
+            quick: true,
+            seed: 1,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn measure_no_augmentation_equals_diameter() {
+        let g = Workload::Path.build(100, 1);
+        let p = measure(&g, &NoAugmentation, &quick_cfg(), "t");
+        assert_eq!(p.max_mean, 99.0);
+        assert_eq!(p.diameter, 99);
+        assert_eq!(p.n, 100);
+    }
+
+    #[test]
+    fn measure_uniform_below_diameter() {
+        let g = Workload::Path.build(400, 1);
+        let p = measure(&g, &UniformScheme, &quick_cfg(), "t");
+        assert!(p.max_mean < 399.0);
+        assert!(p.grand_mean <= p.max_mean);
+    }
+
+    #[test]
+    fn fit_summary_renders() {
+        let pts = vec![
+            Point { n: 256, max_mean: 16.0, grand_mean: 10.0, diameter: 255 },
+            Point { n: 1024, max_mean: 32.0, grand_mean: 20.0, diameter: 1023 },
+            Point { n: 4096, max_mean: 64.0, grand_mean: 40.0, diameter: 4095 },
+        ];
+        let s = fit_summary(&pts);
+        assert!(s.contains("γ=0.500"), "{s}");
+        assert!((fitted_exponent(&pts).unwrap() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Workload construction shared by the experiment binary and the benches.
+
+use nav_core::theorem2::Theorem2Scheme;
+use nav_gen::{classic, composite, grid, interval, random, tree};
+use nav_graph::Graph;
+use nav_par::rng::seeded_rng;
+
+/// The E1/E7 sweep families with per-family generators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// n-node path.
+    Path,
+    /// ~√n × √n grid.
+    Grid2d,
+    /// Uniform random labelled tree.
+    RandomTree,
+    /// Connected G(n, 6/n).
+    Gnp,
+    /// Theorem-4 stress lollipop (clique + n^{2/3} path).
+    Lollipop,
+    /// Comb with √n teeth.
+    Comb,
+}
+
+impl Workload {
+    /// Table name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Path => "path",
+            Workload::Grid2d => "grid2d",
+            Workload::RandomTree => "random-tree",
+            Workload::Gnp => "gnp",
+            Workload::Lollipop => "lollipop",
+            Workload::Comb => "comb",
+        }
+    }
+
+    /// Builds an instance with ≈ `n` nodes, deterministically from `seed`.
+    pub fn build(self, n: usize, seed: u64) -> Graph {
+        let mut rng = seeded_rng(seed);
+        match self {
+            Workload::Path => classic::path(n).expect("path"),
+            Workload::Grid2d => {
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                grid::grid2d(side, side).expect("grid")
+            }
+            Workload::RandomTree => tree::random_tree(n, &mut rng).expect("tree"),
+            Workload::Gnp => {
+                random::gnp_connected(n, 6.0 / n.max(2) as f64, &mut rng).expect("gnp")
+            }
+            Workload::Lollipop => composite::theorem4_stress(n).expect("lollipop"),
+            Workload::Comb => {
+                let tooth = (n as f64).sqrt().round().max(1.0) as usize;
+                let spine = (n / (tooth + 1)).max(2);
+                composite::comb(spine, tooth).expect("comb")
+            }
+        }
+    }
+}
+
+/// Builds the Theorem-2 scheme with the *cheap, guaranteed* decomposition
+/// for each structured workload (heavy-path on trees, canonical bags on
+/// the path, clique path on intervals, BFS layers otherwise) — matching
+/// how the paper's scheme would ship with per-class constructions, and
+/// keeping sweep costs near-linear.
+pub fn theorem2_for(g: &Graph) -> Theorem2Scheme {
+    use nav_decomp::construct::{bfs_layers_pd, path_graph_pd};
+    use nav_decomp::tree_pd::tree_path_decomposition;
+    use nav_graph::properties;
+    let pd = if properties::is_path_graph(g) && ids_run_along_path(g) {
+        path_graph_pd(g.num_nodes())
+    } else if properties::is_tree(g) {
+        tree_path_decomposition(g)
+    } else {
+        bfs_layers_pd(g, 0)
+    };
+    Theorem2Scheme::new(g, &pd)
+}
+
+fn ids_run_along_path(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    n == 1 || (0..n - 1).all(|u| g.has_edge(u as u32, (u + 1) as u32))
+}
+
+/// Interval workload that also yields the representation (for E4).
+pub fn interval_instance(n: usize, seed: u64) -> (Graph, Vec<(u64, u64)>) {
+    let mut rng = seeded_rng(seed);
+    let (g, rep) = interval::random_interval_graph(n, 8, &mut rng).expect("interval");
+    (g, rep.intervals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nav_graph::components::is_connected;
+
+    #[test]
+    fn workloads_build_connected() {
+        for w in [
+            Workload::Path,
+            Workload::Grid2d,
+            Workload::RandomTree,
+            Workload::Gnp,
+            Workload::Lollipop,
+            Workload::Comb,
+        ] {
+            let g = w.build(300, 1);
+            assert!(is_connected(&g), "{}", w.name());
+            assert!(g.num_nodes() >= 200, "{}: {}", w.name(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = Workload::RandomTree.build(100, 7);
+        let b = Workload::RandomTree.build(100, 7);
+        assert_eq!(a, b);
+        let c = Workload::RandomTree.build(100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn theorem2_for_uses_cheap_decompositions() {
+        let p = Workload::Path.build(64, 1);
+        let _ = theorem2_for(&p);
+        let t = Workload::RandomTree.build(64, 1);
+        let _ = theorem2_for(&t);
+        let g = Workload::Grid2d.build(64, 1);
+        let _ = theorem2_for(&g);
+    }
+
+    #[test]
+    fn interval_instance_consistent() {
+        let (g, iv) = interval_instance(150, 3);
+        assert_eq!(g.num_nodes(), iv.len());
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,203 @@
+//! The dyadic level/ancestor hierarchy of Theorem 2.
+//!
+//! Every integer `x ≥ 1` writes uniquely as `x = 2^k + α·2^{k+1}`; `k =
+//! level(x)` is the position of the least-significant set bit. The
+//! *ancestor* `y(j)` of `x` at level `k + j` keeps the bits of `x` above
+//! position `k + j` and sets bit `k + j`:
+//! `y(j) = 2^{k+j} + Σ_{i ≥ k+j+1} x_i 2^i`. Applied between consecutive
+//! levels this relation forms an infinite binary tree whose level-0 leaves
+//! are the odd integers — the hierarchy that the matrix `A` routes along.
+
+/// `level(x)`: position of the least-significant set bit (`x ≥ 1`).
+///
+/// # Panics
+/// Panics if `x == 0`.
+#[inline]
+pub fn level(x: u64) -> u32 {
+    assert!(x >= 1, "level(0) is undefined");
+    x.trailing_zeros()
+}
+
+/// The `j`-th ancestor `y(j)` of `x` (so `ancestor(x, 0) == x`).
+/// Returns `None` on overflow past `u64` range.
+#[inline]
+pub fn ancestor(x: u64, j: u32) -> Option<u64> {
+    let k = level(x);
+    let pos = k.checked_add(j)?;
+    if pos >= 63 {
+        return None;
+    }
+    // Clear bits 0..=pos, then set bit pos.
+    let cleared = x & !((1u64 << (pos + 1)) - 1);
+    Some(cleared | (1u64 << pos))
+}
+
+/// All ancestors of `x` that lie in `[1, n]`, in increasing `j` order
+/// (starting with `x` itself). At most `ν(n) − level(x)` entries.
+pub fn ancestors_within(x: u64, n: u64) -> Vec<u64> {
+    debug_assert!(x >= 1 && x <= n);
+    let mut out = Vec::new();
+    let mut j = 0u32;
+    while let Some(y) = ancestor(x, j) {
+        // Bit position k+j grows with j; once 2^{k+j} > n no later
+        // ancestor can be ≤ n.
+        if 1u64 << (level(x) + j) > n {
+            break;
+        }
+        if y <= n {
+            out.push(y);
+        }
+        j += 1;
+    }
+    out
+}
+
+/// `ν(n)`: the unique integer with `2^{ν−1} ≤ n < 2^ν` (`n ≥ 1`) — the
+/// number of dyadic levels, and the denominator bound of the matrix `A`
+/// (every label has at most `ν` ancestors in range).
+#[inline]
+pub fn nu(n: usize) -> u32 {
+    assert!(n >= 1);
+    usize::BITS - n.leading_zeros()
+}
+
+/// The unique index of maximum level in the non-empty range `[lo, hi]`
+/// (1-based, `lo ≤ hi`) — the paper's bag-labeling rule `L(u)`.
+///
+/// Uniqueness: two multiples of `2^k` in the range would sandwich a
+/// multiple of `2^{k+1}`, contradicting maximality.
+pub fn max_level_index(lo: u64, hi: u64) -> u64 {
+    assert!(1 <= lo && lo <= hi, "bad range [{lo}, {hi}]");
+    // Largest k such that some multiple of 2^k lies in [lo, hi].
+    for k in (0..63).rev() {
+        let step = 1u64 << k;
+        let candidate = lo.div_ceil(step) * step;
+        if candidate <= hi && candidate >= lo && candidate != 0 {
+            return candidate;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_table() {
+        assert_eq!(level(1), 0);
+        assert_eq!(level(2), 1);
+        assert_eq!(level(3), 0);
+        assert_eq!(level(4), 2);
+        assert_eq!(level(6), 1);
+        assert_eq!(level(12), 2);
+        assert_eq!(level(1 << 40), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn level_zero_panics() {
+        let _ = level(0);
+    }
+
+    #[test]
+    fn ancestor_chain_of_five() {
+        // 5 = 101b, level 0. y(1): clear bits ≤1, set bit 1 → 110b = 6.
+        // y(2): clear ≤2, set bit 2 → 100b = 4. y(3) = 8. y(4) = 16.
+        assert_eq!(ancestor(5, 0), Some(5));
+        assert_eq!(ancestor(5, 1), Some(6));
+        assert_eq!(ancestor(5, 2), Some(4));
+        assert_eq!(ancestor(5, 3), Some(8));
+        assert_eq!(ancestor(5, 4), Some(16));
+    }
+
+    #[test]
+    fn ancestor_relation_is_binary_tree() {
+        // Each node at level k ≥ 1 has exactly two children one level
+        // below whose j=1 ancestor is that node, spaced 2^k apart.
+        for parent in [2u64, 4, 6, 8, 10, 12] {
+            let k = level(parent);
+            let children: Vec<u64> = (1..100u64)
+                .filter(|&x| level(x) == k - 1 && ancestor(x, 1) == Some(parent))
+                .collect();
+            assert_eq!(children.len(), 2, "parent {parent}: {children:?}");
+            assert_eq!(children[0] + (1 << k), children[1]);
+        }
+    }
+
+    #[test]
+    fn ancestors_within_bounds() {
+        let a = ancestors_within(5, 8);
+        assert_eq!(a, vec![5, 6, 4, 8]);
+        let a = ancestors_within(5, 5);
+        assert_eq!(a, vec![5, 4]);
+        let a = ancestors_within(1, 1);
+        assert_eq!(a, vec![1]);
+        let a = ancestors_within(7, 16);
+        assert_eq!(a, vec![7, 6, 4, 8, 16]);
+    }
+
+    #[test]
+    fn ancestors_count_bounded_by_nu() {
+        for n in [1usize, 2, 7, 8, 100, 1000] {
+            for x in 1..=n as u64 {
+                let count = ancestors_within(x, n as u64).len();
+                assert!(
+                    count <= nu(n) as usize,
+                    "x={x} n={n}: {count} > ν={}",
+                    nu(n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nu_table() {
+        assert_eq!(nu(1), 1);
+        assert_eq!(nu(2), 2);
+        assert_eq!(nu(3), 2);
+        assert_eq!(nu(4), 3);
+        assert_eq!(nu(7), 3);
+        assert_eq!(nu(8), 4);
+        assert_eq!(nu(1023), 10);
+        assert_eq!(nu(1024), 11);
+    }
+
+    #[test]
+    fn max_level_index_examples() {
+        assert_eq!(max_level_index(1, 1), 1);
+        assert_eq!(max_level_index(1, 10), 8);
+        assert_eq!(max_level_index(5, 7), 6);
+        assert_eq!(max_level_index(9, 15), 12);
+        assert_eq!(max_level_index(3, 3), 3);
+        assert_eq!(max_level_index(33, 63), 48);
+    }
+
+    #[test]
+    fn max_level_index_is_max_and_unique() {
+        for lo in 1..60u64 {
+            for hi in lo..60 {
+                let m = max_level_index(lo, hi);
+                assert!((lo..=hi).contains(&m));
+                let lm = level(m);
+                let with_level: Vec<u64> =
+                    (lo..=hi).filter(|&x| level(x) >= lm).collect();
+                assert_eq!(with_level, vec![m], "[{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn well_defined_claim_from_paper() {
+        // The paper: if i1, i2 share the max level k of an interval then
+        // (i1+i2)/2 has a higher level and is inside — i.e. the max-level
+        // index is unique. Cross-check on many intervals.
+        for lo in 1..40u64 {
+            for hi in lo..40 {
+                let max_lvl = (lo..=hi).map(level).max().unwrap();
+                let count = (lo..=hi).filter(|&x| level(x) == max_lvl).count();
+                assert_eq!(count, 1, "[{lo},{hi}]");
+            }
+        }
+    }
+}

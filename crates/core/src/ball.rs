@@ -1,0 +1,241 @@
+//! **Theorem 4**: the Õ(n^{1/3}) a-posteriori ball scheme.
+//!
+//! Every node `u` draws a scale `k` uniformly in `{1, …, ⌈log₂ n⌉}` and
+//! then its long-range contact uniformly in the ball `B(u, 2^k)`. In
+//! closed form, with `r(v) = min{ k : v ∈ B(u, 2^k) }`:
+//!
+//! ```text
+//! φ_u(v) = (1/⌈log n⌉) · Σ_{k = max(r(v),1)}^{⌈log n⌉}  1 / |B(u, 2^k)|
+//! ```
+//!
+//! This is the paper's scheme that overcomes the √n barrier: greedy
+//! routing in `(G, φ)` takes `Õ(n^{1/3})` expected steps on **every**
+//! n-node graph (five-phase analysis: enter the set `B` of the `n^{2/3}`
+//! closest nodes to the target, leave its boundary, grow the ball scale,
+//! shrink it onto the target, walk the rest).
+
+use crate::scheme::{AugmentationScheme, ExplicitScheme};
+use crate::workspace::with_bfs;
+use nav_graph::ball::rank_of_distance;
+use nav_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+/// The Theorem-4 ball scheme, bound to a graph size (`K = ⌈log₂ n⌉`).
+#[derive(Clone, Copy, Debug)]
+pub struct BallScheme {
+    /// Number of scales `K`.
+    k_max: u32,
+}
+
+impl BallScheme {
+    /// Creates the scheme for graph `g` (`K = ⌈log₂ n⌉`, min 1).
+    pub fn new(g: &Graph) -> Self {
+        BallScheme {
+            k_max: ceil_log2(g.num_nodes()).max(1),
+        }
+    }
+
+    /// The number of scales `K`.
+    pub fn scales(&self) -> u32 {
+        self.k_max
+    }
+}
+
+/// `⌈log₂ n⌉` (0 for n = 1).
+fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+impl AugmentationScheme for BallScheme {
+    fn name(&self) -> String {
+        "ball(thm4)".into()
+    }
+
+    fn sample_contact(&self, g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        let k = rng.gen_range(1..=self.k_max);
+        let radius = if k >= 31 { u32::MAX } else { 1u32 << k };
+        // Uniform element of B(u, 2^k) via reservoir sampling over a
+        // truncated BFS — O(|B|) time, no ball materialisation. Stops as
+        // soon as the whole graph is covered (dense cores at large radii).
+        let n = g.num_nodes() as u64;
+        with_bfs(g.num_nodes(), |bfs| {
+            let mut chosen = u;
+            let mut seen = 0u64;
+            bfs.run(g, u, radius, |v, _| {
+                seen += 1;
+                // Reservoir: keep v with probability 1/seen.
+                if rng.gen_range(0..seen) == 0 {
+                    chosen = v;
+                }
+                seen < n
+            });
+            Some(chosen)
+        })
+    }
+}
+
+impl ExplicitScheme for BallScheme {
+    fn contact_distribution(&self, g: &Graph, u: NodeId) -> Vec<(NodeId, f64)> {
+        // One BFS collects distances; dyadic prefix sums give |B(u, 2^k)|.
+        let n = g.num_nodes();
+        let kk = self.k_max as usize;
+        let mut dist_of: Vec<(NodeId, u32)> = Vec::new();
+        with_bfs(n, |bfs| {
+            let radius = if self.k_max >= 31 {
+                u32::MAX
+            } else {
+                1u32 << self.k_max
+            };
+            bfs.run(g, u, radius, |v, d| {
+                dist_of.push((v, d));
+                true
+            });
+        });
+        // |B(u, 2^k)| for k = 1..=K.
+        let mut ball_sizes = vec![0usize; kk + 1];
+        for &(_, d) in &dist_of {
+            let r = rank_of_distance(d).max(1) as usize;
+            if r <= kk {
+                ball_sizes[r] += 1;
+            }
+        }
+        for k in 1..=kk {
+            ball_sizes[k] += if k > 1 { ball_sizes[k - 1] } else { 0 };
+        }
+        // suffix[r] = Σ_{k=r}^{K} 1/|B_k|.
+        let mut suffix = vec![0.0f64; kk + 2];
+        for k in (1..=kk).rev() {
+            suffix[k] = suffix[k + 1]
+                + if ball_sizes[k] > 0 {
+                    1.0 / ball_sizes[k] as f64
+                } else {
+                    0.0
+                };
+        }
+        let inv_scales = 1.0 / self.k_max as f64;
+        dist_of
+            .into_iter()
+            .filter_map(|(v, d)| {
+                let r = (rank_of_distance(d).max(1) as usize).min(kk + 1);
+                let p = inv_scales * suffix[r];
+                (p > 0.0).then_some((v, p))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::assert_sampling_matches;
+    use nav_graph::GraphBuilder;
+    use nav_par::rng::seeded_rng;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn ceil_log2_table() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        // Balls always contain u, so the scheme is fully stochastic.
+        for n in [2usize, 5, 16, 33] {
+            let g = path(n);
+            let scheme = BallScheme::new(&g);
+            for u in [0u32, (n / 2) as u32, (n - 1) as u32] {
+                let total: f64 = scheme
+                    .contact_distribution(&g, u)
+                    .iter()
+                    .map(|&(_, p)| p)
+                    .sum();
+                assert!((total - 1.0).abs() < 1e-9, "n={n} u={u}: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_matches_distribution_on_path() {
+        let g = path(17);
+        let scheme = BallScheme::new(&g);
+        let mut rng = seeded_rng(31);
+        for u in [0u32, 8, 16] {
+            assert_sampling_matches(&scheme, &g, u, 120_000, 0.012, &mut rng);
+        }
+    }
+
+    #[test]
+    fn sampler_matches_distribution_on_star() {
+        let g = GraphBuilder::from_edges(9, (1..9).map(|v| (0, v as NodeId))).unwrap();
+        let scheme = BallScheme::new(&g);
+        let mut rng = seeded_rng(32);
+        assert_sampling_matches(&scheme, &g, 0, 60_000, 0.015, &mut rng);
+        assert_sampling_matches(&scheme, &g, 3, 60_000, 0.015, &mut rng);
+    }
+
+    #[test]
+    fn closer_nodes_never_less_likely() {
+        // φ_u is non-increasing in distance (suffix sums of shrinking
+        // terms) — the small-world monotonicity.
+        let g = path(65);
+        let scheme = BallScheme::new(&g);
+        let dist = scheme.contact_distribution(&g, 0);
+        let mut by_node = vec![0.0f64; 65];
+        for (v, p) in dist {
+            by_node[v as usize] = p;
+        }
+        for v in 1..64usize {
+            assert!(
+                by_node[v] >= by_node[v + 1] - 1e-12,
+                "monotonicity broke at {v}: {} < {}",
+                by_node[v],
+                by_node[v + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn paper_formula_spot_check() {
+        // Path of 8, u = 0, K = 3. Balls: |B(0,2)| = 3, |B(0,4)| = 5,
+        // |B(0,8)| = 8. Node at distance 1 (rank ≤ 1): p = (1/3)(1/3+1/5+1/8).
+        let g = path(8);
+        let scheme = BallScheme::new(&g);
+        assert_eq!(scheme.scales(), 3);
+        let dist = scheme.contact_distribution(&g, 0);
+        let p1 = dist.iter().find(|&&(v, _)| v == 1).unwrap().1;
+        let expect = (1.0 / 3.0) * (1.0 / 3.0 + 1.0 / 5.0 + 1.0 / 8.0);
+        assert!((p1 - expect).abs() < 1e-12, "{p1} vs {expect}");
+        // Node at distance 3 (rank 2): p = (1/3)(1/5 + 1/8).
+        let p3 = dist.iter().find(|&&(v, _)| v == 3).unwrap().1;
+        let expect3 = (1.0 / 3.0) * (1.0 / 5.0 + 1.0 / 8.0);
+        assert!((p3 - expect3).abs() < 1e-12);
+        // Node at distance 8 is outside every ball? dist 7, rank 3:
+        // p = (1/3)(1/8).
+        let p7 = dist.iter().find(|&&(v, _)| v == 7).unwrap().1;
+        assert!((p7 - (1.0 / 3.0) * (1.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_graph_sampling() {
+        let g = path(2);
+        let scheme = BallScheme::new(&g);
+        let mut rng = seeded_rng(33);
+        for u in 0..2u32 {
+            let v = scheme.sample_contact(&g, u, &mut rng).unwrap();
+            assert!(v < 2);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Greedy-diameter estimation.
+//!
+//! `diam(G, φ) = max_{s,t} E(φ, s, t)`. Exact maximisation needs all n²
+//! pairs; the estimator combines the pairs that drive every lower-bound
+//! construction in the paper (extremal/diametral pairs) with a random
+//! sample, and reports the max of per-pair mean steps.
+
+use crate::scheme::AugmentationScheme;
+use crate::trial::{extremal_pairs, random_pairs, run_trials, TrialConfig, TrialResult};
+use nav_graph::{Graph, GraphError};
+
+/// Configuration for greedy-diameter estimation.
+#[derive(Clone, Debug)]
+pub struct DiameterConfig {
+    /// Monte-Carlo trial settings.
+    pub trial: TrialConfig,
+    /// Number of random pairs added to the extremal ones.
+    pub random_pairs: usize,
+}
+
+impl Default for DiameterConfig {
+    fn default() -> Self {
+        DiameterConfig {
+            trial: TrialConfig::default(),
+            random_pairs: 14,
+        }
+    }
+}
+
+/// A greedy-diameter estimate with its supporting evidence.
+#[derive(Clone, Debug)]
+pub struct DiameterEstimate {
+    /// `max` of per-pair mean steps — the estimate of `diam(G, φ)`.
+    pub greedy_diameter: f64,
+    /// The pair realising it.
+    pub witness: (nav_graph::NodeId, nav_graph::NodeId),
+    /// The full per-pair data.
+    pub trials: TrialResult,
+}
+
+/// Estimates the greedy diameter of `(g, scheme)`.
+pub fn estimate_greedy_diameter<S: AugmentationScheme + ?Sized>(
+    g: &Graph,
+    scheme: &S,
+    cfg: &DiameterConfig,
+) -> Result<DiameterEstimate, GraphError> {
+    let mut pairs = extremal_pairs(g);
+    if g.num_nodes() >= 2 && cfg.random_pairs > 0 {
+        let mut rng = nav_par::rng::seeded_rng(cfg.trial.seed ^ 0xD1A3);
+        pairs.extend(random_pairs(g, cfg.random_pairs, &mut rng));
+    }
+    let trials = run_trials(g, scheme, &pairs, &cfg.trial)?;
+    let (best_idx, _) = trials
+        .pairs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.mean_steps
+                .partial_cmp(&b.1.mean_steps)
+                .expect("finite means")
+        })
+        .expect("at least the extremal pairs");
+    let witness = (trials.pairs[best_idx].s, trials.pairs[best_idx].t);
+    Ok(DiameterEstimate {
+        greedy_diameter: trials.pairs[best_idx].mean_steps,
+        witness,
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::{NoAugmentation, UniformScheme};
+    use nav_graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as u32 - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    fn quick_cfg() -> DiameterConfig {
+        DiameterConfig {
+            trial: TrialConfig {
+                trials_per_pair: 8,
+                seed: 5,
+                threads: 2,
+            },
+            random_pairs: 4,
+        }
+    }
+
+    #[test]
+    fn no_augmentation_diameter_is_graph_diameter() {
+        let g = path(37);
+        let est = estimate_greedy_diameter(&g, &NoAugmentation, &quick_cfg()).unwrap();
+        assert_eq!(est.greedy_diameter, 36.0);
+        let w = est.witness;
+        assert!((w.0 == 0 && w.1 == 36) || (w.0 == 36 && w.1 == 0));
+    }
+
+    #[test]
+    fn uniform_diameter_below_graph_diameter() {
+        let g = path(300);
+        let est = estimate_greedy_diameter(&g, &UniformScheme, &quick_cfg()).unwrap();
+        assert!(est.greedy_diameter < 299.0);
+        assert!(est.greedy_diameter > 10.0);
+    }
+
+    #[test]
+    fn estimate_against_exact_on_small_graph() {
+        // The exact greedy diameter upper-bounds the sampled estimate.
+        let g = path(16);
+        let exact = crate::exact::exact_greedy_diameter(&g, &UniformScheme).unwrap();
+        let cfg = DiameterConfig {
+            trial: TrialConfig {
+                trials_per_pair: 400,
+                seed: 6,
+                threads: 2,
+            },
+            random_pairs: 10,
+        };
+        let est = estimate_greedy_diameter(&g, &UniformScheme, &cfg).unwrap();
+        // The estimator samples pairs, so it can undershoot but not
+        // (statistically) overshoot by much.
+        assert!(
+            est.greedy_diameter <= exact * 1.15 + 1.0,
+            "estimate {} vs exact {exact}",
+            est.greedy_diameter
+        );
+    }
+}

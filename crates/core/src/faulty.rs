@@ -1,0 +1,143 @@
+//! Failure injection: long-range links that flake.
+//!
+//! Milgram chains famously had high attrition, and P2P fingers go stale;
+//! the natural robustness question for any augmentation scheme is how
+//! greedy routing degrades when each long-range lookup independently
+//! fails with probability `p` (the message then falls back to the local
+//! greedy hop — progress never stops, it just slows down).
+//!
+//! `FaultyScheme` wraps any scheme and drops each sampled contact i.i.d.
+//! with probability `p`; for explicit schemes the wrapped distribution is
+//! exactly the inner one scaled by `1 − p`, so the exact evaluator and all
+//! distribution-level tests extend to the faulty setting for free.
+
+use crate::scheme::{AugmentationScheme, ExplicitScheme};
+use nav_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+/// A scheme whose links fail independently with probability `drop_prob`.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultyScheme<S> {
+    inner: S,
+    drop_prob: f64,
+}
+
+impl<S: AugmentationScheme> FaultyScheme<S> {
+    /// Wraps `inner`; `drop_prob` must be in `[0, 1]`.
+    pub fn new(inner: S, drop_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "drop probability {drop_prob} outside [0, 1]"
+        );
+        FaultyScheme { inner, drop_prob }
+    }
+
+    /// The failure probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// The wrapped scheme.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: AugmentationScheme> AugmentationScheme for FaultyScheme<S> {
+    fn name(&self) -> String {
+        format!("{}+drop{:.2}", self.inner.name(), self.drop_prob)
+    }
+
+    fn sample_contact(&self, g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        // Order matters for stream reproducibility: draw the contact
+        // first, then the failure coin, so the inner stream is unchanged.
+        let contact = self.inner.sample_contact(g, u, rng);
+        if self.drop_prob > 0.0 && rng.gen::<f64>() < self.drop_prob {
+            return None;
+        }
+        contact
+    }
+}
+
+impl<S: ExplicitScheme> ExplicitScheme for FaultyScheme<S> {
+    fn contact_distribution(&self, g: &Graph, u: NodeId) -> Vec<(NodeId, f64)> {
+        let keep = 1.0 - self.drop_prob;
+        if keep <= 0.0 {
+            return Vec::new();
+        }
+        self.inner
+            .contact_distribution(g, u)
+            .into_iter()
+            .map(|(v, p)| (v, p * keep))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_expected_steps;
+    use crate::scheme::assert_sampling_matches;
+    use crate::uniform::UniformScheme;
+    use nav_graph::GraphBuilder;
+    use nav_par::rng::seeded_rng;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn zero_drop_is_identity() {
+        let g = path(30);
+        let faulty = FaultyScheme::new(UniformScheme, 0.0);
+        let t = 29;
+        let a = exact_expected_steps(&g, &faulty, t).unwrap();
+        let b = exact_expected_steps(&g, &UniformScheme, t).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_drop_is_walking() {
+        let g = path(30);
+        let faulty = FaultyScheme::new(UniformScheme, 1.0);
+        let e = exact_expected_steps(&g, &faulty, 29).unwrap();
+        assert!((e[0] - 29.0).abs() < 1e-12);
+        assert!(faulty.contact_distribution(&g, 0).is_empty());
+    }
+
+    #[test]
+    fn degradation_is_monotone_in_p() {
+        let g = path(64);
+        let mut prev = 0.0;
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let faulty = FaultyScheme::new(UniformScheme, p);
+            let e = exact_expected_steps(&g, &faulty, 63).unwrap()[0];
+            assert!(e >= prev - 1e-9, "p={p}: {e} < {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn sampling_matches_scaled_distribution() {
+        let g = path(12);
+        let faulty = FaultyScheme::new(UniformScheme, 0.3);
+        let mut rng = seeded_rng(71);
+        assert_sampling_matches(&faulty, &g, 5, 60_000, 0.015, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_probability_rejected() {
+        let _ = FaultyScheme::new(UniformScheme, 1.5);
+    }
+
+    #[test]
+    fn name_reflects_drop() {
+        let faulty = FaultyScheme::new(UniformScheme, 0.25);
+        assert_eq!(faulty.name(), "uniform+drop0.25");
+        assert_eq!(faulty.drop_prob(), 0.25);
+        assert_eq!(faulty.inner().name(), "uniform");
+    }
+}

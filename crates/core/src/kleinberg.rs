@@ -1,0 +1,170 @@
+//! Distance-harmonic (Kleinberg-style) scheme — the class-specific
+//! contrast baseline.
+//!
+//! `φ_u(v) ∝ dist_G(u, v)^{-α}` over `v ≠ u`. Kleinberg's classic result:
+//! on d-dimensional meshes the choice `α = d` gives `O(log² n)` greedy
+//! routing, while any `α ≠ d` is polynomially slower — the U-shaped curve
+//! of experiment E8. Unlike the paper's universal schemes, the right
+//! exponent depends on the graph class, which is exactly the gap the
+//! paper's a-posteriori scheme closes.
+
+use crate::scheme::{AugmentationScheme, ExplicitScheme};
+use crate::workspace::with_bfs;
+use nav_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+/// Harmonic scheme with exponent `α ≥ 0`.
+#[derive(Clone, Copy, Debug)]
+pub struct KleinbergScheme {
+    alpha: f64,
+}
+
+impl KleinbergScheme {
+    /// Creates the scheme with exponent `alpha` (finite, ≥ 0).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha.is_finite() && alpha >= 0.0, "bad α = {alpha}");
+        KleinbergScheme { alpha }
+    }
+
+    /// The exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Weights of all nodes as seen from `u` (0 for `u` itself and for
+    /// unreachable nodes).
+    fn weights(&self, g: &Graph, u: NodeId) -> Vec<f64> {
+        let n = g.num_nodes();
+        let mut w = vec![0.0f64; n];
+        with_bfs(n, |bfs| {
+            bfs.run(g, u, u32::MAX, |v, d| {
+                if v != u {
+                    w[v as usize] = (d as f64).powf(-self.alpha);
+                }
+                true
+            });
+        });
+        w
+    }
+}
+
+impl AugmentationScheme for KleinbergScheme {
+    fn name(&self) -> String {
+        format!("kleinberg(α={})", self.alpha)
+    }
+
+    fn sample_contact(&self, g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        let w = self.weights(g, u);
+        let total: f64 = w.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut r: f64 = rng.gen::<f64>() * total;
+        for (v, &wv) in w.iter().enumerate() {
+            if wv > 0.0 {
+                r -= wv;
+                if r < 0.0 {
+                    return Some(v as NodeId);
+                }
+            }
+        }
+        // Float underflow tail: return the last positive-weight node.
+        w.iter()
+            .rposition(|&wv| wv > 0.0)
+            .map(|v| v as NodeId)
+    }
+}
+
+impl ExplicitScheme for KleinbergScheme {
+    fn contact_distribution(&self, g: &Graph, u: NodeId) -> Vec<(NodeId, f64)> {
+        let w = self.weights(g, u);
+        let total: f64 = w.iter().sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        w.into_iter()
+            .enumerate()
+            .filter(|&(_, wv)| wv > 0.0)
+            .map(|(v, wv)| (v as NodeId, wv / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::assert_sampling_matches;
+    use nav_graph::GraphBuilder;
+    use nav_par::rng::seeded_rng;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform_over_others() {
+        let g = path(9);
+        let s = KleinbergScheme::new(0.0);
+        let dist = s.contact_distribution(&g, 4);
+        assert_eq!(dist.len(), 8); // everyone but u
+        for (_, p) in dist {
+            assert!((p - 1.0 / 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn harmonic_weights_on_path() {
+        // u = 0 on a path: φ(v) ∝ 1/d(0,v) = 1/v.
+        let g = path(5);
+        let s = KleinbergScheme::new(1.0);
+        let dist = s.contact_distribution(&g, 0);
+        let z: f64 = (1..5).map(|d| 1.0 / d as f64).sum();
+        for (v, p) in dist {
+            let expect = 1.0 / (v as f64) / z;
+            assert!((p - expect).abs() < 1e-12, "v={v}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches() {
+        let g = path(12);
+        let s = KleinbergScheme::new(1.5);
+        let mut rng = seeded_rng(41);
+        assert_sampling_matches(&s, &g, 5, 80_000, 0.012, &mut rng);
+    }
+
+    #[test]
+    fn isolated_node_yields_none() {
+        let g = GraphBuilder::from_edges(3, [(0, 1)]).unwrap();
+        let s = KleinbergScheme::new(2.0);
+        let mut rng = seeded_rng(42);
+        assert_eq!(s.sample_contact(&g, 2, &mut rng), None);
+        assert!(s.contact_distribution(&g, 2).is_empty());
+    }
+
+    #[test]
+    fn larger_alpha_concentrates_near() {
+        let g = path(64);
+        let near = KleinbergScheme::new(3.0);
+        let far = KleinbergScheme::new(0.5);
+        let p_near = near
+            .contact_distribution(&g, 0)
+            .iter()
+            .find(|&&(v, _)| v == 1)
+            .unwrap()
+            .1;
+        let p_far = far
+            .contact_distribution(&g, 0)
+            .iter()
+            .find(|&&(v, _)| v == 1)
+            .unwrap()
+            .1;
+        assert!(p_near > p_far);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad α")]
+    fn negative_alpha_rejected() {
+        let _ = KleinbergScheme::new(-1.0);
+    }
+}

@@ -1,0 +1,470 @@
+//! Augmentation matrices (Definition 1) and matrix-based schemes.
+//!
+//! An augmentation matrix of size `k` is a `k × k` matrix `A = (p_{i,j})`
+//! with non-negative entries and **row sums ≤ 1** (sub-stochastic rows: the
+//! leftover mass means "no long-range link"). Combined with a labeling
+//! `L : V → {1, …, k}` it augments a graph: node `u` draws a label `j`
+//! with probability `p_{L(u), j}`, then a uniform node among those labeled
+//! `j` (Section 2 of the paper; if no node carries label `j` the link is
+//! wasted).
+
+use crate::labeling::Labeling;
+use crate::scheme::{AugmentationScheme, ExplicitScheme};
+use nav_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Errors from matrix construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatrixError {
+    /// A row sums to more than 1 (beyond float tolerance).
+    RowSumExceedsOne {
+        /// 1-based row index.
+        row: u32,
+        /// The offending sum.
+        sum: f64,
+    },
+    /// An entry is negative or non-finite.
+    BadEntry {
+        /// 1-based row index.
+        row: u32,
+        /// 1-based column label.
+        col: u32,
+    },
+    /// A column label is outside `1..=k`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: u32,
+    },
+    /// Wrong number of rows.
+    WrongShape,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::RowSumExceedsOne { row, sum } => {
+                write!(f, "row {row} sums to {sum} > 1")
+            }
+            MatrixError::BadEntry { row, col } => write!(f, "bad entry at ({row}, {col})"),
+            MatrixError::LabelOutOfRange { label } => write!(f, "label {label} out of range"),
+            MatrixError::WrongShape => write!(f, "wrong number of rows"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// A sparse-row augmentation matrix over labels `1..=k`.
+#[derive(Clone, Debug)]
+pub struct AugmentationMatrix {
+    k: usize,
+    /// Per row: sorted `(label, probability)` with `probability > 0`.
+    rows: Vec<Vec<(u32, f64)>>,
+    /// Per row: cumulative probabilities aligned with `rows` for sampling.
+    cdf: Vec<Vec<f64>>,
+}
+
+impl AugmentationMatrix {
+    /// Builds from sparse rows (1-based labels). Entries with zero
+    /// probability may be omitted; duplicates are summed.
+    pub fn from_rows(k: usize, rows: Vec<Vec<(u32, f64)>>) -> Result<Self, MatrixError> {
+        if rows.len() != k {
+            return Err(MatrixError::WrongShape);
+        }
+        let mut norm_rows = Vec::with_capacity(k);
+        let mut cdfs = Vec::with_capacity(k);
+        for (i, mut row) in rows.into_iter().enumerate() {
+            let ri = i as u32 + 1;
+            for &(j, p) in &row {
+                if j == 0 || j as usize > k {
+                    return Err(MatrixError::LabelOutOfRange { label: j });
+                }
+                if !(p.is_finite() && p >= 0.0) {
+                    return Err(MatrixError::BadEntry { row: ri, col: j });
+                }
+            }
+            row.sort_unstable_by_key(|&(j, _)| j);
+            // Merge duplicates, drop zeros.
+            let mut merged: Vec<(u32, f64)> = Vec::with_capacity(row.len());
+            for (j, p) in row {
+                match merged.last_mut() {
+                    Some((lj, lp)) if *lj == j => *lp += p,
+                    _ => merged.push((j, p)),
+                }
+            }
+            merged.retain(|&(_, p)| p > 0.0);
+            let sum: f64 = merged.iter().map(|&(_, p)| p).sum();
+            if sum > 1.0 + 1e-9 {
+                return Err(MatrixError::RowSumExceedsOne { row: ri, sum });
+            }
+            let mut cdf = Vec::with_capacity(merged.len());
+            let mut acc = 0.0;
+            for &(_, p) in &merged {
+                acc += p;
+                cdf.push(acc);
+            }
+            norm_rows.push(merged);
+            cdfs.push(cdf);
+        }
+        Ok(AugmentationMatrix {
+            k,
+            rows: norm_rows,
+            cdf: cdfs,
+        })
+    }
+
+    /// The uniform matrix `U` with `u_{i,j} = 1/k`. Dense — use at
+    /// moderate `k` only.
+    pub fn uniform(k: usize) -> Self {
+        let p = 1.0 / k as f64;
+        let rows = (0..k)
+            .map(|_| (1..=k as u32).map(|j| (j, p)).collect())
+            .collect();
+        AugmentationMatrix::from_rows(k, rows).expect("uniform matrix is valid")
+    }
+
+    /// The dyadic **ancestor matrix** `A` of the paper's Theorem 2:
+    /// `a_{i,j} = 1/D` iff `j ∈ A(i) ∩ [1, k]` where `A(i)` are the dyadic
+    /// ancestors of `i` and `D = ν(k)` bounds the ancestor count. Sparse —
+    /// `O(log k)` entries per row.
+    pub fn ancestor(k: usize) -> Self {
+        let d = crate::ancestry::nu(k).max(1) as f64;
+        let rows = (1..=k as u32)
+            .map(|i| {
+                crate::ancestry::ancestors_within(i as u64, k as u64)
+                    .into_iter()
+                    .map(|j| (j as u32, 1.0 / d))
+                    .collect()
+            })
+            .collect();
+        AugmentationMatrix::from_rows(k, rows).expect("ancestor matrix is valid")
+    }
+
+    /// Label-harmonic matrix: `p_{i,j} ∝ 1/|i−j|` normalised to row sum 1
+    /// (the "Kleinberg-by-label" matrix — efficient if labels happen to
+    /// follow the path, terrible otherwise; an interesting Theorem 1
+    /// victim). Dense.
+    pub fn label_harmonic(k: usize) -> Self {
+        let rows = (1..=k as i64)
+            .map(|i| {
+                let weights: Vec<(u32, f64)> = (1..=k as i64)
+                    .filter(|&j| j != i)
+                    .map(|j| (j as u32, 1.0 / (i - j).abs() as f64))
+                    .collect();
+                let z: f64 = weights.iter().map(|&(_, w)| w).sum();
+                weights
+                    .into_iter()
+                    .map(|(j, w)| (j, w / z.max(f64::MIN_POSITIVE)))
+                    .collect()
+            })
+            .collect();
+        AugmentationMatrix::from_rows(k, rows).expect("harmonic matrix is valid")
+    }
+
+    /// Random sub-stochastic matrix: each row gets `per_row` random columns
+    /// with Dirichlet-ish weights scaled to a random total ≤ 1.
+    pub fn random(k: usize, per_row: usize, rng: &mut impl Rng) -> Self {
+        let rows = (0..k)
+            .map(|_| {
+                let mut row: Vec<(u32, f64)> = (0..per_row)
+                    .map(|_| (rng.gen_range(1..=k as u32), rng.gen::<f64>()))
+                    .collect();
+                let z: f64 = row.iter().map(|&(_, w)| w).sum();
+                let total = rng.gen::<f64>(); // row sum in [0, 1)
+                for (_, w) in &mut row {
+                    *w = *w / z.max(f64::MIN_POSITIVE) * total;
+                }
+                row
+            })
+            .collect();
+        AugmentationMatrix::from_rows(k, rows).expect("random matrix is valid")
+    }
+
+    /// Size `k` (number of labels).
+    pub fn size(&self) -> usize {
+        self.k
+    }
+
+    /// Entry `p_{i,j}` (1-based).
+    pub fn entry(&self, i: u32, j: u32) -> f64 {
+        let row = &self.rows[(i - 1) as usize];
+        match row.binary_search_by_key(&j, |&(l, _)| l) {
+            Ok(idx) => row[idx].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Row sum `Σ_j p_{i,j}`.
+    pub fn row_sum(&self, i: u32) -> f64 {
+        self.cdf[(i - 1) as usize].last().copied().unwrap_or(0.0)
+    }
+
+    /// Sparse row access: sorted `(label, p)` pairs.
+    pub fn row(&self, i: u32) -> &[(u32, f64)] {
+        &self.rows[(i - 1) as usize]
+    }
+
+    /// Samples a column label from row `i`, or `None` for the leftover
+    /// sub-stochastic mass.
+    pub fn sample_row(&self, i: u32, rng: &mut dyn RngCore) -> Option<u32> {
+        let cdf = &self.cdf[(i - 1) as usize];
+        let total = cdf.last().copied().unwrap_or(0.0);
+        let r: f64 = rng.gen();
+        if r >= total {
+            return None;
+        }
+        let idx = cdf.partition_point(|&c| c <= r);
+        Some(self.rows[(i - 1) as usize][idx].0)
+    }
+
+    /// Averages two matrices: `(A + B)/2` — how the paper combines the
+    /// ancestor matrix with the uniform matrix (`M = (A + U)/2`).
+    pub fn average(a: &Self, b: &Self) -> Result<Self, MatrixError> {
+        if a.k != b.k {
+            return Err(MatrixError::WrongShape);
+        }
+        let rows = (1..=a.k as u32)
+            .map(|i| {
+                let mut row: Vec<(u32, f64)> =
+                    a.row(i).iter().map(|&(j, p)| (j, p / 2.0)).collect();
+                row.extend(b.row(i).iter().map(|&(j, p)| (j, p / 2.0)));
+                row
+            })
+            .collect();
+        AugmentationMatrix::from_rows(a.k, rows)
+    }
+}
+
+/// A matrix applied through a labeling: the general matrix-based
+/// augmentation scheme of Section 2.
+#[derive(Clone, Debug)]
+pub struct MatrixScheme {
+    name: String,
+    matrix: AugmentationMatrix,
+    labeling: Labeling,
+}
+
+impl MatrixScheme {
+    /// Combines a matrix with a labeling. The labeling's label space must
+    /// match the matrix size.
+    pub fn new(name: impl Into<String>, matrix: AugmentationMatrix, labeling: Labeling) -> Self {
+        assert_eq!(
+            matrix.size(),
+            labeling.num_labels(),
+            "matrix size must equal the labeling's label-space size"
+        );
+        MatrixScheme {
+            name: name.into(),
+            matrix,
+            labeling,
+        }
+    }
+
+    /// Name-independent application: distinct labels via the identity
+    /// labeling (the *worst-case* labeling is what Theorem 1 constructs;
+    /// see [`crate::theorem1`]).
+    pub fn name_independent(name: impl Into<String>, matrix: AugmentationMatrix, n: usize) -> Self {
+        assert_eq!(matrix.size(), n);
+        MatrixScheme::new(name, matrix, Labeling::identity(n))
+    }
+
+    /// The labeling in use.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// The matrix in use.
+    pub fn matrix(&self) -> &AugmentationMatrix {
+        &self.matrix
+    }
+}
+
+impl AugmentationScheme for MatrixScheme {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn sample_contact(&self, _g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        let i = self.labeling.label(u);
+        let j = self.matrix.sample_row(i, rng)?;
+        let bucket = self.labeling.bucket(j);
+        if bucket.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..bucket.len());
+        Some(bucket[idx])
+    }
+}
+
+impl ExplicitScheme for MatrixScheme {
+    fn contact_distribution(&self, _g: &Graph, u: NodeId) -> Vec<(NodeId, f64)> {
+        let i = self.labeling.label(u);
+        let mut out = Vec::new();
+        for &(j, p) in self.matrix.row(i) {
+            let bucket = self.labeling.bucket(j);
+            if bucket.is_empty() {
+                continue;
+            }
+            let share = p / bucket.len() as f64;
+            for &v in bucket {
+                out.push((v, share));
+            }
+        }
+        // Merge duplicates (a node may carry several reachable labels? no —
+        // one label per node, but defensive merging keeps the contract).
+        out.sort_unstable_by_key(|&(v, _)| v);
+        out.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::assert_sampling_matches;
+    use nav_graph::GraphBuilder;
+    use nav_par::rng::seeded_rng;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn uniform_matrix_entries() {
+        let m = AugmentationMatrix::uniform(4);
+        assert_eq!(m.size(), 4);
+        for i in 1..=4 {
+            for j in 1..=4 {
+                assert!((m.entry(i, j) - 0.25).abs() < 1e-12);
+            }
+            assert!((m.row_sum(i) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn row_sum_validation() {
+        let bad = AugmentationMatrix::from_rows(2, vec![vec![(1, 0.7), (2, 0.7)], vec![]]);
+        assert!(matches!(
+            bad,
+            Err(MatrixError::RowSumExceedsOne { row: 1, .. })
+        ));
+        let bad = AugmentationMatrix::from_rows(2, vec![vec![(3, 0.1)], vec![]]);
+        assert!(matches!(bad, Err(MatrixError::LabelOutOfRange { label: 3 })));
+        let bad = AugmentationMatrix::from_rows(2, vec![vec![(1, -0.5)], vec![]]);
+        assert!(matches!(bad, Err(MatrixError::BadEntry { .. })));
+        let bad = AugmentationMatrix::from_rows(3, vec![vec![], vec![]]);
+        assert!(matches!(bad, Err(MatrixError::WrongShape)));
+    }
+
+    #[test]
+    fn duplicate_entries_merge() {
+        let m =
+            AugmentationMatrix::from_rows(2, vec![vec![(2, 0.25), (2, 0.25)], vec![]]).unwrap();
+        assert!((m.entry(1, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_substochastic_rows() {
+        let m = AugmentationMatrix::from_rows(2, vec![vec![(2, 0.5)], vec![(1, 1.0)]]).unwrap();
+        let mut rng = seeded_rng(5);
+        let mut none = 0;
+        let mut twos = 0;
+        for _ in 0..10_000 {
+            match m.sample_row(1, &mut rng) {
+                None => none += 1,
+                Some(2) => twos += 1,
+                Some(other) => panic!("unexpected label {other}"),
+            }
+        }
+        assert!((4700..5300).contains(&none), "none={none}");
+        assert!((4700..5300).contains(&twos), "twos={twos}");
+    }
+
+    #[test]
+    fn ancestor_matrix_rows_are_dyadic() {
+        let m = AugmentationMatrix::ancestor(8);
+        // Ancestors of 3 within 8: 3 -> 4 -> 8 (and 3 itself).
+        assert!(m.entry(3, 3) > 0.0);
+        assert!(m.entry(3, 4) > 0.0);
+        assert!(m.entry(3, 8) > 0.0);
+        assert_eq!(m.entry(3, 5), 0.0);
+        for i in 1..=8 {
+            assert!(m.row_sum(i) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn label_harmonic_rows_normalised() {
+        let m = AugmentationMatrix::label_harmonic(6);
+        for i in 1..=6 {
+            assert!((m.row_sum(i) - 1.0).abs() < 1e-9);
+            assert_eq!(m.entry(i, i), 0.0);
+        }
+        // Closer labels more likely.
+        assert!(m.entry(1, 2) > m.entry(1, 5));
+    }
+
+    #[test]
+    fn random_matrix_valid() {
+        let mut rng = seeded_rng(9);
+        let m = AugmentationMatrix::random(20, 5, &mut rng);
+        for i in 1..=20 {
+            assert!(m.row_sum(i) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn average_is_half_half() {
+        let a = AugmentationMatrix::ancestor(8);
+        let u = AugmentationMatrix::uniform(8);
+        let m = AugmentationMatrix::average(&a, &u).unwrap();
+        for i in 1..=8u32 {
+            for j in 1..=8u32 {
+                let expect = (a.entry(i, j) + u.entry(i, j)) / 2.0;
+                assert!((m.entry(i, j) - expect).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_scheme_sampling_matches_distribution() {
+        let g = path(6);
+        let m = AugmentationMatrix::average(
+            &AugmentationMatrix::ancestor(6),
+            &AugmentationMatrix::uniform(6),
+        )
+        .unwrap();
+        let scheme = MatrixScheme::name_independent("m", m, 6);
+        let mut rng = seeded_rng(11);
+        for u in [0u32, 3, 5] {
+            assert_sampling_matches(&scheme, &g, u, 60_000, 0.015, &mut rng);
+        }
+    }
+
+    #[test]
+    fn empty_bucket_label_wastes_link() {
+        // 3 nodes all labeled 1 (k = 3): labels 2 and 3 are unused.
+        let labeling = Labeling::new(vec![1, 1, 1], 3);
+        let m = AugmentationMatrix::from_rows(
+            3,
+            vec![vec![(2, 1.0)], vec![(1, 1.0)], vec![(1, 1.0)]],
+        )
+        .unwrap();
+        let scheme = MatrixScheme::new("waste", m, labeling);
+        let g = path(3);
+        let mut rng = seeded_rng(13);
+        // Row 1 always picks label 2 whose bucket is empty → always None.
+        for _ in 0..100 {
+            assert_eq!(scheme.sample_contact(&g, 0, &mut rng), None);
+        }
+        assert!(scheme.contact_distribution(&g, 0).is_empty());
+    }
+}

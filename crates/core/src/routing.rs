@@ -1,0 +1,333 @@
+//! Greedy routing in augmented graphs.
+//!
+//! The oblivious protocol of the paper: at the current node `u` with
+//! target `t`, forward to the neighbour — among `u`'s local neighbours
+//! **and `u`'s own long-range contact** — closest to `t` in the underlying
+//! metric `dist_G`. Nodes know `dist_G` but not each other's long-range
+//! links.
+//!
+//! Implementation notes:
+//! * one BFS from the target provides `dist_G(·, t)` for the whole trial;
+//! * the long-range contact of each visited node is sampled lazily
+//!   (deferred decisions — exact because greedy routing never revisits:
+//!   the best local neighbour already strictly decreases the distance);
+//! * ties are broken toward the local neighbour and then by smallest node
+//!   id, making trials reproducible given the RNG seed.
+
+use crate::scheme::AugmentationScheme;
+use nav_graph::{bfs::Bfs, Graph, GraphError, NodeId, INFINITY};
+use rand::RngCore;
+
+/// Outcome of one greedy-routing trial.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Steps taken (edges traversed).
+    pub steps: u32,
+    /// Whether the target was reached (always true on connected graphs —
+    /// kept for robustness against disconnected inputs + step caps).
+    pub reached: bool,
+    /// How many of the steps used a long-range link.
+    pub long_links_used: u32,
+    /// The visited nodes `s, …, t` if path recording was requested.
+    pub path: Option<Vec<NodeId>>,
+}
+
+/// A router bound to one (graph, target) pair; reusable across sources and
+/// trials, amortising the target BFS.
+pub struct GreedyRouter<'g> {
+    g: &'g Graph,
+    target: NodeId,
+    dist_t: Vec<u32>,
+}
+
+impl<'g> GreedyRouter<'g> {
+    /// Builds the router (runs one BFS from `target`).
+    pub fn new(g: &'g Graph, target: NodeId) -> Result<Self, GraphError> {
+        g.check_node(target)?;
+        let mut bfs = Bfs::new(g.num_nodes());
+        let dist_t = bfs.distances(g, target);
+        Ok(GreedyRouter { g, target, dist_t })
+    }
+
+    /// Builds the router reusing a caller-provided BFS workspace.
+    pub fn with_workspace(
+        g: &'g Graph,
+        target: NodeId,
+        bfs: &mut Bfs,
+    ) -> Result<Self, GraphError> {
+        g.check_node(target)?;
+        let dist_t = bfs.distances(g, target);
+        Ok(GreedyRouter { g, target, dist_t })
+    }
+
+    /// The routing target.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// `dist_G(u, target)`.
+    #[inline]
+    pub fn dist_to_target(&self, u: NodeId) -> u32 {
+        self.dist_t[u as usize]
+    }
+
+    /// The greedy *local* next hop from `u`: the neighbour closest to the
+    /// target, smallest id on ties. On a connected graph this neighbour is
+    /// at distance exactly `dist(u, t) − 1`.
+    pub fn local_next(&self, u: NodeId) -> Option<NodeId> {
+        let mut best: Option<(u32, NodeId)> = None;
+        for &v in self.g.neighbors(u) {
+            let d = self.dist_t[v as usize];
+            // Sorted adjacency ⇒ first strict improvement wins ties by id.
+            match best {
+                Some((bd, _)) if d >= bd => {}
+                _ => best = Some((d, v)),
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// The greedy next hop given an already-drawn long-range contact.
+    /// The contact wins only when **strictly** closer than the best local
+    /// neighbour (ties → local, then smallest id; the paper allows any
+    /// tie-breaking).
+    pub fn next_hop(&self, u: NodeId, contact: Option<NodeId>) -> Option<NodeId> {
+        let local = self.local_next(u);
+        match (local, contact) {
+            (None, c) => c.filter(|&v| self.dist_t[v as usize] < self.dist_t[u as usize]),
+            (Some(l), None) => Some(l),
+            (Some(l), Some(c)) => {
+                if self.dist_t[c as usize] < self.dist_t[l as usize] {
+                    Some(c)
+                } else {
+                    Some(l)
+                }
+            }
+        }
+    }
+
+    /// Routes one trial from `source` to the bound target, sampling
+    /// long-range contacts lazily from `scheme`.
+    ///
+    /// `max_steps` caps the walk (use [`default_step_cap`]); the cap only
+    /// triggers on disconnected graphs or broken schemes, and is surfaced
+    /// through `reached == false`.
+    pub fn route<S: AugmentationScheme + ?Sized>(
+        &self,
+        scheme: &S,
+        source: NodeId,
+        rng: &mut dyn RngCore,
+        max_steps: u32,
+        record_path: bool,
+    ) -> RouteOutcome {
+        let mut u = source;
+        let mut steps = 0u32;
+        let mut long_links_used = 0u32;
+        let mut path = if record_path { Some(vec![source]) } else { None };
+        while u != self.target && steps < max_steps {
+            if self.dist_t[u as usize] == INFINITY {
+                break; // target unreachable from here
+            }
+            let contact = scheme.sample_contact(self.g, u, rng);
+            let Some(next) = self.next_hop(u, contact) else {
+                break; // isolated node and useless contact
+            };
+            debug_assert!(
+                self.dist_t[next as usize] < self.dist_t[u as usize],
+                "greedy step must strictly decrease target distance"
+            );
+            if Some(next) == contact && self.g.neighbors(u).binary_search(&next).is_err() {
+                long_links_used += 1;
+            }
+            if let Some(p) = path.as_mut() {
+                p.push(next);
+            }
+            u = next;
+            steps += 1;
+        }
+        RouteOutcome {
+            steps,
+            reached: u == self.target,
+            long_links_used,
+            path,
+        }
+    }
+}
+
+/// A generous step cap: `dist(s,t) ≤ steps` always, and greedy strictly
+/// decreases distance, so `n` steps can never be exceeded on a connected
+/// graph; the cap `n + 1` detects violations without masking them.
+pub fn default_step_cap(g: &Graph) -> u32 {
+    g.num_nodes() as u32 + 1
+}
+
+/// One-shot convenience: builds a fresh router and routes once.
+pub fn route_with_fresh_oracle<S: AugmentationScheme + ?Sized>(
+    g: &Graph,
+    scheme: &S,
+    source: NodeId,
+    target: NodeId,
+    rng: &mut dyn RngCore,
+) -> Result<RouteOutcome, GraphError> {
+    g.check_node(source)?;
+    let router = GreedyRouter::new(g, target)?;
+    Ok(router.route(scheme, source, rng, default_step_cap(g), false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::{NoAugmentation, UniformScheme};
+    use nav_graph::GraphBuilder;
+    use nav_par::rng::seeded_rng;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn no_augmentation_walks_shortest_path() {
+        let g = path(20);
+        let router = GreedyRouter::new(&g, 19).unwrap();
+        let mut rng = seeded_rng(1);
+        let out = router.route(&NoAugmentation, 0, &mut rng, default_step_cap(&g), true);
+        assert!(out.reached);
+        assert_eq!(out.steps, 19);
+        assert_eq!(out.long_links_used, 0);
+        let p = out.path.unwrap();
+        assert_eq!(p.len(), 20);
+        assert_eq!(p[0], 0);
+        assert_eq!(p[19], 19);
+    }
+
+    #[test]
+    fn zero_length_route() {
+        let g = path(5);
+        let router = GreedyRouter::new(&g, 2).unwrap();
+        let mut rng = seeded_rng(2);
+        let out = router.route(&NoAugmentation, 2, &mut rng, default_step_cap(&g), true);
+        assert!(out.reached);
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.path.unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn uniform_never_slower_than_shortest_path() {
+        let g = path(64);
+        let router = GreedyRouter::new(&g, 63).unwrap();
+        let mut rng = seeded_rng(3);
+        for _ in 0..50 {
+            let out = router.route(&UniformScheme, 0, &mut rng, default_step_cap(&g), false);
+            assert!(out.reached);
+            assert!(out.steps <= 63);
+            assert!(out.steps >= 1);
+        }
+    }
+
+    #[test]
+    fn distance_strictly_decreases_along_path() {
+        let g = path(100);
+        let router = GreedyRouter::new(&g, 99).unwrap();
+        let mut rng = seeded_rng(4);
+        let out = router.route(&UniformScheme, 0, &mut rng, default_step_cap(&g), true);
+        let p = out.path.unwrap();
+        let mut prev = router.dist_to_target(p[0]);
+        for &v in &p[1..] {
+            let d = router.dist_to_target(v);
+            assert!(d < prev, "distance increased: {prev} -> {d}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn long_links_counted() {
+        // A scheme that always points at the target from anywhere.
+        struct Teleport(NodeId);
+        impl AugmentationScheme for Teleport {
+            fn name(&self) -> String {
+                "teleport".into()
+            }
+            fn sample_contact(
+                &self,
+                _g: &Graph,
+                _u: NodeId,
+                _rng: &mut dyn RngCore,
+            ) -> Option<NodeId> {
+                Some(self.0)
+            }
+        }
+        let g = path(50);
+        let router = GreedyRouter::new(&g, 49).unwrap();
+        let mut rng = seeded_rng(5);
+        let out = router.route(&Teleport(49), 0, &mut rng, default_step_cap(&g), false);
+        assert!(out.reached);
+        assert_eq!(out.steps, 1);
+        assert_eq!(out.long_links_used, 1);
+        // From node 48 the "long link" to 49 coincides with a local edge:
+        // must not be counted as long.
+        let out = router.route(&Teleport(49), 48, &mut rng, default_step_cap(&g), false);
+        assert_eq!(out.steps, 1);
+        assert_eq!(out.long_links_used, 0);
+    }
+
+    #[test]
+    fn contact_ties_prefer_local() {
+        // Contact at same distance as best local neighbour must lose.
+        struct FixedContact(NodeId);
+        impl AugmentationScheme for FixedContact {
+            fn name(&self) -> String {
+                "fixed".into()
+            }
+            fn sample_contact(
+                &self,
+                _g: &Graph,
+                _u: NodeId,
+                _rng: &mut dyn RngCore,
+            ) -> Option<NodeId> {
+                Some(self.0)
+            }
+        }
+        // Cycle of 6, target 3. From node 0 both neighbours (1, 5) are at
+        // distance 2; a contact at node 5 ties with local best 1 → local 1
+        // wins (smallest id among closest locals).
+        let g = GraphBuilder::from_edges(6, (0..6u32).map(|u| (u, (u + 1) % 6))).unwrap();
+        let router = GreedyRouter::new(&g, 3).unwrap();
+        assert_eq!(router.local_next(0), Some(1));
+        assert_eq!(router.next_hop(0, Some(5)), Some(1));
+        // Strictly better contact wins.
+        assert_eq!(router.next_hop(0, Some(2)), Some(2));
+        let mut rng = seeded_rng(6);
+        let out = router.route(&FixedContact(5), 0, &mut rng, default_step_cap(&g), true);
+        assert_eq!(out.path.unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_target_reports_not_reached() {
+        let g = GraphBuilder::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let router = GreedyRouter::new(&g, 3).unwrap();
+        let mut rng = seeded_rng(7);
+        let out = router.route(&NoAugmentation, 0, &mut rng, default_step_cap(&g), false);
+        assert!(!out.reached);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn step_cap_respected() {
+        let g = path(100);
+        let router = GreedyRouter::new(&g, 99).unwrap();
+        let mut rng = seeded_rng(8);
+        let out = router.route(&NoAugmentation, 0, &mut rng, 10, false);
+        assert!(!out.reached);
+        assert_eq!(out.steps, 10);
+    }
+
+    #[test]
+    fn fresh_oracle_convenience() {
+        let g = path(10);
+        let mut rng = seeded_rng(9);
+        let out = route_with_fresh_oracle(&g, &NoAugmentation, 0, 9, &mut rng).unwrap();
+        assert_eq!(out.steps, 9);
+        assert!(route_with_fresh_oracle(&g, &NoAugmentation, 0, 10, &mut rng).is_err());
+        assert!(route_with_fresh_oracle(&g, &NoAugmentation, 11, 0, &mut rng).is_err());
+    }
+}

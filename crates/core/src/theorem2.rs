@@ -1,0 +1,397 @@
+//! **Theorem 2**: the `(M, L)` matrix-based universal scheme.
+//!
+//! `M = (A + U)/2` where `A` is the dyadic ancestor matrix (long jumps
+//! along the bag hierarchy of a path-decomposition) and `U` is the uniform
+//! matrix (the name-independent safety net); `L` is the max-level bag
+//! labeling ([`crate::labeling::Labeling::from_path_decomposition`]).
+//! Greedy diameter: `O(min{ps(G)·log²n, √n})`.
+//!
+//! The scheme here samples `M` *implicitly* (a coin for the half, then a
+//! uniform ancestor slot or a uniform node) — identical in distribution to
+//! materialising the `n × n` matrix, but `O(log n)` memory. A
+//! materialised variant is exposed for cross-checking in tests.
+
+use crate::ancestry::{ancestors_within, nu};
+use crate::labeling::Labeling;
+use crate::matrix::{AugmentationMatrix, MatrixScheme};
+use crate::scheme::{AugmentationScheme, ExplicitScheme};
+use nav_decomp::decomposition::PathDecomposition;
+use nav_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+/// Which halves of `M = (A + U)/2` are active — the ablation axis of the
+/// paper's central design choice ("the two matrices A and U can be run in
+/// parallel while preserving their respective good behavior").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Theorem2Mode {
+    /// The paper's scheme: `M = (A + U)/2`.
+    Combined,
+    /// Ancestor matrix only (`M = A`): hierarchy jumps without the
+    /// uniform safety net — loses the `O(√n)` fallback on large-pathshape
+    /// graphs.
+    AncestorOnly,
+    /// Uniform only (`M = U`): exactly the uniform scheme — loses the
+    /// polylog behaviour on small-pathshape graphs.
+    UniformOnly,
+}
+
+/// The Theorem-2 scheme `(M, L)` for a specific graph + path-decomposition.
+#[derive(Clone, Debug)]
+pub struct Theorem2Scheme {
+    labeling: Labeling,
+    /// Denominator of the ancestor matrix: `D = ν(k)` where `k` is the
+    /// label-space size (#bags).
+    denom: u32,
+    mode: Theorem2Mode,
+    shape_hint: Option<usize>,
+}
+
+impl Theorem2Scheme {
+    /// Builds the scheme from a path-decomposition of `g`.
+    pub fn new(g: &Graph, pd: &PathDecomposition) -> Self {
+        Theorem2Scheme::with_mode(g, pd, Theorem2Mode::Combined)
+    }
+
+    /// Builds the scheme with an explicit [`Theorem2Mode`] (ablations).
+    pub fn with_mode(g: &Graph, pd: &PathDecomposition, mode: Theorem2Mode) -> Self {
+        let labeling = Labeling::from_path_decomposition(pd, g.num_nodes());
+        let denom = nu(labeling.num_labels().max(1));
+        Theorem2Scheme {
+            labeling,
+            denom,
+            mode,
+            shape_hint: None,
+        }
+    }
+
+    /// Builds the scheme using the decomposition **portfolio** of
+    /// `nav-decomp` (the deployment default for unknown graphs).
+    pub fn from_portfolio(g: &Graph) -> Self {
+        let result = nav_decomp::best_path_decomposition(g, &Default::default());
+        let mut s = Theorem2Scheme::new(g, &result.pd);
+        s.shape_hint = Some(result.shape);
+        s
+    }
+
+    /// The labeling `L`.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// Shape of the decomposition used, when known (portfolio path).
+    pub fn shape_hint(&self) -> Option<usize> {
+        self.shape_hint
+    }
+
+    /// The active [`Theorem2Mode`].
+    pub fn mode(&self) -> Theorem2Mode {
+        self.mode
+    }
+
+    /// Materialises the equivalent explicit `(M, L)` matrix scheme —
+    /// `O(k log k + k·n)` memory; for tests and small graphs only.
+    /// Only defined for the combined mode.
+    pub fn materialize(&self, g: &Graph) -> MatrixScheme {
+        assert_eq!(
+            self.mode,
+            Theorem2Mode::Combined,
+            "materialize() is the combined matrix M = (A+U)/2"
+        );
+        self.materialize_inner(g)
+    }
+
+    fn materialize_inner(&self, g: &Graph) -> MatrixScheme {
+        let k = self.labeling.num_labels();
+        let a = ancestor_matrix_with_denom(k, self.denom);
+        let u = AugmentationMatrix::uniform_over_nodes(k, g.num_nodes(), &self.labeling);
+        let m = AugmentationMatrix::average(&a, &u).expect("same size");
+        MatrixScheme::new("theorem2-materialized", m, self.labeling.clone())
+    }
+}
+
+/// The ancestor matrix with an explicit denominator (the implicit sampler
+/// draws a slot in `0..denom`, so the materialised matrix must match).
+fn ancestor_matrix_with_denom(k: usize, denom: u32) -> AugmentationMatrix {
+    let d = denom.max(1) as f64;
+    let rows = (1..=k as u32)
+        .map(|i| {
+            ancestors_within(i as u64, k as u64)
+                .into_iter()
+                .map(|j| (j as u32, 1.0 / d))
+                .collect()
+        })
+        .collect();
+    AugmentationMatrix::from_rows(k, rows).expect("ancestor matrix is valid")
+}
+
+impl AugmentationMatrix {
+    /// The matrix representation of "pick a node uniformly at random" under
+    /// a labeling: `p_{i,j} = |bucket(j)| / n` — so that label-then-node
+    /// sampling reproduces the node-uniform distribution exactly.
+    pub fn uniform_over_nodes(k: usize, n: usize, labeling: &Labeling) -> AugmentationMatrix {
+        let rows = (0..k)
+            .map(|_| {
+                (1..=k as u32)
+                    .filter(|&j| !labeling.bucket(j).is_empty())
+                    .map(|j| (j, labeling.bucket(j).len() as f64 / n as f64))
+                    .collect()
+            })
+            .collect();
+        AugmentationMatrix::from_rows(k, rows).expect("node-uniform matrix is valid")
+    }
+}
+
+impl Theorem2Scheme {
+    /// Samples the A half (a uniform ancestor slot of `L(u)`; slots past
+    /// the in-range ancestor list are the sub-stochastic leftover).
+    fn sample_ancestor_half(&self, rng: &mut dyn RngCore, u: NodeId) -> Option<NodeId> {
+        let i = self.labeling.label(u) as u64;
+        let k = self.labeling.num_labels() as u64;
+        let slot = rng.gen_range(0..self.denom);
+        let level = crate::ancestry::level(i);
+        let pos = level.checked_add(slot)?;
+        if pos >= 63 || (1u64 << pos) > k {
+            return None;
+        }
+        let j = crate::ancestry::ancestor(i, slot)?;
+        if j > k {
+            return None;
+        }
+        let bucket = self.labeling.bucket(j as u32);
+        if bucket.is_empty() {
+            return None;
+        }
+        Some(bucket[rng.gen_range(0..bucket.len())])
+    }
+}
+
+impl AugmentationScheme for Theorem2Scheme {
+    fn name(&self) -> String {
+        match self.mode {
+            Theorem2Mode::Combined => "theorem2(M,L)".into(),
+            Theorem2Mode::AncestorOnly => "theorem2(A-only)".into(),
+            Theorem2Mode::UniformOnly => "theorem2(U-only)".into(),
+        }
+    }
+
+    fn sample_contact(&self, g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        let use_uniform = match self.mode {
+            Theorem2Mode::Combined => rng.gen::<bool>(),
+            Theorem2Mode::AncestorOnly => false,
+            Theorem2Mode::UniformOnly => true,
+        };
+        if use_uniform {
+            // U half: a uniformly random node — name-independent, keeps
+            // the O(√n) fallback of the uniform scheme.
+            Some(rng.gen_range(0..g.num_nodes() as NodeId))
+        } else {
+            self.sample_ancestor_half(rng, u)
+        }
+    }
+}
+
+impl ExplicitScheme for Theorem2Scheme {
+    fn contact_distribution(&self, g: &Graph, u: NodeId) -> Vec<(NodeId, f64)> {
+        let n = g.num_nodes();
+        let (w_uniform, w_ancestor) = match self.mode {
+            Theorem2Mode::Combined => (0.5, 0.5),
+            Theorem2Mode::AncestorOnly => (0.0, 1.0),
+            Theorem2Mode::UniformOnly => (1.0, 0.0),
+        };
+        let mut prob = vec![0.0f64; n];
+        if w_uniform > 0.0 {
+            let pu = w_uniform / n as f64;
+            for p in prob.iter_mut() {
+                *p += pu;
+            }
+        }
+        if w_ancestor > 0.0 {
+            let i = self.labeling.label(u) as u64;
+            let k = self.labeling.num_labels() as u64;
+            let pa = w_ancestor / self.denom as f64;
+            for j in ancestors_within(i, k) {
+                let bucket = self.labeling.bucket(j as u32);
+                if bucket.is_empty() {
+                    continue;
+                }
+                let share = pa / bucket.len() as f64;
+                for &v in bucket {
+                    prob[v as usize] += share;
+                }
+            }
+        }
+        prob.into_iter()
+            .enumerate()
+            .filter(|&(_, p)| p > 0.0)
+            .map(|(v, p)| (v as NodeId, p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::assert_sampling_matches;
+    use nav_decomp::construct::path_graph_pd;
+    use nav_graph::GraphBuilder;
+    use nav_par::rng::seeded_rng;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn sampler_matches_explicit_distribution() {
+        let g = path(9);
+        let scheme = Theorem2Scheme::new(&g, &path_graph_pd(9));
+        let mut rng = seeded_rng(21);
+        for u in [0u32, 4, 8] {
+            assert_sampling_matches(&scheme, &g, u, 80_000, 0.012, &mut rng);
+        }
+    }
+
+    #[test]
+    fn sampler_matches_materialized_matrix() {
+        let g = path(12);
+        let scheme = Theorem2Scheme::new(&g, &path_graph_pd(12));
+        let mat = scheme.materialize(&g);
+        for u in 0..12u32 {
+            let d1 = scheme.contact_distribution(&g, u);
+            let d2 = mat.contact_distribution(&g, u);
+            let to_map = |d: Vec<(NodeId, f64)>| {
+                let mut m = vec![0.0; 12];
+                for (v, p) in d {
+                    m[v as usize] += p;
+                }
+                m
+            };
+            let (m1, m2) = (to_map(d1), to_map(d2));
+            for v in 0..12 {
+                assert!(
+                    (m1[v] - m2[v]).abs() < 1e-9,
+                    "u={u} v={v}: {} vs {}",
+                    m1[v],
+                    m2[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_sums_at_most_one() {
+        let g = path(33);
+        let scheme = Theorem2Scheme::new(&g, &path_graph_pd(33));
+        for u in 0..33u32 {
+            let total: f64 = scheme
+                .contact_distribution(&g, u)
+                .iter()
+                .map(|&(_, p)| p)
+                .sum();
+            assert!(total <= 1.0 + 1e-9, "u={u}: {total}");
+            assert!(total >= 0.5 - 1e-9, "u={u}: U half missing? {total}");
+        }
+    }
+
+    #[test]
+    fn ancestor_half_reaches_hierarchy() {
+        // On the canonical path decomposition the root label (the highest
+        // power of two ≤ b) should be reachable from everywhere via A.
+        let n = 17usize;
+        let g = path(n);
+        let scheme = Theorem2Scheme::new(&g, &path_graph_pd(n));
+        let b = n - 1; // bags
+        let root_label = 1u64 << (nu(b) - 1); // 2^{ν−1} ≤ b
+        for u in 0..n as u32 {
+            let i = scheme.labeling.label(u) as u64;
+            let ancs = ancestors_within(i, b as u64);
+            assert!(
+                ancs.contains(&root_label),
+                "label {i} misses root {root_label}: {ancs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_portfolio_on_tree() {
+        let g = GraphBuilder::from_edges(31, (1..31).map(|i| (((i - 1) / 2) as u32, i as u32)))
+            .unwrap();
+        let scheme = Theorem2Scheme::from_portfolio(&g);
+        assert!(scheme.shape_hint().unwrap() <= 6);
+        let mut rng = seeded_rng(23);
+        // Smoke: sampling works and stays in range.
+        for u in 0..31u32 {
+            if let Some(v) = scheme.sample_contact(&g, u, &mut rng) {
+                assert!((v as usize) < 31);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_only_mode_is_uniform_scheme() {
+        let g = path(10);
+        let s = Theorem2Scheme::with_mode(&g, &path_graph_pd(10), Theorem2Mode::UniformOnly);
+        let dist = s.contact_distribution(&g, 3);
+        assert_eq!(dist.len(), 10);
+        for (_, p) in dist {
+            assert!((p - 0.1).abs() < 1e-12);
+        }
+        assert_eq!(s.name(), "theorem2(U-only)");
+    }
+
+    #[test]
+    fn ancestor_only_mode_has_no_uniform_floor() {
+        let g = path(17);
+        let s = Theorem2Scheme::with_mode(&g, &path_graph_pd(17), Theorem2Mode::AncestorOnly);
+        // Support is only the ancestor buckets — far smaller than n.
+        let dist = s.contact_distribution(&g, 0);
+        assert!(dist.len() < 17, "support {} too large", dist.len());
+        let total: f64 = dist.iter().map(|&(_, p)| p).sum();
+        assert!(total <= 1.0 + 1e-9);
+        assert_eq!(s.name(), "theorem2(A-only)");
+        let mut rng = seeded_rng(77);
+        assert_sampling_matches(&s, &g, 5, 60_000, 0.015, &mut rng);
+    }
+
+    #[test]
+    fn combined_is_half_of_each_mode() {
+        let g = path(13);
+        let pd = path_graph_pd(13);
+        let full = Theorem2Scheme::with_mode(&g, &pd, Theorem2Mode::Combined);
+        let a = Theorem2Scheme::with_mode(&g, &pd, Theorem2Mode::AncestorOnly);
+        let u = Theorem2Scheme::with_mode(&g, &pd, Theorem2Mode::UniformOnly);
+        let to_vec = |s: &Theorem2Scheme, node: u32| {
+            let mut v = vec![0.0f64; 13];
+            for (x, p) in s.contact_distribution(&g, node) {
+                v[x as usize] = p;
+            }
+            v
+        };
+        for node in 0..13u32 {
+            let (f, av, uv) = (to_vec(&full, node), to_vec(&a, node), to_vec(&u, node));
+            for i in 0..13 {
+                assert!(
+                    (f[i] - (av[i] + uv[i]) / 2.0).abs() < 1e-12,
+                    "node {node} slot {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "combined matrix")]
+    fn materialize_rejects_ablated_modes() {
+        let g = path(8);
+        let s = Theorem2Scheme::with_mode(&g, &path_graph_pd(8), Theorem2Mode::AncestorOnly);
+        let _ = s.materialize(&g);
+    }
+
+    #[test]
+    fn works_with_shared_labels() {
+        // Trivial decomposition: every node labeled 1.
+        let g = path(6);
+        let pd = nav_decomp::decomposition::PathDecomposition::trivial(6);
+        let scheme = Theorem2Scheme::new(&g, &pd);
+        let mut rng = seeded_rng(25);
+        assert_sampling_matches(&scheme, &g, 2, 40_000, 0.015, &mut rng);
+    }
+}

@@ -1,0 +1,206 @@
+//! **Theorem 3**: label budgets — why `Ω(log n)`-bit labels are necessary.
+//!
+//! Theorem 3 shows any matrix-based scheme whose labels have only
+//! `ε·log n` bits (so `k = n^ε` labels) suffers greedy diameter `Ω(n^β)`
+//! for every `β < (1−ε)/3` on the path. To *exhibit* the degradation, this
+//! module provides the natural budget-constrained variant of the
+//! Theorem-2 scheme: the bag path is coarsened into `k` consecutive
+//! super-bags, the dyadic hierarchy lives on super-bag indices `1..=k`,
+//! and nodes carry super-bag labels. With `k = b` this is exactly
+//! Theorem 2; as `k` shrinks, hierarchy jumps lose resolution and routing
+//! degenerates toward local walking — the E6 experiment measures the
+//! resulting exponent against the `(1−ε)/3` reference.
+
+use crate::ancestry::{ancestors_within, max_level_index, nu};
+use crate::labeling::Labeling;
+use crate::scheme::{AugmentationScheme, ExplicitScheme};
+use nav_decomp::decomposition::PathDecomposition;
+use nav_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+/// Theorem-2-style scheme restricted to `k` labels.
+#[derive(Clone, Debug)]
+pub struct RestrictedLabelScheme {
+    labeling: Labeling,
+    denom: u32,
+}
+
+impl RestrictedLabelScheme {
+    /// Builds the scheme from a path-decomposition, coarsened to at most
+    /// `label_budget` labels.
+    pub fn new(g: &Graph, pd: &PathDecomposition, label_budget: usize) -> Self {
+        let n = g.num_nodes();
+        let b = pd.num_bags().max(1);
+        let k = label_budget.clamp(1, b);
+        // Node's bag interval, coarsened: bag index i (0-based) maps to
+        // super-bag ⌊i·k/b⌋ (0-based), preserving contiguity.
+        let intervals = pd.node_intervals(n);
+        let label_of: Vec<u32> = intervals
+            .iter()
+            .enumerate()
+            .map(|(u, iv)| {
+                let (lo, hi) = iv.unwrap_or_else(|| panic!("node {u} not in any bag"));
+                let slo = (lo * k / b) as u64 + 1;
+                let shi = (hi * k / b) as u64 + 1;
+                max_level_index(slo, shi) as u32
+            })
+            .collect();
+        RestrictedLabelScheme {
+            labeling: Labeling::new(label_of, k),
+            denom: nu(k),
+        }
+    }
+
+    /// The label budget `k` actually in use.
+    pub fn num_labels(&self) -> usize {
+        self.labeling.num_labels()
+    }
+
+    /// The labeling.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+}
+
+impl AugmentationScheme for RestrictedLabelScheme {
+    fn name(&self) -> String {
+        format!("restricted(k={})", self.labeling.num_labels())
+    }
+
+    fn sample_contact(&self, g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        if rng.gen::<bool>() {
+            Some(rng.gen_range(0..g.num_nodes() as NodeId))
+        } else {
+            let i = self.labeling.label(u) as u64;
+            let k = self.labeling.num_labels() as u64;
+            let slot = rng.gen_range(0..self.denom);
+            let j = crate::ancestry::ancestor(i, slot)?;
+            if j > k {
+                return None;
+            }
+            let bucket = self.labeling.bucket(j as u32);
+            if bucket.is_empty() {
+                return None;
+            }
+            Some(bucket[rng.gen_range(0..bucket.len())])
+        }
+    }
+}
+
+impl ExplicitScheme for RestrictedLabelScheme {
+    fn contact_distribution(&self, g: &Graph, u: NodeId) -> Vec<(NodeId, f64)> {
+        let n = g.num_nodes();
+        let mut prob = vec![0.5 / n as f64; n];
+        let i = self.labeling.label(u) as u64;
+        let k = self.labeling.num_labels() as u64;
+        let pa = 0.5 / self.denom as f64;
+        for j in ancestors_within(i, k) {
+            let bucket = self.labeling.bucket(j as u32);
+            if bucket.is_empty() {
+                continue;
+            }
+            let share = pa / bucket.len() as f64;
+            for &v in bucket {
+                prob[v as usize] += share;
+            }
+        }
+        prob.into_iter()
+            .enumerate()
+            .map(|(v, p)| (v as NodeId, p))
+            .collect()
+    }
+}
+
+/// The label budget for exponent `ε` on an n-node instance: `⌈n^ε⌉`.
+pub fn budget_for_epsilon(n: usize, epsilon: f64) -> usize {
+    assert!((0.0..=1.0).contains(&epsilon), "ε must be in [0,1]");
+    (n as f64).powf(epsilon).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::assert_sampling_matches;
+    use nav_decomp::construct::path_graph_pd;
+    use nav_graph::GraphBuilder;
+    use nav_par::rng::seeded_rng;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn budget_table() {
+        assert_eq!(budget_for_epsilon(256, 0.0), 1);
+        assert_eq!(budget_for_epsilon(256, 0.5), 16);
+        assert_eq!(budget_for_epsilon(256, 1.0), 256);
+        assert_eq!(budget_for_epsilon(1000, 1.0 / 3.0), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn bad_epsilon_rejected() {
+        let _ = budget_for_epsilon(10, 1.5);
+    }
+
+    #[test]
+    fn full_budget_matches_theorem2_labels() {
+        let n = 33;
+        let g = path(n);
+        let pd = path_graph_pd(n);
+        let full = RestrictedLabelScheme::new(&g, &pd, n);
+        let t2 = crate::theorem2::Theorem2Scheme::new(&g, &pd);
+        for u in 0..n as u32 {
+            assert_eq!(full.labeling().label(u), t2.labeling().label(u), "u={u}");
+        }
+    }
+
+    #[test]
+    fn budget_one_has_single_label() {
+        let n = 16;
+        let g = path(n);
+        let s = RestrictedLabelScheme::new(&g, &path_graph_pd(n), 1);
+        assert_eq!(s.num_labels(), 1);
+        for u in 0..n as u32 {
+            assert_eq!(s.labeling().label(u), 1);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let n = 27;
+        let g = path(n);
+        for k in [1usize, 3, 9, 26] {
+            let s = RestrictedLabelScheme::new(&g, &path_graph_pd(n), k);
+            let mut rng = seeded_rng(61);
+            assert_sampling_matches(&s, &g, 13, 60_000, 0.015, &mut rng);
+        }
+    }
+
+    #[test]
+    fn coarsening_preserves_bucket_contiguity_on_path() {
+        // On the path with the canonical decomposition, each label's
+        // bucket should hold consecutive nodes — the super-bag structure.
+        let n = 64;
+        let g = path(n);
+        let s = RestrictedLabelScheme::new(&g, &path_graph_pd(n), 8);
+        for j in 1..=8u32 {
+            let bucket = s.labeling().bucket(j);
+            for w in bucket.windows(2) {
+                assert!(w[1] - w[0] <= 2, "bucket {j} too spread: {bucket:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_has_uniform_floor() {
+        let n = 16;
+        let g = path(n);
+        let s = RestrictedLabelScheme::new(&g, &path_graph_pd(n), 4);
+        let dist = s.contact_distribution(&g, 7);
+        assert_eq!(dist.len(), n);
+        for &(_, p) in &dist {
+            assert!(p >= 0.5 / n as f64 - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Parallel Monte-Carlo trial running.
+//!
+//! Estimates `E(φ, s, t)` for a set of source/target pairs by repeated
+//! greedy-routing trials with fresh long-range draws. Pairs run in
+//! parallel (`nav-par`), each pair's trials use an RNG derived from
+//! `(seed, pair index)` — results are bit-identical across thread counts.
+
+use crate::routing::{default_step_cap, GreedyRouter};
+use crate::scheme::AugmentationScheme;
+use nav_graph::{Graph, GraphError, NodeId};
+use nav_par::rng::task_rng;
+use rand::Rng;
+
+/// Configuration for a trial run.
+#[derive(Clone, Debug)]
+pub struct TrialConfig {
+    /// Independent routing trials per (s, t) pair.
+    pub trials_per_pair: usize,
+    /// Master seed; every derived stream is a pure function of it.
+    pub seed: u64,
+    /// Worker threads (1 = inline).
+    pub threads: usize,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig {
+            trials_per_pair: 64,
+            seed: 0x5eed,
+            threads: nav_par::default_threads(),
+        }
+    }
+}
+
+/// Per-pair aggregated outcome.
+#[derive(Clone, Debug, Default)]
+pub struct PairStats {
+    /// The source.
+    pub s: NodeId,
+    /// The target.
+    pub t: NodeId,
+    /// `dist_G(s, t)` (an unconditional lower bound on steps... and also
+    /// an upper bound in expectation, since links only help).
+    pub dist: u32,
+    /// Mean steps across trials.
+    pub mean_steps: f64,
+    /// Sample standard deviation of steps.
+    pub std_steps: f64,
+    /// Maximum steps observed.
+    pub max_steps: u32,
+    /// Mean number of long links used per trial.
+    pub mean_long_links: f64,
+    /// Number of trials that failed to reach the target (0 on connected
+    /// graphs).
+    pub failures: usize,
+}
+
+/// Result of a full trial run.
+#[derive(Clone, Debug)]
+pub struct TrialResult {
+    /// Per-pair statistics, in input order.
+    pub pairs: Vec<PairStats>,
+}
+
+impl TrialResult {
+    /// Mean of per-pair means (the sweep statistic for exponent fits).
+    pub fn grand_mean(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.pairs.iter().map(|p| p.mean_steps).sum::<f64>() / self.pairs.len() as f64
+    }
+
+    /// Max of per-pair means — the empirical greedy-diameter estimate.
+    pub fn max_pair_mean(&self) -> f64 {
+        self.pairs
+            .iter()
+            .map(|p| p.mean_steps)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total failures across pairs.
+    pub fn failures(&self) -> usize {
+        self.pairs.iter().map(|p| p.failures).sum()
+    }
+}
+
+/// Runs trials for explicit (s, t) pairs.
+pub fn run_trials<S: AugmentationScheme + ?Sized>(
+    g: &Graph,
+    scheme: &S,
+    pairs: &[(NodeId, NodeId)],
+    cfg: &TrialConfig,
+) -> Result<TrialResult, GraphError> {
+    for &(s, t) in pairs {
+        g.check_node(s)?;
+        g.check_node(t)?;
+    }
+    let cap = default_step_cap(g);
+    let stats = nav_par::parallel_map(pairs.len(), cfg.threads, |idx| {
+        let (s, t) = pairs[idx];
+        let router = GreedyRouter::new(g, t).expect("validated above");
+        let mut rng = task_rng(cfg.seed, idx as u64);
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut max_steps = 0u32;
+        let mut long_links = 0.0f64;
+        let mut failures = 0usize;
+        for _ in 0..cfg.trials_per_pair {
+            let out = router.route(scheme, s, &mut rng, cap, false);
+            if !out.reached {
+                failures += 1;
+                continue;
+            }
+            let st = out.steps as f64;
+            sum += st;
+            sum_sq += st * st;
+            max_steps = max_steps.max(out.steps);
+            long_links += out.long_links_used as f64;
+        }
+        let ok = (cfg.trials_per_pair - failures).max(1) as f64;
+        let mean = sum / ok;
+        let var = (sum_sq / ok - mean * mean).max(0.0);
+        PairStats {
+            s,
+            t,
+            dist: router.dist_to_target(s),
+            mean_steps: mean,
+            std_steps: var.sqrt(),
+            max_steps,
+            mean_long_links: long_links / ok,
+            failures,
+        }
+    });
+    Ok(TrialResult { pairs: stats })
+}
+
+/// Draws `count` random (s, t) pairs with `s ≠ t`.
+pub fn random_pairs(g: &Graph, count: usize, rng: &mut impl Rng) -> Vec<(NodeId, NodeId)> {
+    let n = g.num_nodes() as NodeId;
+    assert!(n >= 2, "need at least two nodes for pairs");
+    (0..count)
+        .map(|_| loop {
+            let s = rng.gen_range(0..n);
+            let t = rng.gen_range(0..n);
+            if s != t {
+                return (s, t);
+            }
+        })
+        .collect()
+}
+
+/// The extremal pairs of the graph: both orientations of a double-sweep
+/// diametral pair — the pairs that realise lower-bound behaviour on paths,
+/// lollipops, combs, etc.
+pub fn extremal_pairs(g: &Graph) -> Vec<(NodeId, NodeId)> {
+    let (a, b, _) = nav_graph::distance::double_sweep(g, 0);
+    vec![(a, b), (b, a)]
+}
+
+/// A convenience runner: extremal pairs plus `extra_random` random pairs.
+pub fn run_standard<S: AugmentationScheme + ?Sized>(
+    g: &Graph,
+    scheme: &S,
+    extra_random: usize,
+    cfg: &TrialConfig,
+) -> Result<TrialResult, GraphError> {
+    let mut pairs = extremal_pairs(g);
+    let mut rng = nav_par::rng::seeded_rng(cfg.seed ^ 0xA5A5_5A5A);
+    pairs.extend(random_pairs(g, extra_random, &mut rng));
+    run_trials(g, scheme, &pairs, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::{NoAugmentation, UniformScheme};
+    use nav_graph::GraphBuilder;
+    use nav_par::rng::seeded_rng;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn no_augmentation_mean_is_distance() {
+        let g = path(30);
+        let cfg = TrialConfig {
+            trials_per_pair: 5,
+            seed: 1,
+            threads: 1,
+        };
+        let r = run_trials(&g, &NoAugmentation, &[(0, 29), (5, 10)], &cfg).unwrap();
+        assert_eq!(r.pairs[0].mean_steps, 29.0);
+        assert_eq!(r.pairs[0].std_steps, 0.0);
+        assert_eq!(r.pairs[0].dist, 29);
+        assert_eq!(r.pairs[1].mean_steps, 5.0);
+        assert_eq!(r.max_pair_mean(), 29.0);
+        assert!((r.grand_mean() - 17.0).abs() < 1e-12);
+        assert_eq!(r.failures(), 0);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let g = path(64);
+        let pairs: Vec<(NodeId, NodeId)> = (0..16).map(|i| (i, 63 - i)).collect();
+        let base = TrialConfig {
+            trials_per_pair: 20,
+            seed: 77,
+            threads: 1,
+        };
+        let par = TrialConfig {
+            threads: 8,
+            ..base.clone()
+        };
+        let r1 = run_trials(&g, &UniformScheme, &pairs, &base).unwrap();
+        let r8 = run_trials(&g, &UniformScheme, &pairs, &par).unwrap();
+        for (a, b) in r1.pairs.iter().zip(&r8.pairs) {
+            assert_eq!(a.mean_steps, b.mean_steps);
+            assert_eq!(a.max_steps, b.max_steps);
+        }
+    }
+
+    #[test]
+    fn uniform_helps_on_long_path() {
+        let g = path(400);
+        let cfg = TrialConfig {
+            trials_per_pair: 40,
+            seed: 3,
+            threads: 2,
+        };
+        let r = run_trials(&g, &UniformScheme, &[(0, 399)], &cfg).unwrap();
+        // E[steps] = O(√n·polylog-ish constant); must clearly beat 399.
+        assert!(r.pairs[0].mean_steps < 250.0, "mean {}", r.pairs[0].mean_steps);
+        assert!(r.pairs[0].mean_long_links >= 1.0);
+    }
+
+    #[test]
+    fn random_pairs_distinct_endpoints() {
+        let g = path(10);
+        let mut rng = seeded_rng(5);
+        let pairs = random_pairs(&g, 100, &mut rng);
+        assert_eq!(pairs.len(), 100);
+        assert!(pairs.iter().all(|&(s, t)| s != t && s < 10 && t < 10));
+    }
+
+    #[test]
+    fn extremal_pairs_on_path_are_endpoints() {
+        let g = path(50);
+        let pairs = extremal_pairs(&g);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, pairs[1].1);
+        let d = pairs[0];
+        assert!((d.0 == 0 && d.1 == 49) || (d.0 == 49 && d.1 == 0));
+    }
+
+    #[test]
+    fn run_standard_smoke() {
+        let g = path(40);
+        let cfg = TrialConfig {
+            trials_per_pair: 8,
+            seed: 9,
+            threads: 2,
+        };
+        let r = run_standard(&g, &UniformScheme, 4, &cfg).unwrap();
+        assert_eq!(r.pairs.len(), 6);
+        assert_eq!(r.failures(), 0);
+    }
+
+    #[test]
+    fn invalid_pair_rejected() {
+        let g = path(5);
+        let cfg = TrialConfig::default();
+        assert!(run_trials(&g, &UniformScheme, &[(0, 9)], &cfg).is_err());
+    }
+}

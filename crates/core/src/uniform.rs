@@ -1,0 +1,99 @@
+//! The uniform universal scheme and the no-augmentation baseline.
+
+use crate::scheme::{AugmentationScheme, ExplicitScheme};
+use nav_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+/// The uniform augmentation scheme `φ_unif`: the long-range contact is a
+/// uniformly random node (matrix `U` with `u_{i,j} = 1/n`, including the
+/// diagonal — a contact equal to `u` itself is simply a wasted link).
+///
+/// Peleg's observation: greedy routing under `φ_unif` takes `O(√n)`
+/// expected steps on **every** n-node graph; Theorem 1 shows this is
+/// optimal among name-independent matrix schemes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformScheme;
+
+impl AugmentationScheme for UniformScheme {
+    fn name(&self) -> String {
+        "uniform".into()
+    }
+
+    fn sample_contact(&self, g: &Graph, _u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        Some(rng.gen_range(0..g.num_nodes() as NodeId))
+    }
+}
+
+impl ExplicitScheme for UniformScheme {
+    fn contact_distribution(&self, g: &Graph, _u: NodeId) -> Vec<(NodeId, f64)> {
+        let n = g.num_nodes();
+        let p = 1.0 / n as f64;
+        (0..n as NodeId).map(|v| (v, p)).collect()
+    }
+}
+
+/// No augmentation at all: greedy routing degenerates to walking a
+/// shortest path, taking exactly `dist(s, t)` steps — the control scheme.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoAugmentation;
+
+impl AugmentationScheme for NoAugmentation {
+    fn name(&self) -> String {
+        "none".into()
+    }
+
+    fn sample_contact(&self, _g: &Graph, _u: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        None
+    }
+}
+
+impl ExplicitScheme for NoAugmentation {
+    fn contact_distribution(&self, _g: &Graph, _u: NodeId) -> Vec<(NodeId, f64)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::assert_sampling_matches;
+    use nav_graph::GraphBuilder;
+    use nav_par::rng::seeded_rng;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn uniform_distribution_is_uniform() {
+        let g = path(10);
+        let dist = UniformScheme.contact_distribution(&g, 3);
+        assert_eq!(dist.len(), 10);
+        for (_, p) in dist {
+            assert!((p - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_matches_distribution() {
+        let g = path(8);
+        let mut rng = seeded_rng(42);
+        assert_sampling_matches(&UniformScheme, &g, 0, 40_000, 0.02, &mut rng);
+    }
+
+    #[test]
+    fn no_augmentation_never_links() {
+        let g = path(5);
+        let mut rng = seeded_rng(7);
+        for u in 0..5u32 {
+            assert_eq!(NoAugmentation.sample_contact(&g, u, &mut rng), None);
+        }
+        assert!(NoAugmentation.contact_distribution(&g, 0).is_empty());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(UniformScheme.name(), "uniform");
+        assert_eq!(NoAugmentation.name(), "none");
+    }
+}

@@ -1,0 +1,61 @@
+//! Thread-local BFS workspaces.
+//!
+//! The a-posteriori schemes (Theorem 4's ball scheme, the harmonic
+//! baseline) need a BFS from the *current* node at every long-range
+//! sampling. Allocating a fresh `O(n)` workspace per sample would dominate
+//! the runtime, and sharing one behind a lock would serialise the trial
+//! threads — so each thread keeps one growable workspace.
+
+use nav_graph::bfs::Bfs;
+use std::cell::RefCell;
+
+thread_local! {
+    static BFS_WS: RefCell<Bfs> = RefCell::new(Bfs::new(0));
+}
+
+/// Runs `f` with this thread's BFS workspace, grown to capacity `n`.
+///
+/// # Panics
+/// Panics if called re-entrantly from within `f` (the workspace is
+/// exclusive per thread; routing and sampling never nest BFS calls).
+pub fn with_bfs<R>(n: usize, f: impl FnOnce(&mut Bfs) -> R) -> R {
+    BFS_WS.with(|cell| {
+        let mut ws = cell.borrow_mut();
+        ws.ensure_capacity(n);
+        f(&mut ws)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nav_graph::GraphBuilder;
+
+    #[test]
+    fn workspace_reuse_and_growth() {
+        let g = GraphBuilder::from_edges(5, (0..4u32).map(|u| (u, u + 1))).unwrap();
+        let d1 = with_bfs(5, |bfs| bfs.distances(&g, 0));
+        assert_eq!(d1[4], 4);
+        // Larger graph afterwards: workspace must grow transparently.
+        let g2 = GraphBuilder::from_edges(50, (0..49u32).map(|u| (u, u + 1))).unwrap();
+        let d2 = with_bfs(50, |bfs| bfs.distances(&g2, 0));
+        assert_eq!(d2[49], 49);
+        // And stale state from g2 must not leak back into g queries.
+        let d3 = with_bfs(5, |bfs| bfs.distances(&g, 4));
+        assert_eq!(d3[0], 4);
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_workspaces() {
+        let g = GraphBuilder::from_edges(10, (0..9u32).map(|u| (u, u + 1))).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = g.clone();
+                std::thread::spawn(move || with_bfs(10, |bfs| bfs.distances(&g, 0))[9])
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 9);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Vertex orderings (layouts) feeding [`crate::construct::from_ordering`].
+
+use nav_graph::{bfs::Bfs, Graph, NodeId};
+
+/// Plain BFS order from `root` (ties between same-depth nodes broken by
+/// discovery order, i.e. by sorted adjacency — deterministic).
+pub fn bfs_order(g: &Graph, root: NodeId) -> Vec<NodeId> {
+    let mut order = Vec::with_capacity(g.num_nodes());
+    let mut bfs = Bfs::new(g.num_nodes());
+    bfs.run(g, root, u32::MAX, |v, _| {
+        order.push(v);
+        true
+    });
+    // Append any unreachable nodes so the layout covers everything.
+    if order.len() < g.num_nodes() {
+        let mut seen = vec![false; g.num_nodes()];
+        for &v in &order {
+            seen[v as usize] = true;
+        }
+        for v in g.nodes() {
+            if !seen[v as usize] {
+                order.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Cuthill–McKee order: BFS that (a) starts from a pseudo-peripheral node
+/// found by a double sweep and (b) visits neighbours in increasing-degree
+/// order. Classic bandwidth-reduction layout → small vertex separation on
+/// path-like graphs.
+pub fn cuthill_mckee(g: &Graph) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (start, _, _) = nav_graph::distance::double_sweep(g, 0);
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let push = |v: NodeId, seen: &mut Vec<bool>, queue: &mut std::collections::VecDeque<NodeId>| {
+        if !seen[v as usize] {
+            seen[v as usize] = true;
+            queue.push_back(v);
+        }
+    };
+    push(start, &mut seen, &mut queue);
+    loop {
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let mut nbrs: Vec<NodeId> = g
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| !seen[v as usize])
+                .collect();
+            nbrs.sort_unstable_by_key(|&v| (g.degree(v), v));
+            for v in nbrs {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+        // Disconnected remainder: restart from the smallest unseen node.
+        match (0..n).find(|&v| !seen[v]) {
+            Some(v) => push(v as NodeId, &mut seen, &mut queue),
+            None => break,
+        }
+    }
+    order
+}
+
+/// Reverse Cuthill–McKee (usually slightly better separators).
+pub fn reverse_cuthill_mckee(g: &Graph) -> Vec<NodeId> {
+    let mut order = cuthill_mckee(g);
+    order.reverse();
+    order
+}
+
+/// The identity layout `0, 1, …, n−1` — a useful baseline, and optimal for
+/// generators that already number nodes along their structure (paths,
+/// grids in row-major order, interval graphs sorted by endpoint).
+pub fn identity_order(g: &Graph) -> Vec<NodeId> {
+    (0..g.num_nodes() as NodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::from_ordering;
+    use crate::measures::decomposition_width;
+    use crate::validate::validate_path_decomposition;
+    use nav_graph::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as u32 - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn orders_are_permutations() {
+        let g = path_graph(10);
+        for order in [bfs_order(&g, 3), cuthill_mckee(&g), identity_order(&g)] {
+            let mut s = order.clone();
+            s.sort_unstable();
+            assert_eq!(s, (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn cm_on_path_gives_width_one() {
+        let g = path_graph(30);
+        let pd = from_ordering(&g, &cuthill_mckee(&g));
+        assert!(validate_path_decomposition(&g, &pd).is_ok());
+        assert_eq!(decomposition_width(&pd), 1);
+        let pd_r = from_ordering(&g, &reverse_cuthill_mckee(&g));
+        assert_eq!(decomposition_width(&pd_r), 1);
+    }
+
+    #[test]
+    fn bfs_order_handles_disconnected() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (3, 4)]).unwrap();
+        let order = bfs_order(&g, 0);
+        assert_eq!(order.len(), 5);
+        let mut s = order;
+        s.sort_unstable();
+        assert_eq!(s, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cm_handles_disconnected() {
+        let g = GraphBuilder::from_edges(6, [(0, 1), (3, 4), (4, 5)]).unwrap();
+        let order = cuthill_mckee(&g);
+        assert_eq!(order.len(), 6);
+    }
+
+    #[test]
+    fn cm_beats_bad_order_on_grid() {
+        // 4x8 grid in row-major ids: CM should find width ≈ min-side.
+        let (rows, cols) = (4usize, 8usize);
+        let mut b = GraphBuilder::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let u = (r * cols + c) as NodeId;
+                if c + 1 < cols {
+                    b.add_edge(u, u + 1);
+                }
+                if r + 1 < rows {
+                    b.add_edge(u, u + cols as NodeId);
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let pd = from_ordering(&g, &cuthill_mckee(&g));
+        assert!(validate_path_decomposition(&g, &pd).is_ok());
+        let w = decomposition_width(&pd);
+        assert!(w <= 2 * rows, "CM width {w} too large for 4-wide grid");
+    }
+}

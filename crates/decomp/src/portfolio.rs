@@ -1,0 +1,184 @@
+//! Best-of portfolio: try every applicable construction, keep the
+//! smallest-shape decomposition.
+//!
+//! Theorem 2's guarantee `O(min{shape·log²n, √n})` holds for whatever
+//! decomposition the scheme is built from, so any upper bound on `ps(G)`
+//! is usable — better decompositions just route faster. The portfolio
+//! mirrors how the paper's scheme would be deployed on an unknown graph.
+
+use crate::construct::{bfs_layers_pd, from_ordering, path_graph_pd};
+use crate::decomposition::PathDecomposition;
+use crate::measures::decomposition_shape;
+use crate::ordering::{cuthill_mckee, identity_order, reverse_cuthill_mckee};
+use crate::tree_pd::tree_path_decomposition;
+use nav_graph::{properties, Graph};
+
+/// Optional structural hints that unlock specialised constructions.
+#[derive(Clone, Debug, Default)]
+pub struct Hints {
+    /// Interval representation, if the graph is a known interval graph:
+    /// unlocks the length-≤1 clique path.
+    pub intervals: Option<Vec<(u64, u64)>>,
+}
+
+/// Result of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioResult {
+    /// The winning decomposition (already [`PathDecomposition::reduce`]d).
+    pub pd: PathDecomposition,
+    /// Its shape — an upper bound on `ps(G)`.
+    pub shape: usize,
+    /// Name of the winning construction (for reporting).
+    pub winner: &'static str,
+}
+
+/// Runs every applicable construction and returns the decomposition with
+/// the smallest shape. Always succeeds on connected graphs (the trivial
+/// decomposition is a universal fallback with shape ≤ min(n−1, diam)).
+pub fn best_path_decomposition(g: &Graph, hints: &Hints) -> PortfolioResult {
+    let n = g.num_nodes();
+    let mut candidates: Vec<(&'static str, PathDecomposition)> = Vec::new();
+
+    if properties::is_path_graph(g) && ids_are_path_order(g) {
+        candidates.push(("path-canonical", path_graph_pd(n)));
+    }
+    if properties::is_tree(g) {
+        candidates.push(("tree-heavy-path", tree_path_decomposition(g)));
+    }
+    if let Some(iv) = &hints.intervals {
+        if iv.len() == n {
+            candidates.push(("interval-clique-path", crate::interval_pd::from_intervals(iv)));
+        }
+    }
+    candidates.push(("order-identity", from_ordering(g, &identity_order(g))));
+    candidates.push(("order-cm", from_ordering(g, &cuthill_mckee(g))));
+    candidates.push(("order-rcm", from_ordering(g, &reverse_cuthill_mckee(g))));
+    candidates.push(("bfs-layers", bfs_layers_pd(g, 0)));
+    candidates.push(("trivial", PathDecomposition::trivial(n)));
+
+    let mut best: Option<PortfolioResult> = None;
+    for (name, mut pd) in candidates {
+        pd.reduce();
+        let shape = decomposition_shape(g, &pd);
+        let better = match &best {
+            None => true,
+            Some(b) => shape < b.shape,
+        };
+        if better {
+            best = Some(PortfolioResult {
+                pd,
+                shape,
+                winner: name,
+            });
+        }
+    }
+    best.expect("candidate list is never empty")
+}
+
+/// True when node ids run along the path (so the canonical width-1 bags
+/// `{i, i+1}` apply directly).
+fn ids_are_path_order(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    if n == 1 {
+        return true;
+    }
+    (0..n - 1).all(|u| g.has_edge(u as u32, (u + 1) as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_path_decomposition;
+    use nav_graph::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as u32 - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn path_wins_with_shape_one() {
+        let g = path_graph(50);
+        let r = best_path_decomposition(&g, &Hints::default());
+        assert!(r.shape <= 1, "shape {} winner {}", r.shape, r.winner);
+        validate_path_decomposition(&g, &r.pd).unwrap();
+    }
+
+    #[test]
+    fn tree_gets_log_shape() {
+        let g = GraphBuilder::from_edges(
+            127,
+            (1..127).map(|i| (((i - 1) / 2) as u32, i as u32)),
+        )
+        .unwrap();
+        let r = best_path_decomposition(&g, &Hints::default());
+        assert!(r.shape <= 8, "shape {} winner {}", r.shape, r.winner);
+        validate_path_decomposition(&g, &r.pd).unwrap();
+    }
+
+    #[test]
+    fn interval_hint_beats_generic() {
+        // Wide nested-interval star-of-cliques: generic orderings do badly,
+        // the clique path has shape ≤ 1.
+        let n = 40usize;
+        let mut iv: Vec<(u64, u64)> = vec![(0, 1000)];
+        for i in 1..n {
+            iv.push((i as u64 * 10, i as u64 * 10 + 5));
+        }
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (li, ri) = iv[i];
+                let (lj, rj) = iv[j];
+                if li <= rj && lj <= ri {
+                    b.add_edge(i as u32, j as u32);
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let r = best_path_decomposition(
+            &g,
+            &Hints {
+                intervals: Some(iv),
+            },
+        );
+        assert!(r.shape <= 1, "shape {} winner {}", r.shape, r.winner);
+        validate_path_decomposition(&g, &r.pd).unwrap();
+    }
+
+    #[test]
+    fn clique_shape_one_via_length() {
+        // K_8: trivial bag has width 7 but length 1 → shape 1.
+        let mut b = GraphBuilder::new(8);
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let r = best_path_decomposition(&g, &Hints::default());
+        assert_eq!(r.shape, 1);
+    }
+
+    #[test]
+    fn result_always_valid_on_misc_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let g = nav_gen::random::gnp_connected(60, 0.08, &mut rng).unwrap();
+            let r = best_path_decomposition(&g, &Hints::default());
+            validate_path_decomposition(&g, &r.pd).unwrap();
+            assert!(r.shape < 60);
+        }
+    }
+
+    #[test]
+    fn scrambled_path_does_not_use_canonical_bags() {
+        // A path whose ids are shuffled: 0-2, 2-1 (path 0,2,1). The
+        // canonical {i,i+1} bags would be invalid; CM should still find
+        // width 1.
+        let g = GraphBuilder::from_edges(3, [(0, 2), (2, 1)]).unwrap();
+        let r = best_path_decomposition(&g, &Hints::default());
+        validate_path_decomposition(&g, &r.pd).unwrap();
+        assert!(r.shape <= 1);
+    }
+}

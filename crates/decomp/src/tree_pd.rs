@@ -1,0 +1,224 @@
+//! Path-decompositions of trees with width ≤ log₂ n + 1.
+//!
+//! Corollary 1 needs every tree to have pathshape `O(log n)`. The classic
+//! constructive bound: pick the **heavy path** from the root (always
+//! descend into the largest subtree); recursively decompose each *light*
+//! subtree (size ≤ half its parent's) and add its spine attachment node to
+//! every recursive bag; lay blocks along the spine. Each recursion level
+//! adds one node to bags and halves the subtree size, so
+//! `width(n) ≤ width(n/2) + 1 ≤ log₂ n + 1`.
+
+use crate::decomposition::PathDecomposition;
+use nav_graph::{Graph, NodeId, NO_NODE};
+
+/// Builds a path-decomposition of a tree with width ≤ ⌈log₂ n⌉ + 1.
+///
+/// # Panics
+/// Panics if `g` is not a tree (checked via `m == n − 1`; connectivity is
+/// implied by the traversal reaching all nodes, which is also asserted).
+pub fn tree_path_decomposition(g: &Graph) -> PathDecomposition {
+    let n = g.num_nodes();
+    assert_eq!(g.num_edges(), n - 1, "tree_path_decomposition needs a tree");
+    if n == 1 {
+        return PathDecomposition::new(vec![vec![0]]);
+    }
+    // Root at 0; compute parents and an order where children precede
+    // parents (reverse BFS), then subtree sizes bottom-up.
+    let mut parent = vec![NO_NODE; n];
+    let mut bfs_order = Vec::with_capacity(n);
+    {
+        let mut bfs = nav_graph::bfs::Bfs::new(n);
+        bfs.run(g, 0, u32::MAX, |v, _| {
+            bfs_order.push(v);
+            true
+        });
+    }
+    assert_eq!(bfs_order.len(), n, "graph is disconnected — not a tree");
+    // Parents follow from BFS order: the first discovered neighbour.
+    {
+        let mut discovered = vec![false; n];
+        for &v in &bfs_order {
+            discovered[v as usize] = true;
+            for &w in g.neighbors(v) {
+                if !discovered[w as usize] && parent[w as usize] == NO_NODE {
+                    parent[w as usize] = v;
+                }
+            }
+        }
+        parent[0] = NO_NODE;
+    }
+    let mut size = vec![1usize; n];
+    for &v in bfs_order.iter().rev() {
+        if parent[v as usize] != NO_NODE {
+            size[parent[v as usize] as usize] += size[v as usize];
+        }
+    }
+
+    let ctx = Ctx { g, parent, size };
+    let mut bags = Vec::new();
+    decompose(&ctx, 0, &mut bags);
+    PathDecomposition::new(bags)
+}
+
+struct Ctx<'g> {
+    g: &'g Graph,
+    parent: Vec<NodeId>,
+    size: Vec<usize>,
+}
+
+/// Emits the bags for the subtree rooted at `root` into `out`.
+/// Recursion depth is the light depth ≤ log₂ n, so no stack risk.
+fn decompose(ctx: &Ctx<'_>, root: NodeId, out: &mut Vec<Vec<NodeId>>) {
+    // Walk the heavy path from `root`.
+    let mut spine = vec![root];
+    let mut cur = root;
+    loop {
+        let heavy = ctx
+            .g
+            .neighbors(cur)
+            .iter()
+            .copied()
+            .filter(|&c| ctx.parent[c as usize] == cur)
+            .max_by_key(|&c| (ctx.size[c as usize], std::cmp::Reverse(c)));
+        match heavy {
+            Some(h) => {
+                spine.push(h);
+                cur = h;
+            }
+            None => break,
+        }
+    }
+    if spine.len() == 1 {
+        // Single-node subtree: one singleton bag (the caller appends the
+        // attachment node, which also covers the attaching edge).
+        out.push(vec![root]);
+        return;
+    }
+    for (i, &v) in spine.iter().enumerate() {
+        // Light children of v: children not on the spine.
+        let spine_next = spine.get(i + 1).copied();
+        for &c in ctx.g.neighbors(v) {
+            if ctx.parent[c as usize] == v && Some(c) != spine_next {
+                // Recursive block for the light subtree, every bag +v.
+                let mark = out.len();
+                decompose(ctx, c, out);
+                for bag in &mut out[mark..] {
+                    bag.push(v);
+                }
+            }
+        }
+        // Spine link bag; the last spine node is covered by the previous
+        // link bag {v_{k−1}, v_k}.
+        if let Some(next) = spine_next {
+            out.push(vec![v, next]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::decomposition_width;
+    use crate::validate::validate_path_decomposition;
+    use nav_graph::{GraphBuilder, NodeId};
+
+    fn path_graph(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as u32 - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    fn kary(k: usize, n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (1..n).map(|i| (((i - 1) / k) as NodeId, i as NodeId)))
+            .unwrap()
+    }
+
+    fn log2_ceil(n: usize) -> usize {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+
+    #[test]
+    fn valid_on_paths() {
+        for n in [1usize, 2, 3, 5, 17, 64] {
+            let g = path_graph(n);
+            let pd = tree_path_decomposition(&g);
+            validate_path_decomposition(&g, &pd)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            // The heavy path of a path is the path: width must be 1 (or 0).
+            assert!(decomposition_width(&pd) <= 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn valid_on_stars() {
+        let g = GraphBuilder::from_edges(9, (1..9).map(|v| (0, v as NodeId))).unwrap();
+        let pd = tree_path_decomposition(&g);
+        validate_path_decomposition(&g, &pd).unwrap();
+        assert!(decomposition_width(&pd) <= 2);
+    }
+
+    #[test]
+    fn log_width_on_binary_trees() {
+        for n in [15usize, 63, 255, 1023] {
+            let g = kary(2, n);
+            let pd = tree_path_decomposition(&g);
+            validate_path_decomposition(&g, &pd)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            let w = decomposition_width(&pd);
+            assert!(
+                w <= log2_ceil(n) + 1,
+                "n={n}: width {w} > log bound {}",
+                log2_ceil(n) + 1
+            );
+        }
+    }
+
+    #[test]
+    fn log_width_on_random_trees() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..400usize);
+            let seq: Vec<NodeId> = (0..n.saturating_sub(2))
+                .map(|_| rng.gen_range(0..n as NodeId))
+                .collect();
+            let g = nav_graph::prufer::tree_from_prufer(n, &seq).unwrap();
+            let pd = tree_path_decomposition(&g);
+            validate_path_decomposition(&g, &pd)
+                .unwrap_or_else(|e| panic!("trial {trial} n={n}: {e}"));
+            let w = decomposition_width(&pd);
+            assert!(
+                w <= log2_ceil(n.max(2)) + 1,
+                "trial {trial} n={n}: width {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn caterpillar_width_small() {
+        // Spine of 10 with a leg on each spine node.
+        let mut b = GraphBuilder::new(20);
+        for u in 1..10u32 {
+            b.add_edge(u - 1, u);
+        }
+        for s in 0..10u32 {
+            b.add_edge(s, 10 + s);
+        }
+        let g = b.build().unwrap();
+        let pd = tree_path_decomposition(&g);
+        validate_path_decomposition(&g, &pd).unwrap();
+        assert!(decomposition_width(&pd) <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a tree")]
+    fn rejects_non_tree() {
+        let g = GraphBuilder::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let _ = tree_path_decomposition(&g);
+    }
+
+    #[test]
+    fn two_nodes() {
+        let g = path_graph(2);
+        let pd = tree_path_decomposition(&g);
+        validate_path_decomposition(&g, &pd).unwrap();
+    }
+}

@@ -1,0 +1,296 @@
+//! Axiomatic validation of decompositions.
+
+use crate::decomposition::{PathDecomposition, TreeDecomposition};
+use nav_graph::Graph;
+use std::fmt;
+
+/// Why a decomposition is not valid for a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A node appears in no bag.
+    NodeUncovered {
+        /// The missing node.
+        node: u32,
+    },
+    /// An edge has no bag containing both endpoints.
+    EdgeUncovered {
+        /// The uncovered edge.
+        edge: (u32, u32),
+    },
+    /// A node's bags do not form a contiguous interval (path) / connected
+    /// subtree (tree).
+    NotContiguous {
+        /// The offending node.
+        node: u32,
+    },
+    /// A bag references a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+    },
+    /// The decomposition tree is not a tree (wrong edge count or cyclic).
+    BadTree,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::NodeUncovered { node } => write!(f, "node {node} in no bag"),
+            ValidationError::EdgeUncovered { edge } => {
+                write!(f, "edge ({}, {}) in no bag", edge.0, edge.1)
+            }
+            ValidationError::NotContiguous { node } => {
+                write!(f, "bags of node {node} are not contiguous/connected")
+            }
+            ValidationError::NodeOutOfRange { node } => write!(f, "bag node {node} out of range"),
+            ValidationError::BadTree => write!(f, "decomposition tree is not a tree"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks the three path-decomposition axioms against `g`.
+pub fn validate_path_decomposition(
+    g: &Graph,
+    pd: &PathDecomposition,
+) -> Result<(), ValidationError> {
+    let n = g.num_nodes();
+    // Range check + occurrence counting with contiguity tracking.
+    let mut first = vec![usize::MAX; n];
+    let mut last = vec![usize::MAX; n];
+    let mut count = vec![0usize; n];
+    for (i, bag) in pd.bags.iter().enumerate() {
+        for &u in bag {
+            if u as usize >= n {
+                return Err(ValidationError::NodeOutOfRange { node: u });
+            }
+            let ui = u as usize;
+            if first[ui] == usize::MAX {
+                first[ui] = i;
+            }
+            last[ui] = i;
+            count[ui] += 1;
+        }
+    }
+    for u in 0..n {
+        if count[u] == 0 {
+            return Err(ValidationError::NodeUncovered { node: u as u32 });
+        }
+        // Contiguity: occurrences must fill the hull exactly. (Bags are
+        // deduplicated by construction, so one occurrence per bag.)
+        if count[u] != last[u] - first[u] + 1 {
+            return Err(ValidationError::NotContiguous { node: u as u32 });
+        }
+    }
+    // Edge coverage: with contiguity established, an edge is covered iff
+    // the endpoint intervals intersect.
+    for (u, v) in g.edges() {
+        let (fu, lu) = (first[u as usize], last[u as usize]);
+        let (fv, lv) = (first[v as usize], last[v as usize]);
+        if fu.max(fv) > lu.min(lv) {
+            return Err(ValidationError::EdgeUncovered { edge: (u, v) });
+        }
+    }
+    Ok(())
+}
+
+/// Checks the tree-decomposition axioms against `g` (the third axiom as
+/// subtree-connectivity of each node's bag set).
+pub fn validate_tree_decomposition(
+    g: &Graph,
+    td: &TreeDecomposition,
+) -> Result<(), ValidationError> {
+    let b = td.num_bags();
+    let n = g.num_nodes();
+    if b == 0 {
+        return Err(ValidationError::BadTree);
+    }
+    if td.tree_edges.len() != b - 1 {
+        return Err(ValidationError::BadTree);
+    }
+    // Decomposition-tree adjacency + connectivity check.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); b];
+    for &(x, y) in &td.tree_edges {
+        if x >= b || y >= b || x == y {
+            return Err(ValidationError::BadTree);
+        }
+        adj[x].push(y);
+        adj[y].push(x);
+    }
+    let mut seen = vec![false; b];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut visited = 0;
+    while let Some(x) = stack.pop() {
+        visited += 1;
+        for &y in &adj[x] {
+            if !seen[y] {
+                seen[y] = true;
+                stack.push(y);
+            }
+        }
+    }
+    if visited != b {
+        return Err(ValidationError::BadTree);
+    }
+    // Node coverage + range.
+    let mut bags_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, bag) in td.bags.iter().enumerate() {
+        for &u in bag {
+            if u as usize >= n {
+                return Err(ValidationError::NodeOutOfRange { node: u });
+            }
+            bags_of[u as usize].push(i);
+        }
+    }
+    for (u, bags_of_u) in bags_of.iter().enumerate() {
+        if bags_of_u.is_empty() {
+            return Err(ValidationError::NodeUncovered { node: u as u32 });
+        }
+        // Subtree connectivity: BFS within the induced bag set.
+        let in_set: std::collections::HashSet<usize> = bags_of_u.iter().copied().collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![bags_of_u[0]];
+        seen.insert(bags_of_u[0]);
+        while let Some(x) = stack.pop() {
+            for &y in &adj[x] {
+                if in_set.contains(&y) && seen.insert(y) {
+                    stack.push(y);
+                }
+            }
+        }
+        if seen.len() != in_set.len() {
+            return Err(ValidationError::NotContiguous { node: u as u32 });
+        }
+    }
+    // Edge coverage (direct check).
+    for (u, v) in g.edges() {
+        let covered = bags_of[u as usize]
+            .iter()
+            .any(|&i| td.bags[i].binary_search(&v).is_ok());
+        if !covered {
+            return Err(ValidationError::EdgeUncovered { edge: (u, v) });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nav_graph::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as u32 - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    #[test]
+    fn canonical_path_decomposition_valid() {
+        let g = path_graph(5);
+        let pd = PathDecomposition::new(vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 4],
+        ]);
+        assert!(validate_path_decomposition(&g, &pd).is_ok());
+    }
+
+    #[test]
+    fn trivial_always_valid() {
+        let g = path_graph(6);
+        let pd = PathDecomposition::trivial(6);
+        assert!(validate_path_decomposition(&g, &pd).is_ok());
+    }
+
+    #[test]
+    fn uncovered_node_detected() {
+        let g = path_graph(3);
+        let pd = PathDecomposition::new(vec![vec![0, 1]]);
+        assert_eq!(
+            validate_path_decomposition(&g, &pd),
+            Err(ValidationError::NodeUncovered { node: 2 })
+        );
+    }
+
+    #[test]
+    fn uncovered_edge_detected() {
+        let g = path_graph(3);
+        let pd = PathDecomposition::new(vec![vec![0, 1], vec![2]]);
+        assert_eq!(
+            validate_path_decomposition(&g, &pd),
+            Err(ValidationError::EdgeUncovered { edge: (1, 2) })
+        );
+    }
+
+    #[test]
+    fn non_contiguous_detected() {
+        let g = path_graph(3);
+        let pd = PathDecomposition::new(vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert_eq!(
+            validate_path_decomposition(&g, &pd),
+            Err(ValidationError::NotContiguous { node: 0 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let g = path_graph(3);
+        let pd = PathDecomposition::new(vec![vec![0, 1, 9], vec![1, 2]]);
+        assert_eq!(
+            validate_path_decomposition(&g, &pd),
+            Err(ValidationError::NodeOutOfRange { node: 9 })
+        );
+    }
+
+    #[test]
+    fn tree_decomposition_of_triangle() {
+        let g = GraphBuilder::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let td = TreeDecomposition::new(vec![vec![0, 1, 2]], vec![]);
+        assert!(validate_tree_decomposition(&g, &td).is_ok());
+    }
+
+    #[test]
+    fn tree_decomposition_star_shape() {
+        // Star: hub 0 with leaves 1..4; bags {0,leaf} in a star tree.
+        let g = GraphBuilder::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![0, 2], vec![0, 3]],
+            vec![(0, 1), (1, 2)],
+        );
+        assert!(validate_tree_decomposition(&g, &td).is_ok());
+    }
+
+    #[test]
+    fn disconnected_bag_tree_rejected() {
+        let g = path_graph(2);
+        let td = TreeDecomposition::new(vec![vec![0, 1], vec![0, 1], vec![0, 1]], vec![(0, 1)]);
+        assert_eq!(
+            validate_tree_decomposition(&g, &td),
+            Err(ValidationError::BadTree)
+        );
+    }
+
+    #[test]
+    fn tree_subtree_violation_detected() {
+        // Node 0 in bags 0 and 2 which are not adjacent in the bag tree.
+        let g = path_graph(3);
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            vec![(0, 1), (1, 2)],
+        );
+        assert_eq!(
+            validate_tree_decomposition(&g, &td),
+            Err(ValidationError::NotContiguous { node: 0 })
+        );
+    }
+
+    #[test]
+    fn path_decomposition_as_tree_valid() {
+        let g = path_graph(4);
+        let pd = PathDecomposition::new(vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let td = pd.to_tree_decomposition();
+        assert!(validate_tree_decomposition(&g, &td).is_ok());
+    }
+}

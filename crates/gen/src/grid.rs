@@ -1,0 +1,174 @@
+//! d-dimensional meshes, tori and hypercubes.
+//!
+//! These are the graphs for which Kleinberg's original analysis gives
+//! polylog navigability with the harmonic distribution; they serve as
+//! bounded-growth contrast instances and as the E8 workload.
+
+use nav_graph::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// d-dimensional mesh with side lengths `dims` (node count = ∏ dims).
+/// Nodes are numbered in row-major order.
+pub fn grid(dims: &[usize]) -> Result<Graph, GraphError> {
+    if dims.is_empty() || dims.contains(&0) {
+        return Err(GraphError::Empty);
+    }
+    let n: usize = dims.iter().product();
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len() - 1).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    let mut b = GraphBuilder::with_capacity(n, n * dims.len());
+    let mut coord = vec![0usize; dims.len()];
+    for u in 0..n {
+        for (axis, &dim) in dims.iter().enumerate() {
+            if coord[axis] + 1 < dim {
+                b.add_edge(u as NodeId, (u + strides[axis]) as NodeId);
+            }
+        }
+        // Increment mixed-radix coordinate (row-major: last axis fastest).
+        for axis in (0..dims.len()).rev() {
+            coord[axis] += 1;
+            if coord[axis] < dims[axis] {
+                break;
+            }
+            coord[axis] = 0;
+        }
+    }
+    b.build()
+}
+
+/// 2-dimensional `rows × cols` mesh.
+pub fn grid2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    grid(&[rows, cols])
+}
+
+/// d-dimensional torus (mesh with wraparound edges); every side must be ≥ 3
+/// so wrap edges are neither loops nor duplicates.
+pub fn torus(dims: &[usize]) -> Result<Graph, GraphError> {
+    if dims.is_empty() || dims.iter().any(|&d| d < 3) {
+        return Err(GraphError::Empty);
+    }
+    let n: usize = dims.iter().product();
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len() - 1).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    let mut b = GraphBuilder::with_capacity(n, n * dims.len());
+    let mut coord = vec![0usize; dims.len()];
+    for u in 0..n {
+        for (axis, &dim) in dims.iter().enumerate() {
+            let v = if coord[axis] + 1 < dim {
+                u + strides[axis]
+            } else {
+                u - strides[axis] * (dim - 1)
+            };
+            b.add_edge(u as NodeId, v as NodeId);
+        }
+        for axis in (0..dims.len()).rev() {
+            coord[axis] += 1;
+            if coord[axis] < dims[axis] {
+                break;
+            }
+            coord[axis] = 0;
+        }
+    }
+    b.build()
+}
+
+/// 2-dimensional torus.
+pub fn torus2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    torus(&[rows, cols])
+}
+
+/// The d-dimensional hypercube `Q_d` on `2^d` nodes (`d ≤ 25` guard).
+pub fn hypercube(d: u32) -> Result<Graph, GraphError> {
+    if d == 0 || d > 25 {
+        return Err(GraphError::Empty);
+    }
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_capacity(n, n * d as usize / 2);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1usize << bit);
+            if v > u {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Converts a 2-d coordinate to the node id used by [`grid2d`]/[`torus2d`].
+#[inline]
+pub fn node_at(rows_cols: (usize, usize), r: usize, c: usize) -> NodeId {
+    debug_assert!(r < rows_cols.0 && c < rows_cols.1);
+    (r * rows_cols.1 + c) as NodeId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nav_graph::components::is_connected;
+    use nav_graph::distance::diameter_exact;
+    use nav_graph::properties::{is_bipartite, is_regular};
+
+    #[test]
+    fn grid2d_structure() {
+        let g = grid2d(3, 4).unwrap();
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // vertical + horizontal
+        assert!(is_connected(&g));
+        assert_eq!(diameter_exact(&g), Some(2 + 3));
+        // Corner degree 2, edge degree 3, interior degree 4.
+        assert_eq!(g.degree(node_at((3, 4), 0, 0)), 2);
+        assert_eq!(g.degree(node_at((3, 4), 0, 1)), 3);
+        assert_eq!(g.degree(node_at((3, 4), 1, 1)), 4);
+    }
+
+    #[test]
+    fn grid_1d_is_path() {
+        let g = grid(&[7]).unwrap();
+        assert!(nav_graph::properties::is_path_graph(&g));
+    }
+
+    #[test]
+    fn grid_3d_counts() {
+        let g = grid(&[3, 3, 3]).unwrap();
+        assert_eq!(g.num_nodes(), 27);
+        // 3 axes × 2 edges per line × 9 lines
+        assert_eq!(g.num_edges(), 3 * 2 * 9);
+        assert_eq!(diameter_exact(&g), Some(6));
+    }
+
+    #[test]
+    fn torus2d_structure() {
+        let g = torus2d(4, 5).unwrap();
+        assert_eq!(g.num_nodes(), 20);
+        assert!(is_regular(&g, 4));
+        assert_eq!(diameter_exact(&g), Some(2 + 2));
+        assert!(torus(&[2, 4]).is_err());
+    }
+
+    #[test]
+    fn torus_3d_regular() {
+        let g = torus(&[3, 4, 5]).unwrap();
+        assert!(is_regular(&g, 6));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.num_nodes(), 16);
+        assert!(is_regular(&g, 4));
+        assert!(is_bipartite(&g));
+        assert_eq!(diameter_exact(&g), Some(4));
+        assert!(hypercube(0).is_err());
+    }
+
+    #[test]
+    fn empty_dims_rejected() {
+        assert!(grid(&[]).is_err());
+        assert!(grid(&[4, 0]).is_err());
+    }
+}

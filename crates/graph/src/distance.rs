@@ -1,0 +1,216 @@
+//! Exact distances, eccentricities and diameters.
+//!
+//! Greedy routing is defined against the *exact* metric of the underlying
+//! graph, so the reproduction needs cheap access to `dist_G(·, t)` (one BFS
+//! per target, cached by the routing engine) and, for analysis and small-n
+//! exact computations, full all-pairs matrices.
+
+use crate::{bfs::Bfs, csr::Graph, NodeId, INFINITY};
+
+/// Dense all-pairs distance matrix (`n` BFS runs, `O(n·m)` time, `O(n²)`
+/// space) — intended for analysis and exact evaluation at small `n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major `n × n`; `INFINITY` marks unreachable pairs.
+    data: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Computes all-pairs shortest-path distances by repeated BFS.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut data = vec![INFINITY; n * n];
+        let mut bfs = Bfs::new(n);
+        for s in 0..n {
+            bfs.run(g, s as NodeId, u32::MAX, |_, _| true);
+            let row = &mut data[s * n..(s + 1) * n];
+            for (v, slot) in row.iter_mut().enumerate() {
+                *slot = bfs.dist(v as NodeId);
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// `dist(u, v)`; [`INFINITY`] when disconnected.
+    #[inline]
+    pub fn dist(&self, u: NodeId, v: NodeId) -> u32 {
+        self.data[u as usize * self.n + v as usize]
+    }
+
+    /// Row of distances from `u`.
+    #[inline]
+    pub fn row(&self, u: NodeId) -> &[u32] {
+        &self.data[u as usize * self.n..(u as usize + 1) * self.n]
+    }
+
+    /// Eccentricity of `u` (max finite distance). `None` if some node is
+    /// unreachable from `u`.
+    pub fn eccentricity(&self, u: NodeId) -> Option<u32> {
+        let row = self.row(u);
+        if row.contains(&INFINITY) {
+            None
+        } else {
+            row.iter().copied().max()
+        }
+    }
+
+    /// Exact diameter; `None` when the graph is disconnected.
+    pub fn diameter(&self) -> Option<u32> {
+        let mut best = 0u32;
+        for u in 0..self.n {
+            best = best.max(self.eccentricity(u as NodeId)?);
+        }
+        Some(best)
+    }
+
+    /// A pair `(s, t)` realising the diameter (smallest ids on ties).
+    pub fn diametral_pair(&self) -> Option<(NodeId, NodeId)> {
+        let d = self.diameter()?;
+        for u in 0..self.n {
+            for v in 0..self.n {
+                if self.dist(u as NodeId, v as NodeId) == d {
+                    return Some((u as NodeId, v as NodeId));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Exact diameter via all eccentricities but without storing the matrix:
+/// `n` BFS runs in `O(n·m)` time and `O(n)` space.
+/// Returns `None` for disconnected graphs.
+pub fn diameter_exact(g: &Graph) -> Option<u32> {
+    let n = g.num_nodes();
+    let mut bfs = Bfs::new(n);
+    let mut best = 0u32;
+    for s in 0..n {
+        let mut local = 0u32;
+        let mut seen = 0usize;
+        bfs.run(g, s as NodeId, u32::MAX, |_, d| {
+            local = local.max(d);
+            seen += 1;
+            true
+        });
+        if seen != n {
+            return None;
+        }
+        best = best.max(local);
+    }
+    Some(best)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `start`, then BFS from
+/// the farthest node found. Exact on trees; a good estimate elsewhere.
+/// Returns `(s, t, dist(s, t))` for the best pair found.
+pub fn double_sweep(g: &Graph, start: NodeId) -> (NodeId, NodeId, u32) {
+    let mut bfs = Bfs::new(g.num_nodes());
+    let (a, _) = bfs.farthest(g, start);
+    let (b, d) = bfs.farthest(g, a);
+    (a, b, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        GraphBuilder::from_edges(
+            n,
+            (0..n as NodeId).map(|u| (u, (u + 1) % n as NodeId)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matrix_path_distances() {
+        let g = path(5);
+        let m = DistanceMatrix::new(&g);
+        assert_eq!(m.dist(0, 4), 4);
+        assert_eq!(m.dist(4, 0), 4);
+        assert_eq!(m.dist(2, 2), 0);
+        assert_eq!(m.row(0), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn matrix_symmetry() {
+        let g = cycle(9);
+        let m = DistanceMatrix::new(&g);
+        for u in 0..9u32 {
+            for v in 0..9u32 {
+                assert_eq!(m.dist(u, v), m.dist(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        let g = path(7);
+        let m = DistanceMatrix::new(&g);
+        assert_eq!(m.eccentricity(0), Some(6));
+        assert_eq!(m.eccentricity(3), Some(3));
+        assert_eq!(m.diameter(), Some(6));
+        assert_eq!(m.diametral_pair(), Some((0, 6)));
+        assert_eq!(diameter_exact(&g), Some(6));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let g = cycle(10);
+        assert_eq!(diameter_exact(&g), Some(5));
+        let g = cycle(11);
+        assert_eq!(diameter_exact(&g), Some(5));
+    }
+
+    #[test]
+    fn disconnected_reports_none() {
+        let g = GraphBuilder::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let m = DistanceMatrix::new(&g);
+        assert_eq!(m.dist(0, 2), INFINITY);
+        assert_eq!(m.eccentricity(0), None);
+        assert_eq!(m.diameter(), None);
+        assert_eq!(diameter_exact(&g), None);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_path() {
+        let g = path(20);
+        let (a, b, d) = double_sweep(&g, 7);
+        assert_eq!(d, 19);
+        assert!((a == 0 && b == 19) || (a == 19 && b == 0));
+    }
+
+    #[test]
+    fn double_sweep_lower_bounds_cycle() {
+        let g = cycle(12);
+        let (_, _, d) = double_sweep(&g, 0);
+        assert!(d <= 6);
+        assert!(d >= 5); // double sweep on a cycle still finds ~diameter
+    }
+
+    #[test]
+    fn matrix_matches_diameter_exact_on_random_small() {
+        // deterministic "random-ish" graph: circulant with chords
+        let n = 24usize;
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as NodeId {
+            b.add_edge(u, (u + 1) % n as NodeId);
+            b.add_edge(u, (u + 5) % n as NodeId);
+        }
+        let g = b.build().unwrap();
+        let m = DistanceMatrix::new(&g);
+        assert_eq!(m.diameter(), diameter_exact(&g));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for graph construction and queries.
+
+use std::fmt;
+
+/// Errors produced by graph construction and graph algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint referenced a node id `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The number of nodes in the graph being built.
+        num_nodes: usize,
+    },
+    /// A self-loop `u — u` was supplied (the model uses simple graphs; the
+    /// *long-range* link may hit its own source, but local links may not).
+    SelfLoop {
+        /// The node with the loop.
+        node: u32,
+    },
+    /// The graph is empty (zero nodes) where at least one node is required.
+    Empty,
+    /// An operation required a connected graph but the graph is not.
+    NotConnected,
+    /// Too many nodes to index with `u32`.
+    TooManyNodes {
+        /// Requested number of nodes.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for a {num_nodes}-node graph")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+            GraphError::NotConnected => write!(f, "operation requires a connected graph"),
+            GraphError::TooManyNodes { requested } => {
+                write!(f, "{requested} nodes exceed the u32 id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            num_nodes: 3,
+        };
+        assert!(e.to_string().contains("node 7"));
+        assert!(e.to_string().contains("3-node"));
+        assert!(GraphError::SelfLoop { node: 2 }.to_string().contains('2'));
+        assert!(GraphError::Empty.to_string().contains("at least one"));
+        assert!(GraphError::NotConnected.to_string().contains("connected"));
+        assert!(GraphError::TooManyNodes {
+            requested: usize::MAX
+        }
+        .to_string()
+        .contains("u32"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

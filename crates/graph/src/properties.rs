@@ -1,0 +1,176 @@
+//! Structural graph properties used by generators, decompositions and tests.
+
+use crate::{bfs::Bfs, components::is_connected, csr::Graph, NodeId};
+
+/// Whether `g` is a tree: connected with exactly `n - 1` edges.
+pub fn is_tree(g: &Graph) -> bool {
+    g.num_edges() == g.num_nodes().saturating_sub(1) && is_connected(g)
+}
+
+/// Whether `g` is a simple path graph: a tree whose degrees are all ≤ 2.
+pub fn is_path_graph(g: &Graph) -> bool {
+    is_tree(g) && g.nodes().all(|u| g.degree(u) <= 2)
+}
+
+/// Whether `g` is a cycle: connected, `m == n`, all degrees exactly 2.
+pub fn is_cycle_graph(g: &Graph) -> bool {
+    g.num_nodes() >= 3
+        && g.num_edges() == g.num_nodes()
+        && g.nodes().all(|u| g.degree(u) == 2)
+        && is_connected(g)
+}
+
+/// Whether every node has degree exactly `d`.
+pub fn is_regular(g: &Graph, d: usize) -> bool {
+    g.nodes().all(|u| g.degree(u) == d)
+}
+
+/// Whether `g` is bipartite (2-colourable), via BFS layering.
+pub fn is_bipartite(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    let mut color = vec![u8::MAX; n];
+    let mut bfs = Bfs::new(n);
+    for s in 0..n as NodeId {
+        if color[s as usize] != u8::MAX {
+            continue;
+        }
+        bfs.run(g, s, u32::MAX, |v, d| {
+            color[v as usize] = (d % 2) as u8;
+            true
+        });
+    }
+    g.edges()
+        .all(|(u, v)| color[u as usize] != color[v as usize])
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for u in g.nodes() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+/// Edge density `m / (n choose 2)`.
+pub fn density(g: &Graph) -> f64 {
+    let n = g.num_nodes() as f64;
+    if n < 2.0 {
+        0.0
+    } else {
+        g.num_edges() as f64 / (n * (n - 1.0) / 2.0)
+    }
+}
+
+/// Count of triangles incident to each node divided appropriately — returns
+/// the total number of triangles in the graph. Uses the sorted-adjacency
+/// merge, `O(Σ_e min(deg))`.
+pub fn triangle_count(g: &Graph) -> usize {
+    let mut total = 0usize;
+    for (u, v) in g.edges() {
+        // Count common neighbours w with w > v > u to count each triangle once.
+        let (mut i, mut j) = (0usize, 0usize);
+        let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if nu[i] > v {
+                        total += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId).map(|u| (u, (u + 1) % n as NodeId)))
+            .unwrap()
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as NodeId {
+            for v in u + 1..n as NodeId {
+                b.add_edge(u, v);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tree_and_path_predicates() {
+        assert!(is_tree(&path(5)));
+        assert!(is_path_graph(&path(5)));
+        let star = GraphBuilder::from_edges(5, (1..5).map(|v| (0, v))).unwrap();
+        assert!(is_tree(&star));
+        assert!(!is_path_graph(&star));
+        assert!(!is_tree(&cycle(5)));
+    }
+
+    #[test]
+    fn cycle_predicate() {
+        assert!(is_cycle_graph(&cycle(3)));
+        assert!(is_cycle_graph(&cycle(10)));
+        assert!(!is_cycle_graph(&path(4)));
+        // Two disjoint triangles: m == n, all degree 2, but disconnected.
+        let g = GraphBuilder::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
+        assert!(!is_cycle_graph(&g));
+    }
+
+    #[test]
+    fn regular_predicate() {
+        assert!(is_regular(&cycle(8), 2));
+        assert!(is_regular(&complete(5), 4));
+        assert!(!is_regular(&path(4), 2));
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        assert!(is_bipartite(&path(6)));
+        assert!(is_bipartite(&cycle(8)));
+        assert!(!is_bipartite(&cycle(7)));
+        assert!(!is_bipartite(&complete(3)));
+        // Disconnected with one odd cycle.
+        let g = GraphBuilder::from_edges(6, [(0, 1), (2, 3), (3, 4), (4, 2)]).unwrap();
+        assert!(!is_bipartite(&g));
+    }
+
+    #[test]
+    fn degree_histogram_path() {
+        let h = degree_histogram(&path(5));
+        assert_eq!(h, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn density_bounds() {
+        assert!((density(&complete(6)) - 1.0).abs() < 1e-12);
+        assert!(density(&path(6)) < 0.5);
+        assert_eq!(density(&GraphBuilder::new(1).build().unwrap()), 0.0);
+    }
+
+    #[test]
+    fn triangles() {
+        assert_eq!(triangle_count(&complete(4)), 4);
+        assert_eq!(triangle_count(&complete(5)), 10);
+        assert_eq!(triangle_count(&cycle(5)), 0);
+        assert_eq!(triangle_count(&path(10)), 0);
+        let g = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        assert_eq!(triangle_count(&g), 1);
+    }
+}

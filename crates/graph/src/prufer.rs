@@ -1,0 +1,169 @@
+//! Prüfer-sequence codec for labelled trees.
+//!
+//! A Prüfer sequence of length `n − 2` over `{0, …, n−1}` is in bijection
+//! with labelled trees on `n` nodes, which gives the uniform random-tree
+//! generator (`nav-gen`) an exactly-uniform sampler: draw `n − 2` uniform
+//! symbols and decode.
+
+use crate::{csr::Graph, GraphBuilder, GraphError, NodeId};
+
+/// Decodes a Prüfer sequence into the edge list of the corresponding tree.
+///
+/// `n` must be ≥ 2 and `seq.len() == n - 2`; every symbol must be `< n`.
+pub fn prufer_decode(n: usize, seq: &[NodeId]) -> Result<Vec<(NodeId, NodeId)>, GraphError> {
+    if n < 2 {
+        return Err(GraphError::Empty);
+    }
+    assert_eq!(
+        seq.len(),
+        n - 2,
+        "Prüfer sequence for n={n} must have length {}",
+        n - 2
+    );
+    for &s in seq {
+        if s as usize >= n {
+            return Err(GraphError::NodeOutOfRange {
+                node: s,
+                num_nodes: n,
+            });
+        }
+    }
+    // degree[v] = multiplicity in seq + 1
+    let mut degree = vec![1u32; n];
+    for &s in seq {
+        degree[s as usize] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // `ptr` scans for the smallest leaf; `leaf` tracks the current one.
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &s in seq {
+        edges.push((leaf as NodeId, s));
+        degree[s as usize] -= 1;
+        if degree[s as usize] == 1 && (s as usize) < ptr {
+            leaf = s as usize;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    // The final edge joins the last leaf with node n-1.
+    edges.push((leaf as NodeId, (n - 1) as NodeId));
+    Ok(edges)
+}
+
+/// Decodes a Prüfer sequence directly into a [`Graph`].
+pub fn tree_from_prufer(n: usize, seq: &[NodeId]) -> Result<Graph, GraphError> {
+    GraphBuilder::from_edges(n, prufer_decode(n, seq)?)
+}
+
+/// Encodes a tree into its Prüfer sequence. Panics if `g` is not a tree
+/// (checked via edge count; connectivity is implied when decoding round-trips).
+pub fn prufer_encode(g: &Graph) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    assert!(n >= 2, "Prüfer encoding needs n >= 2");
+    assert_eq!(g.num_edges(), n - 1, "not a tree");
+    let mut degree: Vec<u32> = (0..n).map(|u| g.degree(u as NodeId) as u32).collect();
+    let mut removed = vec![false; n];
+    let mut seq = Vec::with_capacity(n.saturating_sub(2));
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for _ in 0..n - 2 {
+        removed[leaf] = true;
+        // The unique remaining neighbour of the leaf.
+        let parent = g
+            .neighbors(leaf as NodeId)
+            .iter()
+            .copied()
+            .find(|&v| !removed[v as usize])
+            .expect("leaf of a tree has a live neighbour");
+        seq.push(parent);
+        degree[parent as usize] -= 1;
+        if degree[parent as usize] == 1 && (parent as usize) < ptr {
+            leaf = parent as usize;
+        } else {
+            ptr += 1;
+            while ptr < n && (degree[ptr] != 1 || removed[ptr]) {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::is_tree;
+
+    #[test]
+    fn decode_known_sequence() {
+        // Classic example: seq [3,3,3,4] over n=6 gives a star-ish tree.
+        let edges = prufer_decode(6, &[3, 3, 3, 4]).unwrap();
+        let g = GraphBuilder::from_edges(6, edges).unwrap();
+        assert!(is_tree(&g));
+        assert_eq!(g.degree(3), 4);
+        assert_eq!(g.degree(4), 2);
+    }
+
+    #[test]
+    fn n2_empty_sequence() {
+        let edges = prufer_decode(2, &[]).unwrap();
+        assert_eq!(edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn decode_path_sequence() {
+        // The path 0-1-2-3-4 has Prüfer sequence [1, 2, 3].
+        let g = tree_from_prufer(5, &[1, 2, 3]).unwrap();
+        assert!(crate::properties::is_path_graph(&g));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let seqs: Vec<Vec<NodeId>> = vec![
+            vec![],
+            vec![0],
+            vec![1, 2, 3],
+            vec![3, 3, 3, 4],
+            vec![0, 0, 0, 0],
+            vec![5, 1, 4, 2, 3],
+        ];
+        for seq in seqs {
+            let n = seq.len() + 2;
+            let g = tree_from_prufer(n, &seq).unwrap();
+            assert!(is_tree(&g), "decode of {seq:?} not a tree");
+            let back = prufer_encode(&g);
+            assert_eq!(back, seq, "roundtrip failed for {seq:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_symbol_rejected() {
+        assert!(prufer_decode(4, &[9, 0]).is_err());
+    }
+
+    #[test]
+    fn all_sequences_n4_give_distinct_trees() {
+        // 4^2 = 16 sequences -> 16 labelled trees on 4 nodes (Cayley: 4^2).
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..4 as NodeId {
+            for b in 0..4 as NodeId {
+                let g = tree_from_prufer(4, &[a, b]).unwrap();
+                assert!(is_tree(&g));
+                seen.insert(g.edge_list());
+            }
+        }
+        assert_eq!(seen.len(), 16);
+    }
+}

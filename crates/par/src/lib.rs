@@ -1,0 +1,37 @@
+//! # nav-par — deterministic parallel substrate
+//!
+//! Monte-Carlo estimation of greedy diameters runs thousands of independent
+//! routing trials; this crate provides the small amount of parallel
+//! machinery the reproduction needs, built directly on `crossbeam` scoped
+//! threads (no global thread pool, no work-stealing deque — an atomic
+//! work counter is enough for the embarrassingly parallel workloads here):
+//!
+//! * [`rng`] — splittable, fast, reproducible random number generation:
+//!   a [`rng::SplitMix64`] stream seeder and a
+//!   [Xoshiro256++](`rng::Xoshiro256pp`) generator implementing the `rand`
+//!   traits, so every parallel task derives an independent, deterministic
+//!   generator from `(seed, task_index)`;
+//! * [`map`] — `parallel_map` / `parallel_for` over an index space with
+//!   dynamic (atomic-counter) load balancing, plus a deterministic
+//!   reduction helper.
+//!
+//! The design rule throughout: **parallel results are bit-identical to
+//! sequential results** for the same seed. Tests enforce it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod map;
+pub mod rng;
+
+pub use map::{parallel_for, parallel_map, parallel_map_reduce};
+pub use rng::{seeded_rng, task_rng, SplitMix64, Xoshiro256pp};
+
+/// Default number of worker threads: the machine's available parallelism,
+/// capped at 16 (the workloads here stop scaling far before that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}

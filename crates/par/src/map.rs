@@ -1,0 +1,207 @@
+//! Parallel map/for over an index space with dynamic load balancing.
+//!
+//! The workloads (independent routing trials, independent BFS runs) are
+//! embarrassingly parallel but individual items can have wildly different
+//! costs (a routing trial on a path takes `Θ(√n)` or `Θ(log³ n)` steps
+//! depending on the scheme), so static chunking would leave threads idle.
+//! A shared atomic cursor hands out small chunks dynamically.
+//!
+//! Determinism: item `i`'s result always lands in slot `i`, and callers
+//! derive per-item RNGs from `(seed, i)` via [`crate::rng::task_rng`], so
+//! outputs do not depend on scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Chunk size for the atomic work counter. Small enough to balance
+/// heavy-tailed items, large enough to keep contention negligible.
+const CHUNK: usize = 8;
+
+/// Applies `f` to every index in `0..n` on `threads` workers and collects
+/// results in index order. `f` must be `Sync` (it is shared), results are
+/// written to disjoint slots so no locking is needed beyond the cursor.
+///
+/// With `threads <= 1` runs inline on the caller thread (no spawn cost),
+/// which also gives a trivially deterministic reference implementation.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut results = vec![T::default(); n];
+    if threads <= 1 || n <= 1 {
+        for (i, slot) in results.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return results;
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    // Hand each worker a disjoint view of the results buffer through a
+    // channel of (index, value) writes? Simpler: split results into cells
+    // via interior mutability — but we forbid unsafe. Instead, each worker
+    // accumulates (index, value) pairs and we scatter at the end.
+    let mut buckets: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + CHUNK).min(n);
+                    for i in start..end {
+                        local.push((i, f(i)));
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            buckets.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("thread scope failed");
+    for bucket in buckets {
+        for (i, v) in bucket {
+            results[i] = v;
+        }
+    }
+    results
+}
+
+/// Runs `f` for every index in `0..n` in parallel for side effects only
+/// (e.g. filling caller-provided per-task output files).
+pub fn parallel_for<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + CHUNK).min(n);
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    })
+    .expect("thread scope failed");
+}
+
+/// Parallel map followed by a **sequential, in-order** fold — the reduction
+/// order is `0, 1, …, n-1` regardless of thread count, so floating-point
+/// accumulations stay bit-identical to the sequential run.
+pub fn parallel_map_reduce<T, A, F, R>(n: usize, threads: usize, f: F, init: A, reduce: R) -> A
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+    R: FnMut(A, T) -> A,
+{
+    let mapped = parallel_map(n, threads, f);
+    mapped.into_iter().fold(init, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::task_rng;
+    use rand::Rng;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_identity_in_order() {
+        let out = parallel_map(100, 4, |i| i * i);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn map_empty_and_single() {
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_with_task_rng() {
+        let work = |i: usize| {
+            let mut rng = task_rng(123, i as u64);
+            rng.gen_range(0..1_000_000u64)
+        };
+        let seq = parallel_map(257, 1, work);
+        let par = parallel_map(257, 8, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn for_visits_every_index_once() {
+        let n = 1000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, 6, |i| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_order_is_stable() {
+        // Build a string to make the fold order observable.
+        let s1 = parallel_map_reduce(
+            10,
+            1,
+            |i| i.to_string(),
+            String::new(),
+            |acc, x| acc + &x,
+        );
+        let s8 = parallel_map_reduce(
+            10,
+            8,
+            |i| i.to_string(),
+            String::new(),
+            |acc, x| acc + &x,
+        );
+        assert_eq!(s1, "0123456789");
+        assert_eq!(s1, s8);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(3, 64, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uneven_item_costs_balance() {
+        // Heavy tail: item 0 does far more work; just assert correctness.
+        let out = parallel_map(64, 4, |i| {
+            let spins = if i == 0 { 100_000 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_add(k ^ i as u64);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+    }
+}

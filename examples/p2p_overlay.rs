@@ -1,0 +1,70 @@
+//! Peer-to-peer overlay routing: augmentation as a routing-table design.
+//!
+//! A classic application of augmented-graph theory (Symphony, small-world
+//! DHTs): peers sit on a ring (the underlying graph = successor pointers),
+//! each peer gets ONE extra finger chosen randomly, and lookups are routed
+//! greedily by ring distance. The finger distribution is exactly an
+//! augmentation scheme, and lookup hops are exactly greedy-routing steps.
+//!
+//! The example sweeps network sizes and shows the hop scaling per scheme —
+//! uniform fingers (√n lookups), the paper's ball scheme and harmonic
+//! fingers (polylog on the ring), plus the Theorem-2 hierarchy.
+//!
+//! ```text
+//! cargo run --release --example p2p_overlay
+//! ```
+
+use navigability::analysis::fit::fit_power_law;
+use navigability::core::trial::{run_standard, TrialConfig};
+use navigability::prelude::*;
+
+fn main() {
+    let sizes = [512usize, 1024, 2048, 4096, 8192];
+    let trials = TrialConfig {
+        trials_per_pair: 48,
+        seed: 0xD47,
+        threads: 1,
+    };
+
+    println!("P2P overlay: ring + one finger per peer, greedy lookups\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "peers", "uniform", "ball(thm4)", "harmonic", "theorem2"
+    );
+
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = vec![
+        ("uniform", Vec::new()),
+        ("ball", Vec::new()),
+        ("harmonic", Vec::new()),
+        ("theorem2", Vec::new()),
+    ];
+    for &n in &sizes {
+        let ring = navigability::gen::classic::cycle(n).expect("ring");
+        let uniform = UniformScheme;
+        let ball = BallScheme::new(&ring);
+        let harmonic = KleinbergScheme::new(1.0); // ring is 1-dimensional
+        let t2 = Theorem2Scheme::from_portfolio(&ring);
+        let schemes: Vec<&dyn AugmentationScheme> = vec![&uniform, &ball, &harmonic, &t2];
+        let mut row = format!("{n:>6}");
+        for (i, scheme) in schemes.iter().enumerate() {
+            let r = run_standard(&ring, *scheme, 6, &trials).expect("trials");
+            let hops = r.max_pair_mean();
+            series[i].1.push((n as f64, hops));
+            row += &format!(" {hops:>12.1}");
+        }
+        println!("{row}");
+    }
+
+    println!("\nfitted hop scaling (lookup hops ≈ C·n^γ):");
+    for (name, pts) in &series {
+        if let Some(f) = fit_power_law(pts) {
+            println!(
+                "  {name:10} γ = {:.3}  (C = {:.2}, R² = {:.3})",
+                f.exponent, f.c, f.r2
+            );
+        }
+    }
+    println!("\nUniform fingers pay the √n barrier; every distance-aware finger");
+    println!("distribution (ball / harmonic / hierarchy) routes in polylog hops —");
+    println!("the difference between Gnutella-style and Symphony-style overlays.");
+}

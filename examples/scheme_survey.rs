@@ -1,0 +1,65 @@
+//! Survey: every scheme × every graph family, one markdown table.
+//!
+//! The paper's universality story in one screen: class-specific schemes
+//! excel on their class and fall off it; the uniform scheme is uniformly
+//! mediocre (√n); the ball scheme is uniformly good.
+//!
+//! ```text
+//! cargo run --release --example scheme_survey
+//! ```
+
+use navigability::analysis::table::{fnum, Table};
+use navigability::core::trial::{run_standard, TrialConfig};
+use navigability::gen::Family;
+use navigability::prelude::*;
+
+fn main() {
+    let n = 2048usize;
+    let mut rng = seeded_rng(0x50507);
+    let trials = TrialConfig {
+        trials_per_pair: 32,
+        seed: 99,
+        threads: 1,
+    };
+
+    let families = [
+        Family::Path,
+        Family::Cycle,
+        Family::Grid2d,
+        Family::RandomTree,
+        Family::Caterpillar,
+        Family::Interval,
+        Family::Gnp,
+        Family::Lollipop,
+        Family::Comb,
+    ];
+
+    let mut table = Table::new(
+        format!("Greedy-diameter estimates at n ≈ {n} (max-pair mean steps; smaller is better)"),
+        &["family", "diam", "none", "uniform", "theorem2", "ball", "harmonic α=2"],
+    );
+
+    for fam in families {
+        let g = fam.generate(n, &mut rng).expect("generate");
+        let diam = navigability::graph::distance::double_sweep(&g, 0).2;
+        let uniform = UniformScheme;
+        let ball = BallScheme::new(&g);
+        let harmonic = KleinbergScheme::new(2.0);
+        let t2 = Theorem2Scheme::from_portfolio(&g);
+        let none = navigability::core::uniform::NoAugmentation;
+        let schemes: Vec<&dyn AugmentationScheme> = vec![&none, &uniform, &t2, &ball, &harmonic];
+        let mut cells = vec![fam.name().to_string(), diam.to_string()];
+        for scheme in schemes {
+            let r = run_standard(&g, scheme, 4, &trials).expect("trials");
+            cells.push(fnum(r.max_pair_mean()));
+        }
+        table.row(&cells);
+        eprintln!("[survey] {} done", fam.name());
+    }
+
+    println!("{}", table.to_markdown());
+    println!("Reading guide: `none` is the graph diameter (shortest-path walking);");
+    println!("`uniform` caps everything at ~√n; `theorem2` wins on small-pathshape");
+    println!("families (path, caterpillar, interval, trees); `ball` is the universal");
+    println!("Õ(n^(1/3)) scheme — never far from the best column in any row.");
+}

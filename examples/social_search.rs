@@ -1,0 +1,75 @@
+//! Milgram-style decentralized search on a synthetic social network.
+//!
+//! The paper's motivation: Milgram's 1967 experiment showed people can
+//! forward letters toward strangers in ~6 hops using only local knowledge.
+//! Augmented graphs model this: the "underlying" graph is geographic /
+//! community structure, the long-range links are far-flung acquaintances,
+//! and greedy routing is the forwarding rule.
+//!
+//! This example builds a geographic substrate (random geometric graph =
+//! "who lives near whom"), augments it with each scheme, and reports the
+//! chain-length distribution of thousands of letters.
+//!
+//! ```text
+//! cargo run --release --example social_search
+//! ```
+
+use navigability::analysis::quantile::spread_band;
+use navigability::core::routing::{default_step_cap, GreedyRouter};
+use navigability::prelude::*;
+use rand::Rng;
+
+fn main() {
+    let mut rng = seeded_rng(1967); // Milgram's year
+    let n = 2500;
+
+    // Geographic substrate: people scattered in a unit square, acquainted
+    // with everyone within a small radius.
+    let g = navigability::gen::random::random_geometric(n, 0.035, &mut rng).expect("geo");
+    println!(
+        "social substrate: {} people, {} local ties, avg degree {:.1}",
+        g.num_nodes(),
+        g.num_edges(),
+        g.avg_degree()
+    );
+
+    let uniform = UniformScheme;
+    let ball = BallScheme::new(&g);
+    let kleinberg = KleinbergScheme::new(2.0);
+    let schemes: Vec<(&str, &dyn AugmentationScheme)> = vec![
+        ("uniform acquaintances", &uniform),
+        ("ball-scheme acquaintances", &ball),
+        ("distance-harmonic (α=2)", &kleinberg),
+    ];
+
+    let letters = 400;
+    println!("\nforwarding {letters} letters between random strangers:\n");
+    println!(
+        "{:28} {:>7} {:>7} {:>7} {:>9}",
+        "scheme", "p05", "median", "p95", "mean"
+    );
+    for (name, scheme) in schemes {
+        let mut chains: Vec<f64> = Vec::with_capacity(letters);
+        for _ in 0..letters {
+            let s = rng.gen_range(0..n as NodeId);
+            let t = loop {
+                let t = rng.gen_range(0..n as NodeId);
+                if t != s {
+                    break t;
+                }
+            };
+            let router = GreedyRouter::new(&g, t).expect("router");
+            let out = router.route(scheme, s, &mut rng, default_step_cap(&g), false);
+            assert!(out.reached, "letter lost — graph should be connected");
+            chains.push(out.steps as f64);
+        }
+        let (p05, med, p95) = spread_band(&chains).expect("non-empty");
+        let mean = chains.iter().sum::<f64>() / chains.len() as f64;
+        println!("{name:28} {p05:>7.1} {med:>7.1} {p95:>7.1} {mean:>9.2}");
+    }
+
+    println!("\nSix degrees of separation emerges once long-range links follow a");
+    println!("distance-aware distribution — uniform links leave chains long (the");
+    println!("√n regime); the paper's ball scheme gets there without knowing the");
+    println!("graph is geographic.");
+}

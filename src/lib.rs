@@ -1,0 +1,52 @@
+//! # navigability — umbrella crate
+//!
+//! Reproduction of *"Universal augmentation schemes for network
+//! navigability: overcoming the √n-barrier"* (Fraigniaud, Gavoille,
+//! Kosowski, Lebhar, Lotker — SPAA 2007).
+//!
+//! This crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`graph`] — CSR graph substrate, BFS, balls, distances;
+//! * [`gen`] — graph-family generators (the experiment workloads);
+//! * [`decomp`] — tree/path decompositions and the pathshape parameter;
+//! * [`core`] — the paper's augmentation schemes and greedy routing;
+//! * [`par`] — deterministic parallel substrate;
+//! * [`analysis`] — statistics, exponent fits, table output.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use navigability::prelude::*;
+//!
+//! // Build a 32x32 grid, augment it with the paper's Theorem 4 ball
+//! // scheme, and greedily route between opposite corners.
+//! let g = navigability::gen::grid::grid2d(32, 32).unwrap();
+//! let scheme = BallScheme::new(&g);
+//! let mut rng = seeded_rng(7);
+//! let outcome = route_with_fresh_oracle(&g, &scheme, 0, 32 * 32 - 1, &mut rng).unwrap();
+//! assert!(outcome.reached);
+//! assert!(outcome.steps <= 62); // never worse than the shortest path
+//! ```
+
+pub use nav_analysis as analysis;
+pub use nav_core as core;
+pub use nav_decomp as decomp;
+pub use nav_gen as gen;
+pub use nav_graph as graph;
+pub use nav_par as par;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use nav_analysis::fit::PowerLawFit;
+    pub use nav_analysis::stats::Summary;
+    pub use nav_core::ball::BallScheme;
+    pub use nav_core::kleinberg::KleinbergScheme;
+    pub use nav_core::routing::{route_with_fresh_oracle, GreedyRouter, RouteOutcome};
+    pub use nav_core::scheme::AugmentationScheme;
+    pub use nav_core::theorem2::Theorem2Scheme;
+    pub use nav_core::trial::{run_standard, run_trials, TrialConfig, TrialResult};
+    pub use nav_core::uniform::UniformScheme;
+    pub use nav_decomp::decomposition::PathDecomposition;
+    pub use nav_graph::{Graph, GraphBuilder, NodeId};
+    pub use nav_par::rng::seeded_rng;
+}

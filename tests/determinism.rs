@@ -1,0 +1,72 @@
+//! Reproducibility contracts: everything is a pure function of the seed.
+
+use navigability::core::trial::{run_trials, TrialConfig};
+use navigability::gen::Family;
+use navigability::prelude::*;
+
+fn cfg(seed: u64, threads: usize) -> TrialConfig {
+    TrialConfig {
+        trials_per_pair: 16,
+        seed,
+        threads,
+    }
+}
+
+#[test]
+fn trials_identical_across_thread_counts() {
+    let g = Family::Grid2d.generate(400, &mut seeded_rng(1)).unwrap();
+    let ball = BallScheme::new(&g);
+    let pairs: Vec<(NodeId, NodeId)> = (0..10).map(|i| (i, 399 - i)).collect();
+    let r1 = run_trials(&g, &ball, &pairs, &cfg(42, 1)).unwrap();
+    let r4 = run_trials(&g, &ball, &pairs, &cfg(42, 4)).unwrap();
+    for (a, b) in r1.pairs.iter().zip(&r4.pairs) {
+        assert_eq!(a.mean_steps, b.mean_steps);
+        assert_eq!(a.std_steps, b.std_steps);
+        assert_eq!(a.max_steps, b.max_steps);
+        assert_eq!(a.mean_long_links, b.mean_long_links);
+    }
+}
+
+#[test]
+fn trials_differ_across_seeds() {
+    let g = Family::Path.generate(600, &mut seeded_rng(2)).unwrap();
+    let pairs = [(0 as NodeId, 599 as NodeId)];
+    let a = run_trials(&g, &UniformScheme, &pairs, &cfg(1, 2)).unwrap();
+    let b = run_trials(&g, &UniformScheme, &pairs, &cfg(2, 2)).unwrap();
+    assert_ne!(a.pairs[0].mean_steps, b.pairs[0].mean_steps);
+}
+
+#[test]
+fn generators_are_seed_pure() {
+    for &fam in Family::all() {
+        let g1 = fam.generate(150, &mut seeded_rng(9)).unwrap();
+        let g2 = fam.generate(150, &mut seeded_rng(9)).unwrap();
+        assert_eq!(g1, g2, "{}", fam.name());
+    }
+}
+
+#[test]
+fn full_experiment_measure_is_reproducible() {
+    // The bench-harness statistic itself: same config → same numbers.
+    let g = Family::RandomTree.generate(300, &mut seeded_rng(3)).unwrap();
+    let t2 = Theorem2Scheme::from_portfolio(&g);
+    let r1 = run_trials(&g, &t2, &[(0, 299)], &cfg(7, 1)).unwrap();
+    let r2 = run_trials(&g, &t2, &[(0, 299)], &cfg(7, 3)).unwrap();
+    assert_eq!(r1.pairs[0].mean_steps, r2.pairs[0].mean_steps);
+}
+
+#[test]
+fn routing_path_reproducible_per_seed() {
+    use navigability::core::routing::{default_step_cap, GreedyRouter};
+    let g = Family::Lollipop.generate(500, &mut seeded_rng(4)).unwrap();
+    let ball = BallScheme::new(&g);
+    let router = GreedyRouter::new(&g, 0).unwrap();
+    let route = |seed: u64| {
+        let mut rng = seeded_rng(seed);
+        router
+            .route(&ball, (g.num_nodes() - 1) as NodeId, &mut rng, default_step_cap(&g), true)
+            .path
+            .unwrap()
+    };
+    assert_eq!(route(5), route(5));
+}

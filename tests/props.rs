@@ -1,0 +1,117 @@
+//! Property-based tests (proptest) on the core invariants, across crates.
+
+use navigability::core::exact::exact_expected_steps;
+use navigability::core::routing::{default_step_cap, GreedyRouter};
+use navigability::decomp::construct::from_ordering;
+use navigability::decomp::validate::validate_path_decomposition;
+use navigability::graph::components::connect_components;
+use navigability::graph::prufer::{prufer_encode, tree_from_prufer};
+use navigability::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary connected graph: random edge set over `n` nodes, repaired.
+fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n);
+            (Just(n), edges)
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            let g = b.build().expect("valid");
+            connect_components(&g).0
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn greedy_steps_between_dist_and_n(g in connected_graph(60), seed in 0u64..1000) {
+        let mut rng = seeded_rng(seed);
+        let n = g.num_nodes() as u32;
+        let s = seed as u32 % n;
+        let t = (seed as u32 / 2 + n / 2) % n;
+        let router = GreedyRouter::new(&g, t).unwrap();
+        let ball = BallScheme::new(&g);
+        let out = router.route(&ball, s, &mut rng, default_step_cap(&g), true);
+        prop_assert!(out.reached);
+        let dist = router.dist_to_target(s);
+        prop_assert!(out.steps >= dist.min(1) * (dist > 0) as u32 || dist == 0);
+        prop_assert!(out.steps <= n);
+        // The recorded path strictly decreases distance.
+        let path = out.path.unwrap();
+        for w in path.windows(2) {
+            prop_assert!(router.dist_to_target(w[1]) < router.dist_to_target(w[0]));
+        }
+    }
+
+    #[test]
+    fn exact_expectation_bounded_by_distance(g in connected_graph(40), t_pick in 0usize..1000) {
+        let t = (t_pick % g.num_nodes()) as u32;
+        let e = exact_expected_steps(&g, &UniformScheme, t).unwrap();
+        let router = GreedyRouter::new(&g, t).unwrap();
+        for u in g.nodes() {
+            let d = router.dist_to_target(u) as f64;
+            prop_assert!(e[u as usize] <= d + 1e-9, "u={u} E={} d={}", e[u as usize], d);
+            prop_assert!(e[u as usize] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn any_ordering_gives_valid_decomposition(g in connected_graph(40), salt in 0u64..1000) {
+        // A random permutation as layout: from_ordering must always be a
+        // valid path-decomposition (width varies, validity never).
+        let n = g.num_nodes();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut rng = seeded_rng(salt);
+        for i in (1..n).rev() {
+            use rand::Rng;
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let pd = from_ordering(&g, &order);
+        prop_assert!(validate_path_decomposition(&g, &pd).is_ok());
+    }
+
+    #[test]
+    fn portfolio_always_valid(g in connected_graph(40)) {
+        let r = navigability::decomp::best_path_decomposition(&g, &Default::default());
+        prop_assert!(validate_path_decomposition(&g, &r.pd).is_ok());
+        prop_assert!(r.shape < g.num_nodes());
+    }
+
+    #[test]
+    fn theorem2_distribution_substochastic(g in connected_graph(40)) {
+        use navigability::core::scheme::ExplicitScheme;
+        let t2 = Theorem2Scheme::from_portfolio(&g);
+        for u in g.nodes() {
+            let total: f64 = t2.contact_distribution(&g, u).iter().map(|&(_, p)| p).sum();
+            prop_assert!(total <= 1.0 + 1e-9);
+            prop_assert!(total >= 0.5 - 1e-9); // uniform half always present
+        }
+    }
+
+    #[test]
+    fn prufer_roundtrip(seq in proptest::collection::vec(0u32..12, 0..10)) {
+        let n = seq.len() + 2;
+        let seq: Vec<u32> = seq.into_iter().map(|s| s % n as u32).collect();
+        let g = tree_from_prufer(n, &seq).unwrap();
+        prop_assert!(navigability::graph::properties::is_tree(&g));
+        prop_assert_eq!(prufer_encode(&g), seq);
+    }
+
+    #[test]
+    fn ball_distribution_sums_to_one(g in connected_graph(40), u_pick in 0usize..1000) {
+        use navigability::core::scheme::ExplicitScheme;
+        let u = (u_pick % g.num_nodes()) as u32;
+        let ball = BallScheme::new(&g);
+        let total: f64 = ball.contact_distribution(&g, u).iter().map(|&(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Cross-scheme contract tests: every explicit scheme's sampler matches
+//! its declared distribution, and Monte-Carlo matches the exact evaluator.
+
+use navigability::core::exact::exact_expected_steps;
+use navigability::core::routing::{default_step_cap, GreedyRouter};
+use navigability::core::scheme::{assert_sampling_matches, ExplicitScheme};
+use navigability::core::theorem3::RestrictedLabelScheme;
+use navigability::core::uniform::NoAugmentation;
+use navigability::gen::{classic, grid};
+use navigability::prelude::*;
+use nav_par::rng::task_rng;
+
+fn schemes_for(g: &navigability::graph::Graph) -> Vec<Box<dyn ExplicitScheme>> {
+    let n = g.num_nodes();
+    let pd = navigability::decomp::best_path_decomposition(g, &Default::default()).pd;
+    vec![
+        Box::new(NoAugmentation),
+        Box::new(UniformScheme),
+        Box::new(BallScheme::new(g)),
+        Box::new(KleinbergScheme::new(1.0)),
+        Box::new(KleinbergScheme::new(2.0)),
+        Box::new(Theorem2Scheme::new(g, &pd)),
+        Box::new(RestrictedLabelScheme::new(g, &pd, (n / 4).max(1))),
+    ]
+}
+
+#[test]
+fn samplers_match_distributions_on_path() {
+    let g = classic::path(15).expect("path");
+    let mut rng = seeded_rng(1);
+    for scheme in schemes_for(&g) {
+        for u in [0u32, 7, 14] {
+            assert_sampling_matches(scheme.as_ref(), &g, u, 30_000, 0.02, &mut rng);
+        }
+    }
+}
+
+#[test]
+fn samplers_match_distributions_on_grid() {
+    let g = grid::grid2d(4, 4).expect("grid");
+    let mut rng = seeded_rng(2);
+    for scheme in schemes_for(&g) {
+        assert_sampling_matches(scheme.as_ref(), &g, 5, 30_000, 0.02, &mut rng);
+    }
+}
+
+#[test]
+fn distributions_are_substochastic_everywhere() {
+    let g = classic::cycle(21).expect("cycle");
+    for scheme in schemes_for(&g) {
+        for u in g.nodes() {
+            let dist = scheme.contact_distribution(&g, u);
+            let total: f64 = dist.iter().map(|&(_, p)| p).sum();
+            assert!(
+                total <= 1.0 + 1e-9,
+                "{}: node {u} sums to {total}",
+                scheme.name()
+            );
+            let mut nodes: Vec<_> = dist.iter().map(|&(v, _)| v).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            assert_eq!(nodes.len(), dist.len(), "{}: duplicates", scheme.name());
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_matches_exact_for_every_scheme() {
+    let g = classic::path(20).expect("path");
+    let target: NodeId = 19;
+    let source: NodeId = 0;
+    let trials = 4000;
+    for scheme in schemes_for(&g) {
+        let exact = exact_expected_steps(&g, scheme.as_ref(), target).expect("connected")
+            [source as usize];
+        let router = GreedyRouter::new(&g, target).expect("router");
+        let mut sum = 0.0;
+        for t in 0..trials {
+            let mut rng = task_rng(31, t as u64);
+            sum += router
+                .route(scheme.as_ref(), source, &mut rng, default_step_cap(&g), false)
+                .steps as f64;
+        }
+        let mc = sum / trials as f64;
+        assert!(
+            (mc - exact).abs() < 0.35,
+            "{}: MC {mc:.3} vs exact {exact:.3}",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn scheme_names_are_distinct() {
+    let g = classic::path(10).expect("path");
+    let names: Vec<String> = schemes_for(&g).iter().map(|s| s.name()).collect();
+    let mut dedup = names.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), names.len(), "{names:?}");
+}
