@@ -79,7 +79,11 @@ fn prufer(c: &mut Criterion) {
     use rand::Rng;
     let seq: Vec<u32> = (0..n - 2).map(|_| rng.gen_range(0..n as u32)).collect();
     grp.bench_function("decode-16k", |b| {
-        b.iter(|| nav_graph::prufer::tree_from_prufer(n, &seq).unwrap().num_edges())
+        b.iter(|| {
+            nav_graph::prufer::tree_from_prufer(n, &seq)
+                .unwrap()
+                .num_edges()
+        })
     });
     grp.finish();
 }

@@ -84,8 +84,8 @@ pub fn e2_theorem1_adversarial(cfg: &ExpConfig) -> Vec<Table> {
             let dist = (inst.t - inst.s) as f64;
             let adv_scheme =
                 MatrixScheme::new(format!("{name}-adv"), matrix.clone(), inst.labeling.clone());
-            let e_adv = exact_expected_steps(&g, &adv_scheme, inst.t).expect("connected")
-                [inst.s as usize];
+            let e_adv =
+                exact_expected_steps(&g, &adv_scheme, inst.t).expect("connected")[inst.s as usize];
             let id_scheme = MatrixScheme::name_independent(format!("{name}-id"), matrix, n);
             let e_id =
                 exact_expected_steps(&g, &id_scheme, inst.t).expect("connected")[inst.s as usize];
@@ -108,7 +108,12 @@ pub fn e3_theorem2_trees(cfg: &ExpConfig) -> Vec<Table> {
     let mut table = Table::new(
         "E3 (Table 3) — Theorem 2 on trees (paper: O(log³ n); uniform stays Θ(√n)-ish)",
         &[
-            "tree", "n", "(M,L) steps", "uniform steps", "steps/log³n", "uni/(M,L)",
+            "tree",
+            "n",
+            "(M,L) steps",
+            "uniform steps",
+            "steps/log³n",
+            "uni/(M,L)",
         ],
     );
     let mut summary = Table::new(

@@ -107,9 +107,24 @@ mod tests {
     #[test]
     fn fit_summary_renders() {
         let pts = vec![
-            Point { n: 256, max_mean: 16.0, grand_mean: 10.0, diameter: 255 },
-            Point { n: 1024, max_mean: 32.0, grand_mean: 20.0, diameter: 1023 },
-            Point { n: 4096, max_mean: 64.0, grand_mean: 40.0, diameter: 4095 },
+            Point {
+                n: 256,
+                max_mean: 16.0,
+                grand_mean: 10.0,
+                diameter: 255,
+            },
+            Point {
+                n: 1024,
+                max_mean: 32.0,
+                grand_mean: 20.0,
+                diameter: 1023,
+            },
+            Point {
+                n: 4096,
+                max_mean: 64.0,
+                grand_mean: 40.0,
+                diameter: 4095,
+            },
         ];
         let s = fit_summary(&pts);
         assert!(s.contains("γ=0.500"), "{s}");

@@ -180,8 +180,7 @@ mod tests {
                 let m = max_level_index(lo, hi);
                 assert!((lo..=hi).contains(&m));
                 let lm = level(m);
-                let with_level: Vec<u64> =
-                    (lo..=hi).filter(|&x| level(x) >= lm).collect();
+                let with_level: Vec<u64> = (lo..=hi).filter(|&x| level(x) >= lm).collect();
                 assert_eq!(with_level, vec![m], "[{lo},{hi}]");
             }
         }

@@ -69,9 +69,7 @@ impl AugmentationScheme for KleinbergScheme {
             }
         }
         // Float underflow tail: return the last positive-weight node.
-        w.iter()
-            .rposition(|&wv| wv > 0.0)
-            .map(|v| v as NodeId)
+        w.iter().rposition(|&wv| wv > 0.0).map(|v| v as NodeId)
     }
 }
 

@@ -133,12 +133,7 @@ mod tests {
         // Path 0-1-2-3-4 canonical decomposition: bags {i,i+1}, b = 4.
         // Node 0: I = [1,1] → L=1. Node 1: I=[1,2] → max level index = 2.
         // Node 2: I=[2,3] → 2. Node 3: I=[3,4] → 4. Node 4: I=[4,4] → 4.
-        let pd = PathDecomposition::new(vec![
-            vec![0, 1],
-            vec![1, 2],
-            vec![2, 3],
-            vec![3, 4],
-        ]);
+        let pd = PathDecomposition::new(vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]);
         let l = Labeling::from_path_decomposition(&pd, 5);
         assert_eq!(l.label(0), 1);
         assert_eq!(l.label(1), 2);

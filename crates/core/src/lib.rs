@@ -28,7 +28,7 @@
 //!   nodes in increasing target-distance order.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ancestry;
 pub mod ball;
@@ -49,9 +49,9 @@ pub mod uniform;
 pub mod workspace;
 
 pub use ball::BallScheme;
+pub use faulty::FaultyScheme;
 pub use kleinberg::KleinbergScheme;
 pub use matrix::{AugmentationMatrix, MatrixScheme};
-pub use faulty::FaultyScheme;
 pub use realization::Realization;
 pub use routing::{GreedyRouter, RouteOutcome};
 pub use scheme::{AugmentationScheme, ExplicitScheme};

@@ -357,7 +357,10 @@ mod tests {
             Err(MatrixError::RowSumExceedsOne { row: 1, .. })
         ));
         let bad = AugmentationMatrix::from_rows(2, vec![vec![(3, 0.1)], vec![]]);
-        assert!(matches!(bad, Err(MatrixError::LabelOutOfRange { label: 3 })));
+        assert!(matches!(
+            bad,
+            Err(MatrixError::LabelOutOfRange { label: 3 })
+        ));
         let bad = AugmentationMatrix::from_rows(2, vec![vec![(1, -0.5)], vec![]]);
         assert!(matches!(bad, Err(MatrixError::BadEntry { .. })));
         let bad = AugmentationMatrix::from_rows(3, vec![vec![], vec![]]);
@@ -366,8 +369,7 @@ mod tests {
 
     #[test]
     fn duplicate_entries_merge() {
-        let m =
-            AugmentationMatrix::from_rows(2, vec![vec![(2, 0.25), (2, 0.25)], vec![]]).unwrap();
+        let m = AugmentationMatrix::from_rows(2, vec![vec![(2, 0.25), (2, 0.25)], vec![]]).unwrap();
         assert!((m.entry(1, 2) - 0.5).abs() < 1e-12);
     }
 
@@ -453,11 +455,9 @@ mod tests {
     fn empty_bucket_label_wastes_link() {
         // 3 nodes all labeled 1 (k = 3): labels 2 and 3 are unused.
         let labeling = Labeling::new(vec![1, 1, 1], 3);
-        let m = AugmentationMatrix::from_rows(
-            3,
-            vec![vec![(2, 1.0)], vec![(1, 1.0)], vec![(1, 1.0)]],
-        )
-        .unwrap();
+        let m =
+            AugmentationMatrix::from_rows(3, vec![vec![(2, 1.0)], vec![(1, 1.0)], vec![(1, 1.0)]])
+                .unwrap();
         let scheme = MatrixScheme::new("waste", m, labeling);
         let g = path(3);
         let mut rng = seeded_rng(13);

@@ -107,7 +107,10 @@ mod tests {
         let router = GreedyRouter::new(&g, 49).unwrap();
         let route = |seed: u64| {
             let mut r = seeded_rng(seed);
-            router.route(&scheme, 0, &mut r, default_step_cap(&g), true).path.unwrap()
+            router
+                .route(&scheme, 0, &mut r, default_step_cap(&g), true)
+                .path
+                .unwrap()
         };
         // Different routing RNGs, same fixed links → identical path.
         assert_eq!(route(10), route(999));

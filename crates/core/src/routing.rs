@@ -50,11 +50,7 @@ impl<'g> GreedyRouter<'g> {
     }
 
     /// Builds the router reusing a caller-provided BFS workspace.
-    pub fn with_workspace(
-        g: &'g Graph,
-        target: NodeId,
-        bfs: &mut Bfs,
-    ) -> Result<Self, GraphError> {
+    pub fn with_workspace(g: &'g Graph, target: NodeId, bfs: &mut Bfs) -> Result<Self, GraphError> {
         g.check_node(target)?;
         let dist_t = bfs.distances(g, target);
         Ok(GreedyRouter { g, target, dist_t })
@@ -123,7 +119,11 @@ impl<'g> GreedyRouter<'g> {
         let mut u = source;
         let mut steps = 0u32;
         let mut long_links_used = 0u32;
-        let mut path = if record_path { Some(vec![source]) } else { None };
+        let mut path = if record_path {
+            Some(vec![source])
+        } else {
+            None
+        };
         while u != self.target && steps < max_steps {
             if self.dist_t[u as usize] == INFINITY {
                 break; // target unreachable from here

@@ -72,7 +72,10 @@ pub fn assert_sampling_matches<S: ExplicitScheme + ?Sized>(
     let mut total = 0.0;
     for (v, p) in dist {
         assert!(p > 0.0, "non-positive probability in distribution");
-        assert_eq!(expected[v as usize], 0.0, "duplicate node {v} in distribution");
+        assert_eq!(
+            expected[v as usize], 0.0,
+            "duplicate node {v} in distribution"
+        );
         expected[v as usize] = p;
         total += p;
     }

@@ -193,11 +193,8 @@ mod tests {
     #[test]
     fn internal_mass_counts_ordered_pairs() {
         // 3x3 matrix with p(1,2) = 0.5, p(2,1) = 0.25.
-        let m = AugmentationMatrix::from_rows(
-            3,
-            vec![vec![(2, 0.5)], vec![(1, 0.25)], vec![]],
-        )
-        .unwrap();
+        let m = AugmentationMatrix::from_rows(3, vec![vec![(2, 0.5)], vec![(1, 0.25)], vec![]])
+            .unwrap();
         assert!((internal_mass(&m, &[1, 2]) - 0.75).abs() < 1e-12);
         assert_eq!(internal_mass(&m, &[1, 3]), 0.0);
         assert_eq!(internal_mass(&m, &[2, 3]), 0.0);
@@ -218,7 +215,10 @@ mod tests {
             "mass {} not below 1",
             s.internal_mass
         );
-        assert!((s.internal_mass - 0.9).abs() < 1e-9, "uniform mass is exactly s(s-1)/n");
+        assert!(
+            (s.internal_mass - 0.9).abs() < 1e-9,
+            "uniform mass is exactly s(s-1)/n"
+        );
     }
 
     #[test]

@@ -73,10 +73,7 @@ impl TrialResult {
 
     /// Max of per-pair means — the empirical greedy-diameter estimate.
     pub fn max_pair_mean(&self) -> f64 {
-        self.pairs
-            .iter()
-            .map(|p| p.mean_steps)
-            .fold(0.0, f64::max)
+        self.pairs.iter().map(|p| p.mean_steps).fold(0.0, f64::max)
     }
 
     /// Total failures across pairs.
@@ -231,7 +228,11 @@ mod tests {
         };
         let r = run_trials(&g, &UniformScheme, &[(0, 399)], &cfg).unwrap();
         // E[steps] = O(√n·polylog-ish constant); must clearly beat 399.
-        assert!(r.pairs[0].mean_steps < 250.0, "mean {}", r.pairs[0].mean_steps);
+        assert!(
+            r.pairs[0].mean_steps < 250.0,
+            "mean {}",
+            r.pairs[0].mean_steps
+        );
         assert!(r.pairs[0].mean_long_links >= 1.0);
     }
 

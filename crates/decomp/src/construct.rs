@@ -144,8 +144,8 @@ mod tests {
 
     #[test]
     fn from_ordering_on_clique() {
-        let g = GraphBuilder::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .unwrap();
+        let g =
+            GraphBuilder::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         let pd = from_ordering(&g, &[0, 1, 2, 3]);
         assert!(validate_path_decomposition(&g, &pd).is_ok());
         assert_eq!(decomposition_width(&pd), 3);

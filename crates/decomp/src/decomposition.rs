@@ -156,16 +156,13 @@ mod tests {
     fn reduce_removes_nested_bags() {
         let mut pd = PathDecomposition::new(vec![
             vec![0, 1],
-            vec![1],       // subset of previous
+            vec![1], // subset of previous
             vec![1, 2, 3],
-            vec![2, 3],    // subset of previous
+            vec![2, 3], // subset of previous
             vec![3, 4],
         ]);
         pd.reduce();
-        assert_eq!(
-            pd.bags,
-            vec![vec![0, 1], vec![1, 2, 3], vec![3, 4]]
-        );
+        assert_eq!(pd.bags, vec![vec![0, 1], vec![1, 2, 3], vec![3, 4]]);
     }
 
     #[test]

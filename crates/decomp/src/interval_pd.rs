@@ -118,8 +118,7 @@ mod tests {
                 .collect();
             let g = rep_graph(&iv);
             let pd = from_intervals(&iv);
-            validate_path_decomposition(&g, &pd)
-                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            validate_path_decomposition(&g, &pd).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             // Each bag is a clique → pairwise adjacency.
             for bag in &pd.bags {
                 for (a, &x) in bag.iter().enumerate() {

@@ -87,10 +87,7 @@ pub fn tree_decomposition_width(td: &crate::decomposition::TreeDecomposition) ->
 
 /// Length of a tree-decomposition: max bag length (Dourisboure's
 /// treelength when minimised).
-pub fn tree_decomposition_length(
-    g: &Graph,
-    td: &crate::decomposition::TreeDecomposition,
-) -> u32 {
+pub fn tree_decomposition_length(g: &Graph, td: &crate::decomposition::TreeDecomposition) -> u32 {
     let mut bfs = Bfs::new(g.num_nodes());
     td.bags
         .iter()
@@ -103,10 +100,7 @@ pub fn tree_decomposition_length(
 /// minimised over tree-decompositions this is the paper's **treeshape**
 /// `ts(G)`; since every path-decomposition is a tree-decomposition,
 /// `ts(G) ≤ ps(G)` always.
-pub fn tree_decomposition_shape(
-    g: &Graph,
-    td: &crate::decomposition::TreeDecomposition,
-) -> usize {
+pub fn tree_decomposition_shape(g: &Graph, td: &crate::decomposition::TreeDecomposition) -> usize {
     let mut bfs = Bfs::new(g.num_nodes());
     td.bags
         .iter()
@@ -171,8 +165,8 @@ mod tests {
 
     #[test]
     fn shape_of_clique_bag_is_one() {
-        let g = GraphBuilder::from_edges(5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .unwrap();
+        let g =
+            GraphBuilder::from_edges(5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         let mut bfs = Bfs::new(5);
         // Bag = K4: width 3, length 1 → shape 1 (the interval-graph case).
         assert_eq!(bag_shape(&g, &[0, 1, 2, 3], &mut bfs), 1);
@@ -186,8 +180,14 @@ mod tests {
         let pd = PathDecomposition::new(vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5, 6, 7]]);
         let td = pd.to_tree_decomposition();
         assert_eq!(tree_decomposition_width(&td), decomposition_width(&pd));
-        assert_eq!(tree_decomposition_length(&g, &td), decomposition_length(&g, &pd));
-        assert_eq!(tree_decomposition_shape(&g, &td), decomposition_shape(&g, &pd));
+        assert_eq!(
+            tree_decomposition_length(&g, &td),
+            decomposition_length(&g, &pd)
+        );
+        assert_eq!(
+            tree_decomposition_shape(&g, &td),
+            decomposition_shape(&g, &pd)
+        );
     }
 
     #[test]

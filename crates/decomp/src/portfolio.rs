@@ -47,7 +47,10 @@ pub fn best_path_decomposition(g: &Graph, hints: &Hints) -> PortfolioResult {
     }
     if let Some(iv) = &hints.intervals {
         if iv.len() == n {
-            candidates.push(("interval-clique-path", crate::interval_pd::from_intervals(iv)));
+            candidates.push((
+                "interval-clique-path",
+                crate::interval_pd::from_intervals(iv),
+            ));
         }
     }
     candidates.push(("order-identity", from_ordering(g, &identity_order(g))));
@@ -105,11 +108,8 @@ mod tests {
 
     #[test]
     fn tree_gets_log_shape() {
-        let g = GraphBuilder::from_edges(
-            127,
-            (1..127).map(|i| (((i - 1) / 2) as u32, i as u32)),
-        )
-        .unwrap();
+        let g = GraphBuilder::from_edges(127, (1..127).map(|i| (((i - 1) / 2) as u32, i as u32)))
+            .unwrap();
         let r = best_path_decomposition(&g, &Hints::default());
         assert!(r.shape <= 8, "shape {} winner {}", r.shape, r.winner);
         validate_path_decomposition(&g, &r.pd).unwrap();

@@ -127,8 +127,7 @@ mod tests {
     }
 
     fn kary(k: usize, n: usize) -> Graph {
-        GraphBuilder::from_edges(n, (1..n).map(|i| (((i - 1) / k) as NodeId, i as NodeId)))
-            .unwrap()
+        GraphBuilder::from_edges(n, (1..n).map(|i| (((i - 1) / k) as NodeId, i as NodeId))).unwrap()
     }
 
     fn log2_ceil(n: usize) -> usize {
@@ -140,8 +139,7 @@ mod tests {
         for n in [1usize, 2, 3, 5, 17, 64] {
             let g = path_graph(n);
             let pd = tree_path_decomposition(&g);
-            validate_path_decomposition(&g, &pd)
-                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            validate_path_decomposition(&g, &pd).unwrap_or_else(|e| panic!("n={n}: {e}"));
             // The heavy path of a path is the path: width must be 1 (or 0).
             assert!(decomposition_width(&pd) <= 1, "n={n}");
         }
@@ -160,8 +158,7 @@ mod tests {
         for n in [15usize, 63, 255, 1023] {
             let g = kary(2, n);
             let pd = tree_path_decomposition(&g);
-            validate_path_decomposition(&g, &pd)
-                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            validate_path_decomposition(&g, &pd).unwrap_or_else(|e| panic!("n={n}: {e}"));
             let w = decomposition_width(&pd);
             assert!(
                 w <= log2_ceil(n) + 1,

@@ -188,12 +188,7 @@ mod tests {
     #[test]
     fn canonical_path_decomposition_valid() {
         let g = path_graph(5);
-        let pd = PathDecomposition::new(vec![
-            vec![0, 1],
-            vec![1, 2],
-            vec![2, 3],
-            vec![3, 4],
-        ]);
+        let pd = PathDecomposition::new(vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]);
         assert!(validate_path_decomposition(&g, &pd).is_ok());
     }
 

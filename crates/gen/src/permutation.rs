@@ -170,11 +170,7 @@ mod tests {
             let n = 500;
             let (g, perm) = banded_permutation_graph(n, 6, &mut rng(seed)).unwrap();
             assert!(is_connected(&g), "seed {seed}");
-            assert!(
-                g.num_edges() < n * 20,
-                "too dense: {} edges",
-                g.num_edges()
-            );
+            assert!(g.num_edges() < n * 20, "too dense: {} edges", g.num_edges());
             let mut sorted = perm.clone();
             sorted.sort_unstable();
             assert_eq!(sorted, (0..n).collect::<Vec<_>>());

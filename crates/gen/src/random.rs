@@ -147,7 +147,9 @@ pub fn random_geometric(n: usize, radius: f64, rng: &mut impl Rng) -> Result<Gra
         return Err(GraphError::Empty);
     }
     let radius = radius.clamp(0.0, 2.0_f64.sqrt());
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let cell = radius.max(1e-9);
     let cells_per_side = (1.0 / cell).ceil().max(1.0) as usize;
     let cell_of = |p: (f64, f64)| -> (usize, usize) {

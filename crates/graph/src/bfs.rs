@@ -78,9 +78,7 @@ impl Bfs {
     /// [`INFINITY`] for unreachable nodes.
     pub fn distances(&mut self, g: &Graph, source: NodeId) -> Vec<u32> {
         self.run(g, source, u32::MAX, |_, _| true);
-        (0..g.num_nodes())
-            .map(|v| self.dist(v as NodeId))
-            .collect()
+        (0..g.num_nodes()).map(|v| self.dist(v as NodeId)).collect()
     }
 
     /// Runs BFS from `source` out to radius `max_depth`, invoking `visit`

@@ -207,11 +207,14 @@ mod tests {
     #[test]
     fn adjacency_sorted_for_every_node() {
         // Star with hub 3 plus extra chords, inserted in scrambled order.
-        let g = GraphBuilder::from_edges(6, [(3, 5), (3, 0), (3, 4), (3, 1), (3, 2), (1, 5)])
-            .unwrap();
+        let g =
+            GraphBuilder::from_edges(6, [(3, 5), (3, 0), (3, 4), (3, 1), (3, 2), (1, 5)]).unwrap();
         for u in g.nodes() {
             let nb = g.neighbors(u);
-            assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted at {u}: {nb:?}");
+            assert!(
+                nb.windows(2).all(|w| w[0] < w[1]),
+                "unsorted at {u}: {nb:?}"
+            );
         }
         assert_eq!(g.neighbors(3), &[0, 1, 2, 4, 5]);
     }

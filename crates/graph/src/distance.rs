@@ -127,11 +127,7 @@ mod tests {
     }
 
     fn cycle(n: usize) -> Graph {
-        GraphBuilder::from_edges(
-            n,
-            (0..n as NodeId).map(|u| (u, (u + 1) % n as NodeId)),
-        )
-        .unwrap()
+        GraphBuilder::from_edges(n, (0..n as NodeId).map(|u| (u, (u + 1) % n as NodeId))).unwrap()
     }
 
     #[test]

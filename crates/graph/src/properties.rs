@@ -98,8 +98,7 @@ mod tests {
     }
 
     fn cycle(n: usize) -> Graph {
-        GraphBuilder::from_edges(n, (0..n as NodeId).map(|u| (u, (u + 1) % n as NodeId)))
-            .unwrap()
+        GraphBuilder::from_edges(n, (0..n as NodeId).map(|u| (u, (u + 1) % n as NodeId))).unwrap()
     }
 
     fn complete(n: usize) -> Graph {
@@ -128,8 +127,8 @@ mod tests {
         assert!(is_cycle_graph(&cycle(10)));
         assert!(!is_cycle_graph(&path(4)));
         // Two disjoint triangles: m == n, all degree 2, but disconnected.
-        let g = GraphBuilder::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .unwrap();
+        let g =
+            GraphBuilder::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
         assert!(!is_cycle_graph(&g));
     }
 

@@ -167,20 +167,8 @@ mod tests {
     #[test]
     fn map_reduce_order_is_stable() {
         // Build a string to make the fold order observable.
-        let s1 = parallel_map_reduce(
-            10,
-            1,
-            |i| i.to_string(),
-            String::new(),
-            |acc, x| acc + &x,
-        );
-        let s8 = parallel_map_reduce(
-            10,
-            8,
-            |i| i.to_string(),
-            String::new(),
-            |acc, x| acc + &x,
-        );
+        let s1 = parallel_map_reduce(10, 1, |i| i.to_string(), String::new(), |acc, x| acc + &x);
+        let s8 = parallel_map_reduce(10, 8, |i| i.to_string(), String::new(), |acc, x| acc + &x);
         assert_eq!(s1, "0123456789");
         assert_eq!(s1, s8);
     }

@@ -153,7 +153,8 @@ pub fn seeded_rng(seed: u64) -> Xoshiro256pp {
 /// Mixes the task index through SplitMix64 so neighbouring tasks get
 /// unrelated streams; deterministic regardless of thread scheduling.
 pub fn task_rng(seed: u64, task: u64) -> Xoshiro256pp {
-    let mut sm = SplitMix64::new(seed ^ 0x6A09_E667_F3BC_C909u64.wrapping_mul(task.wrapping_add(1)));
+    let mut sm =
+        SplitMix64::new(seed ^ 0x6A09_E667_F3BC_C909u64.wrapping_mul(task.wrapping_add(1)));
     // Burn a few outputs so close (seed, task) pairs decorrelate further.
     let a = sm.next();
     let b = sm.next();

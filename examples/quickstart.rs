@@ -42,7 +42,10 @@ fn main() {
     let kleinberg = KleinbergScheme::new(2.0);
     let t2 = Theorem2Scheme::from_portfolio(&g);
     let schemes: Vec<(&str, &dyn AugmentationScheme)> = vec![
-        ("no augmentation", &navigability::core::uniform::NoAugmentation),
+        (
+            "no augmentation",
+            &navigability::core::uniform::NoAugmentation,
+        ),
         ("uniform (Peleg, O(√n))", &uniform),
         ("theorem 2 (M,L)", &t2),
         ("ball scheme (thm 4, Õ(n^1/3))", &ball),

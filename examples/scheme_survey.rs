@@ -36,7 +36,15 @@ fn main() {
 
     let mut table = Table::new(
         format!("Greedy-diameter estimates at n ≈ {n} (max-pair mean steps; smaller is better)"),
-        &["family", "diam", "none", "uniform", "theorem2", "ball", "harmonic α=2"],
+        &[
+            "family",
+            "diam",
+            "none",
+            "uniform",
+            "theorem2",
+            "ball",
+            "harmonic α=2",
+        ],
     );
 
     for fam in families {

@@ -25,7 +25,10 @@
 //! let mut rng = seeded_rng(7);
 //! let outcome = route_with_fresh_oracle(&g, &scheme, 0, 32 * 32 - 1, &mut rng).unwrap();
 //! assert!(outcome.reached);
-//! assert!(outcome.steps <= 62); // never worse than the shortest path
+//! // Greedy routing strictly decreases the distance to the target each
+//! // step, so it never takes more steps than the shortest path:
+//! // dist(corner, corner) = 31 + 31 = 62 on a 32x32 grid.
+//! assert!(outcome.steps <= 62);
 //! ```
 
 pub use nav_analysis as analysis;
@@ -50,3 +53,9 @@ pub mod prelude {
     pub use nav_graph::{Graph, GraphBuilder, NodeId};
     pub use nav_par::rng::seeded_rng;
 }
+
+/// Compile-checks the README's code blocks as doctests, so the front-page
+/// examples can never drift from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;

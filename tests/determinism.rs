@@ -48,7 +48,9 @@ fn generators_are_seed_pure() {
 #[test]
 fn full_experiment_measure_is_reproducible() {
     // The bench-harness statistic itself: same config → same numbers.
-    let g = Family::RandomTree.generate(300, &mut seeded_rng(3)).unwrap();
+    let g = Family::RandomTree
+        .generate(300, &mut seeded_rng(3))
+        .unwrap();
     let t2 = Theorem2Scheme::from_portfolio(&g);
     let r1 = run_trials(&g, &t2, &[(0, 299)], &cfg(7, 1)).unwrap();
     let r2 = run_trials(&g, &t2, &[(0, 299)], &cfg(7, 3)).unwrap();
@@ -64,7 +66,13 @@ fn routing_path_reproducible_per_seed() {
     let route = |seed: u64| {
         let mut rng = seeded_rng(seed);
         router
-            .route(&ball, (g.num_nodes() - 1) as NodeId, &mut rng, default_step_cap(&g), true)
+            .route(
+                &ball,
+                (g.num_nodes() - 1) as NodeId,
+                &mut rng,
+                default_step_cap(&g),
+                true,
+            )
             .path
             .unwrap()
     };

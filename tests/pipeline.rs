@@ -37,7 +37,12 @@ fn full_pipeline_every_family() {
 #[test]
 fn steps_bounded_by_distance_and_size() {
     let mut rng = seeded_rng(77);
-    for &fam in &[Family::Path, Family::Grid2d, Family::RandomTree, Family::Lollipop] {
+    for &fam in &[
+        Family::Path,
+        Family::Grid2d,
+        Family::RandomTree,
+        Family::Lollipop,
+    ] {
         let g = fam.generate(500, &mut rng).expect("generate");
         let ball = BallScheme::new(&g);
         let r = run_standard(&g, &ball, 4, &trial_cfg(9)).expect("trials");

@@ -1,6 +1,7 @@
 //! Cross-scheme contract tests: every explicit scheme's sampler matches
 //! its declared distribution, and Monte-Carlo matches the exact evaluator.
 
+use nav_par::rng::task_rng;
 use navigability::core::exact::exact_expected_steps;
 use navigability::core::routing::{default_step_cap, GreedyRouter};
 use navigability::core::scheme::{assert_sampling_matches, ExplicitScheme};
@@ -8,7 +9,6 @@ use navigability::core::theorem3::RestrictedLabelScheme;
 use navigability::core::uniform::NoAugmentation;
 use navigability::gen::{classic, grid};
 use navigability::prelude::*;
-use nav_par::rng::task_rng;
 
 fn schemes_for(g: &navigability::graph::Graph) -> Vec<Box<dyn ExplicitScheme>> {
     let n = g.num_nodes();
@@ -71,14 +71,20 @@ fn monte_carlo_matches_exact_for_every_scheme() {
     let source: NodeId = 0;
     let trials = 4000;
     for scheme in schemes_for(&g) {
-        let exact = exact_expected_steps(&g, scheme.as_ref(), target).expect("connected")
-            [source as usize];
+        let exact =
+            exact_expected_steps(&g, scheme.as_ref(), target).expect("connected")[source as usize];
         let router = GreedyRouter::new(&g, target).expect("router");
         let mut sum = 0.0;
         for t in 0..trials {
             let mut rng = task_rng(31, t as u64);
             sum += router
-                .route(scheme.as_ref(), source, &mut rng, default_step_cap(&g), false)
+                .route(
+                    scheme.as_ref(),
+                    source,
+                    &mut rng,
+                    default_step_cap(&g),
+                    false,
+                )
                 .steps as f64;
         }
         let mc = sum / trials as f64;

@@ -21,11 +21,7 @@ fn peleg_sqrt_argument_scales_on_path() {
         ratios.push(e[0] / (n as f64).sqrt());
     }
     for w in ratios.windows(2) {
-        assert!(
-            w[1] < w[0] * 1.5,
-            "√n ratio exploding: {:?}",
-            ratios
-        );
+        assert!(w[1] < w[0] * 1.5, "√n ratio exploding: {:?}", ratios);
     }
     // And the absolute constant is small (Peleg's argument gives ≤ 3√n).
     assert!(ratios.iter().all(|&r| r < 3.0), "{ratios:?}");

@@ -1,0 +1,294 @@
+//! Offline, API-compatible subset of
+//! [`criterion`](https://crates.io/crates/criterion), vendored so the
+//! workspace's `[[bench]]` targets build and run without network access.
+//!
+//! It keeps the call surface the workspace uses — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — but replaces the
+//! statistical machinery with a plain wall-clock harness: each benchmark is
+//! warmed up, then timed over `sample_size` samples, and the per-iteration
+//! mean/min are printed. Good enough to detect order-of-magnitude
+//! regressions; swap in real criterion when the registry is reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a function name plus an
+/// optional parameter (typically the instance size).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a displayed parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped under the group name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `payload` repeatedly and records per-sample wall-clock times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // Warm-up: one sample, unrecorded, also primes caches/allocations.
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(payload());
+        }
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(payload());
+            }
+            self.measured.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.render());
+        if !self.criterion.matches_filter(&full) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: self.sample_size,
+            measured: Vec::new(),
+        };
+        // Calibrate iterations so one sample takes >= ~1ms (cheap payloads
+        // would otherwise be all timer noise).
+        loop {
+            f(&mut bencher);
+            let per_sample = bencher
+                .measured
+                .iter()
+                .sum::<Duration>()
+                .checked_div(bencher.measured.len() as u32)
+                .unwrap_or_default();
+            if per_sample >= Duration::from_millis(1) || bencher.iters_per_sample >= 1 << 20 {
+                break;
+            }
+            bencher.iters_per_sample *= 8;
+        }
+        let iters = bencher.iters_per_sample;
+        let per_iter = |d: Duration| d.checked_div(iters as u32).unwrap_or_default();
+        let min = bencher.measured.iter().min().copied().unwrap_or_default();
+        let mean = bencher
+            .measured
+            .iter()
+            .sum::<Duration>()
+            .checked_div(bencher.measured.len() as u32)
+            .unwrap_or_default();
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{full:<48} mean {:>12}/iter   min {:>12}/iter   ({} samples x {iters} iters)",
+            fmt_duration(per_iter(mean)),
+            fmt_duration(per_iter(min)),
+            self.sample_size,
+        );
+        println!("{line}");
+        self
+    }
+
+    /// Like [`Self::bench_function`] but hands the closure a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None }
+    }
+}
+
+impl Criterion {
+    /// Reads the benchmark-name filter from the command line, skipping the
+    /// flags cargo-bench passes (`--bench`, `--profile-time <n>` etc.).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" => {}
+                "--profile-time" | "--sample-size" | "--measurement-time" | "--warm-up-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = id.render();
+        self.benchmark_group(name).bench_function("", f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("bfs", 1024).render(), "bfs/1024");
+        assert_eq!(BenchmarkId::from(&"plain"[..]).render(), "plain");
+        assert_eq!(BenchmarkId::from_parameter(7).render(), "7");
+    }
+
+    #[test]
+    fn bench_runs_payload() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        let mut ran = 0u64;
+        group.sample_size(2).bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

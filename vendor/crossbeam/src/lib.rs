@@ -1,0 +1,128 @@
+//! Offline, API-compatible subset of the
+//! [`crossbeam`](https://crates.io/crates/crossbeam) crate, vendored so the
+//! workspace builds without network access.
+//!
+//! Only [`thread::scope`] is provided — the one entry point the workspace
+//! uses — implemented as a thin adapter over `std::thread::scope`, which has
+//! offered the same structured-concurrency guarantees since Rust 1.63.
+//! Semantic differences from upstream are confined to panic reporting: a
+//! panic in an **unjoined** spawned thread propagates when the scope exits
+//! (std behaviour) instead of surfacing as an `Err` from [`thread::scope`];
+//! explicitly `join()`ed threads report panics identically via
+//! `Result::Err`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads, mirroring `crossbeam::thread`.
+
+    /// Result of joining a thread: `Err` carries the panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handed to the [`scope`] closure; spawns borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope itself so threads can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Handle to a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result
+        /// (`Err` = the thread panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; all spawned threads are joined before `scope` returns.
+    ///
+    /// Upstream returns `Err` when any unjoined child panicked; this
+    /// adapter inherits std semantics (the panic propagates on scope exit),
+    /// so the returned `Result` is always `Ok`. Callers that `.expect()` it
+    /// behave identically either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_spawns_and_joins() {
+        let counter = AtomicUsize::new(0);
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let counter = &counter;
+                    s.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<usize>()
+        })
+        .expect("scope ok");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hit = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner
+                    .spawn(|_| hit.fetch_add(1, Ordering::Relaxed))
+                    .join()
+                    .unwrap();
+            })
+            .join()
+            .unwrap();
+        })
+        .unwrap();
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_reports_panics() {
+        let res = crate::thread::scope(|s| s.spawn(|_| panic!("boom")).join());
+        assert!(res.expect("scope itself ok").is_err());
+    }
+}
