@@ -1,0 +1,276 @@
+//! The `BENCH_core.json` perf-baseline emitter (`--bench-json`).
+//!
+//! Records wall-clock for the engine's three hot paths — single-source
+//! BFS, all-pairs distances, and an E1-style trial sweep — and the
+//! before/after of the distance-oracle refactor. "Before" is the
+//! *pre-refactor engine reproduced from the public API*: one sequential
+//! scalar BFS per source for all-pairs, and one fresh per-pair BFS router
+//! inside the trial loop. "After" is the shipped path: 64-lane bit-parallel
+//! MS-BFS batches fanned out to `nav-par` workers, with routers borrowing
+//! cached oracle rows.
+//!
+//! The emitter is also a correctness gate: it asserts that the new engine's
+//! outputs are **bit-identical** to the legacy engine's (distances byte for
+//! byte; trial statistics field for field) and identical across thread
+//! counts, and only then renders the JSON. CI runs it in `--quick` mode so
+//! the harness and the schema cannot rot silently.
+
+use crate::workloads::Workload;
+use crate::ExpConfig;
+use nav_core::routing::{default_step_cap, GreedyRouter};
+use nav_core::scheme::AugmentationScheme;
+use nav_core::trial::{
+    aggregate_pair, extremal_pairs, random_pairs, run_trials, PairStats, TrialConfig,
+};
+use nav_core::uniform::UniformScheme;
+use nav_graph::bfs::Bfs;
+use nav_graph::distance::DistanceMatrix;
+use nav_graph::msbfs::MsBfs;
+use nav_graph::{Graph, NodeId, INFINITY};
+use nav_par::rng::{seeded_rng, task_rng};
+use std::time::Instant;
+
+/// Milliseconds of the fastest of `reps` runs of `f` (≥ 1 rep).
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// The pre-refactor all-pairs computation: `n` sequential scalar BFS
+/// sweeps, one row each (what `DistanceMatrix::new` did before MS-BFS).
+fn legacy_all_pairs(g: &Graph) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut data = vec![INFINITY; n * n];
+    let mut bfs = Bfs::new(n);
+    for s in 0..n {
+        bfs.run(g, s as NodeId, u32::MAX, |_, _| true);
+        let row = &mut data[s * n..(s + 1) * n];
+        for (v, slot) in row.iter_mut().enumerate() {
+            *slot = bfs.dist(v as NodeId);
+        }
+    }
+    data
+}
+
+/// The pre-refactor trial engine: one fresh BFS router per pair, no shared
+/// oracle (what `run_trials` did before the `TargetDistanceCache`). The
+/// per-pair statistics come from the same [`aggregate_pair`] the engine
+/// uses, so the bit-identity comparison isolates exactly the provenance of
+/// the distance rows.
+fn legacy_run_trials<S: AugmentationScheme + ?Sized>(
+    g: &Graph,
+    scheme: &S,
+    pairs: &[(NodeId, NodeId)],
+    cfg: &TrialConfig,
+) -> Vec<PairStats> {
+    let cap = default_step_cap(g);
+    nav_par::parallel_map(pairs.len(), cfg.threads, |idx| {
+        let (s, t) = pairs[idx];
+        let router = GreedyRouter::new(g, t).expect("valid pair");
+        let mut rng = task_rng(cfg.seed, idx as u64);
+        aggregate_pair(&router, scheme, s, &mut rng, cfg.trials_per_pair, cap)
+    })
+}
+
+/// Exact (bit-level for floats) equality of two per-pair stat sets.
+fn stats_identical(a: &[PairStats], b: &[PairStats]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.s == y.s
+                && x.t == y.t
+                && x.dist == y.dist
+                && x.mean_steps.to_bits() == y.mean_steps.to_bits()
+                && x.std_steps.to_bits() == y.std_steps.to_bits()
+                && x.max_steps == y.max_steps
+                && x.mean_long_links.to_bits() == y.mean_long_links.to_bits()
+                && x.failures == y.failures
+        })
+}
+
+fn fms(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Runs the core benchmark suite and renders `BENCH_core.json`.
+///
+/// # Panics
+/// Panics if any "after" output differs from the legacy engine's or
+/// between thread counts — the JSON is only produced for a correct engine.
+pub fn render_core_bench(cfg: &ExpConfig) -> String {
+    let n = if cfg.quick { 512 } else { 4096 };
+    let reps_ap = if cfg.quick { 3 } else { 2 };
+    let num_random_pairs = if cfg.quick { 30 } else { 510 };
+    let trials_per_pair = 8;
+
+    // The E1 Gnp family at the ISSUE's reference size: low diameter, so
+    // 64-lane frontiers overlap heavily — the workload the batched oracle
+    // is built for (high-diameter families degrade gracefully to
+    // scalar-equivalent traversal counts).
+    let g = Workload::Gnp.build(n, cfg.seed_for("bench-core", n));
+    let n = g.num_nodes();
+
+    // --- single-source BFS (traversal only, both engines) ---------------
+    let probe_sources: Vec<NodeId> = (0..64.min(n) as NodeId).collect();
+    let mut bfs = Bfs::new(n);
+    let scalar_ms = time_ms(5, || {
+        for &s in &probe_sources {
+            bfs.run(&g, s, u32::MAX, |_, _| true);
+        }
+    });
+    let mut ms = MsBfs::new(n);
+    let msbfs_ms = time_ms(5, || {
+        ms.run(&g, &probe_sources, |_, _, _| {});
+    });
+    let per_source_scalar_us = scalar_ms * 1e3 / probe_sources.len() as f64;
+    let per_source_msbfs_us = msbfs_ms * 1e3 / probe_sources.len() as f64;
+
+    // --- all-pairs distances --------------------------------------------
+    let mut legacy_data = Vec::new();
+    let before_ap_ms = time_ms(reps_ap, || legacy_data = legacy_all_pairs(&g));
+    let mut matrix = None;
+    let after_ap_ms = time_ms(reps_ap, || {
+        matrix = Some(DistanceMatrix::with_threads(&g, cfg.threads))
+    });
+    let matrix = matrix.expect("timed at least once");
+    for u in 0..n {
+        assert_eq!(
+            matrix.row(u as NodeId),
+            &legacy_data[u * n..(u + 1) * n],
+            "all-pairs row {u} diverged from the legacy engine"
+        );
+    }
+
+    // --- E1-style trial sweep -------------------------------------------
+    let scheme = UniformScheme;
+    let mut pairs = extremal_pairs(&g);
+    let mut rng = seeded_rng(cfg.seed_for("bench-sweep", n));
+    pairs.extend(random_pairs(&g, num_random_pairs, &mut rng));
+    let tc = TrialConfig {
+        trials_per_pair,
+        seed: cfg.seed_for("bench-trials", n),
+        threads: cfg.threads,
+    };
+    let mut legacy_stats = Vec::new();
+    let before_sweep_ms = time_ms(3, || {
+        legacy_stats = legacy_run_trials(&g, &scheme, &pairs, &tc);
+    });
+    let mut oracle_result = None;
+    let after_sweep_ms = time_ms(3, || {
+        oracle_result = Some(run_trials(&g, &scheme, &pairs, &tc).expect("valid pairs"));
+    });
+    let oracle_stats = oracle_result.expect("timed at least once");
+    assert!(
+        stats_identical(&legacy_stats, &oracle_stats.pairs),
+        "oracle trial sweep diverged from the pre-refactor engine"
+    );
+    // Thread invariance needs a genuinely multi-worker run: workers spawn
+    // regardless of physical cores, so force ≥ 2 even on 1-core boxes
+    // (where cfg.threads == 1 would otherwise compare a run to itself).
+    let single = TrialConfig {
+        threads: 1,
+        ..tc.clone()
+    };
+    let multi = TrialConfig {
+        threads: tc.threads.max(2),
+        ..tc
+    };
+    let sequential = run_trials(&g, &scheme, &pairs, &single).expect("valid pairs");
+    let parallel = run_trials(&g, &scheme, &pairs, &multi).expect("valid pairs");
+    assert!(
+        stats_identical(&sequential.pairs, &parallel.pairs),
+        "trial sweep diverged between 1 and {} worker threads",
+        multi.threads
+    );
+    assert!(
+        stats_identical(&sequential.pairs, &oracle_stats.pairs),
+        "trial sweep diverged across thread counts"
+    );
+
+    // --- render ----------------------------------------------------------
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"nav-bench-core/v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cfg.quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"threads\": {},\n", cfg.threads));
+    out.push_str(&format!(
+        "  \"graph\": {{\"family\": \"gnp\", \"n\": {}, \"m\": {}, \"avg_degree\": {}}},\n",
+        n,
+        g.num_edges(),
+        fms(g.avg_degree())
+    ));
+    out.push_str(&format!(
+        "  \"bfs_single_source\": {{\"sources\": {}, \"scalar_us_per_source\": {}, \"msbfs64_us_per_source\": {}, \"speedup\": {}}},\n",
+        probe_sources.len(),
+        fms(per_source_scalar_us),
+        fms(per_source_msbfs_us),
+        fms(per_source_scalar_us / per_source_msbfs_us)
+    ));
+    out.push_str(&format!(
+        "  \"all_pairs\": {{\"n\": {}, \"before_ms\": {}, \"after_ms\": {}, \"speedup\": {}, \"identical\": true}},\n",
+        n,
+        fms(before_ap_ms),
+        fms(after_ap_ms),
+        fms(before_ap_ms / after_ap_ms)
+    ));
+    out.push_str(&format!(
+        "  \"trial_sweep\": {{\"pairs\": {}, \"trials_per_pair\": {}, \"scheme\": \"uniform\", \"before_ms\": {}, \"after_ms\": {}, \"speedup\": {}, \"bit_identical\": true, \"thread_invariant\": true}}\n",
+        pairs.len(),
+        trials_per_pair,
+        fms(before_sweep_ms),
+        fms(after_sweep_ms),
+        fms(before_sweep_ms / after_sweep_ms)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_renders_valid_schema() {
+        let cfg = ExpConfig {
+            quick: true,
+            seed: 3,
+            threads: 2,
+        };
+        let json = render_core_bench(&cfg);
+        // Hand-rolled JSON: check the schema markers and that every
+        // section landed. (No JSON parser in the dependency-free build.)
+        for key in [
+            "\"schema\": \"nav-bench-core/v1\"",
+            "\"mode\": \"quick\"",
+            "\"bfs_single_source\"",
+            "\"all_pairs\"",
+            "\"trial_sweep\"",
+            "\"bit_identical\": true",
+            "\"thread_invariant\": true",
+            "\"identical\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn legacy_all_pairs_matches_matrix_on_tiny_graph() {
+        let g = Workload::Grid2d.build(64, 1);
+        let n = g.num_nodes();
+        let legacy = legacy_all_pairs(&g);
+        let m = DistanceMatrix::with_threads(&g, 2);
+        for u in 0..n {
+            assert_eq!(m.row(u as NodeId), &legacy[u * n..(u + 1) * n]);
+        }
+    }
+}

@@ -1,10 +1,14 @@
 //! The experiment binary: regenerates every table/figure of the
-//! reproduction (EXPERIMENTS.md records a full run).
+//! reproduction (EXPERIMENTS.md records a full run), and — in
+//! `--bench-json` mode — the `BENCH_core.json` perf baseline of the
+//! distance-oracle layer.
 //!
 //! ```text
 //! cargo run -p nav-bench --release --bin experiments -- [--quick] [--exp e1,e7] [--threads N] [--seed S] [--csv]
+//! cargo run -p nav-bench --release --bin experiments -- --bench-json [PATH] [--quick] [--threads N] [--seed S]
 //! ```
 
+use nav_bench::benchjson::render_core_bench;
 use nav_bench::experiments::run_experiments;
 use nav_bench::ExpConfig;
 
@@ -12,11 +16,20 @@ fn main() {
     let mut cfg = ExpConfig::default();
     let mut which: Vec<String> = Vec::new();
     let mut csv = false;
-    let mut args = std::env::args().skip(1);
+    let mut bench_json: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => cfg.quick = true,
             "--csv" => csv = true,
+            "--bench-json" => {
+                // Optional output path; defaults to BENCH_core.json.
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with("--") => args.next().expect("peeked"),
+                    _ => "BENCH_core.json".to_string(),
+                };
+                bench_json = Some(path);
+            }
             "--exp" => {
                 let v = args.next().expect("--exp needs a value, e.g. e1,e7");
                 which.extend(v.split(',').map(|s| s.trim().to_string()));
@@ -35,7 +48,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--exp e1,..,e8] [--threads N] [--seed S] [--csv]"
+                    "usage: experiments [--quick] [--exp e1,..,e8] [--threads N] [--seed S] [--csv]\n       experiments --bench-json [PATH] [--quick] [--threads N] [--seed S]"
                 );
                 return;
             }
@@ -52,6 +65,19 @@ fn main() {
         cfg.threads
     );
     let start = std::time::Instant::now();
+    if let Some(path) = bench_json {
+        if !which.is_empty() || csv {
+            eprintln!("[experiments] note: --exp/--csv are ignored in --bench-json mode");
+        }
+        let json = render_core_bench(&cfg);
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        print!("{json}");
+        eprintln!(
+            "[experiments] bench-json -> {path} in {:.1?}",
+            start.elapsed()
+        );
+        return;
+    }
     let tables = run_experiments(&cfg, &which);
     for t in &tables {
         if csv {

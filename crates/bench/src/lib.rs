@@ -4,11 +4,14 @@
 //! theory paper with no empirical section, so the experiment suite defined
 //! in DESIGN.md §4 plays that role). Each `eN_*` function returns rendered
 //! tables; the `experiments` binary prints them, and the Criterion benches
-//! time representative instances of the same code paths.
+//! time representative instances of the same code paths. The binary's
+//! `--bench-json` mode ([`benchjson`]) emits the `BENCH_core.json` perf
+//! baseline for the distance-oracle layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchjson;
 pub mod experiments;
 pub mod measure;
 pub mod workloads;

@@ -2,7 +2,7 @@
 
 use crate::ExpConfig;
 use nav_core::scheme::AugmentationScheme;
-use nav_core::trial::{extremal_pairs, random_pairs, run_trials, TrialConfig};
+use nav_core::trial::{extremal_pairs_with_distance, random_pairs, run_trials, TrialConfig};
 use nav_graph::Graph;
 use nav_par::rng::seeded_rng;
 
@@ -28,12 +28,9 @@ pub fn measure(
     tag: &str,
 ) -> Point {
     let seed = cfg.seed_for(tag, g.num_nodes());
-    let mut pairs = extremal_pairs(g);
-    let diameter = {
-        let (a, b) = (pairs[0].0, pairs[0].1);
-        let mut bfs = nav_graph::bfs::Bfs::new(g.num_nodes());
-        bfs.distance_to(g, a, b)
-    };
+    // The double sweep behind the extremal pairs already measured their
+    // distance — reuse it rather than re-running a BFS.
+    let (mut pairs, diameter) = extremal_pairs_with_distance(g);
     let mut rng = seeded_rng(seed ^ 0x7a17);
     pairs.extend(random_pairs(g, cfg.random_pairs(), &mut rng));
     let tc = TrialConfig {

@@ -15,8 +15,10 @@
 //! a zero-variance oracle to validate the Monte-Carlo pipeline and to
 //! compute tiny-instance greedy diameters exactly.
 
+use crate::oracle::TargetDistanceCache;
 use crate::routing::GreedyRouter;
 use crate::scheme::ExplicitScheme;
+use nav_graph::msbfs::LANES;
 use nav_graph::{Graph, GraphError, NodeId, INFINITY};
 
 /// Exact `E[steps u → t]` for every source `u`, or an error if some node
@@ -27,6 +29,17 @@ pub fn exact_expected_steps<S: ExplicitScheme + ?Sized>(
     target: NodeId,
 ) -> Result<Vec<f64>, GraphError> {
     let router = GreedyRouter::new(g, target)?;
+    exact_expected_steps_for_router(scheme, &router)
+}
+
+/// [`exact_expected_steps`] against an existing router (fresh or borrowed
+/// from a [`TargetDistanceCache`]) — no extra BFS.
+pub fn exact_expected_steps_for_router<S: ExplicitScheme + ?Sized>(
+    scheme: &S,
+    router: &GreedyRouter<'_>,
+) -> Result<Vec<f64>, GraphError> {
+    let g = router.graph();
+    let target = router.target();
     let n = g.num_nodes();
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
     for u in &order {
@@ -67,15 +80,22 @@ pub fn exact_expected_steps<S: ExplicitScheme + ?Sized>(
 
 /// Exact greedy diameter of `(G, φ)`: `max_{s,t} E[steps s → t]` over all
 /// pairs. `O(n)` evaluator runs of `O(n · support)` each — small graphs.
+/// Target rows come from the distance oracle, 64 targets per bit-parallel
+/// BFS pass (chunked, so memory stays `O(64·n)` instead of `O(n²)`).
 pub fn exact_greedy_diameter<S: ExplicitScheme + ?Sized>(
     g: &Graph,
     scheme: &S,
 ) -> Result<f64, GraphError> {
+    let all: Vec<NodeId> = g.nodes().collect();
     let mut worst = 0.0f64;
-    for t in g.nodes() {
-        let e = exact_expected_steps(g, scheme, t)?;
-        for v in e {
-            worst = worst.max(v);
+    for chunk in all.chunks(LANES) {
+        let oracle = TargetDistanceCache::build(g, chunk.iter().copied(), 1)?;
+        for &t in chunk {
+            let router = oracle.router(t).expect("chunk target cached");
+            let e = exact_expected_steps_for_router(scheme, &router)?;
+            for v in e {
+                worst = worst.max(v);
+            }
         }
     }
     Ok(worst)

@@ -20,6 +20,11 @@
 //! identical to sampling all links upfront (deferred decisions), and the
 //! basis of the whole engine's efficiency.
 //!
+//! Distance queries flow through the shared oracle layer ([`oracle`]): the
+//! distinct targets of a workload are deduplicated and their distance rows
+//! computed 64 at a time by bit-parallel multi-source BFS, then borrowed by
+//! the routers — no per-pair BFS anywhere in the engine.
+//!
 //! Two evaluation paths cross-check each other:
 //! * Monte-Carlo trials ([`trial`], [`diameter`]) — parallel, seeded,
 //!   reproducible;
@@ -38,6 +43,7 @@ pub mod faulty;
 pub mod kleinberg;
 pub mod labeling;
 pub mod matrix;
+pub mod oracle;
 pub mod realization;
 pub mod routing;
 pub mod scheme;
@@ -52,6 +58,7 @@ pub use ball::BallScheme;
 pub use faulty::FaultyScheme;
 pub use kleinberg::KleinbergScheme;
 pub use matrix::{AugmentationMatrix, MatrixScheme};
+pub use oracle::TargetDistanceCache;
 pub use realization::Realization;
 pub use routing::{GreedyRouter, RouteOutcome};
 pub use scheme::{AugmentationScheme, ExplicitScheme};

@@ -7,7 +7,9 @@
 //! links.
 //!
 //! Implementation notes:
-//! * one BFS from the target provides `dist_G(·, t)` for the whole trial;
+//! * one distance row from the target serves the whole trial — computed by
+//!   a fresh BFS ([`GreedyRouter::new`]) or borrowed from the batched
+//!   [`crate::oracle::TargetDistanceCache`] ([`GreedyRouter::from_row`]);
 //! * the long-range contact of each visited node is sampled lazily
 //!   (deferred decisions — exact because greedy routing never revisits:
 //!   the best local neighbour already strictly decreases the distance);
@@ -17,6 +19,7 @@
 use crate::scheme::AugmentationScheme;
 use nav_graph::{bfs::Bfs, Graph, GraphError, NodeId, INFINITY};
 use rand::RngCore;
+use std::borrow::Cow;
 
 /// Outcome of one greedy-routing trial.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,11 +36,12 @@ pub struct RouteOutcome {
 }
 
 /// A router bound to one (graph, target) pair; reusable across sources and
-/// trials, amortising the target BFS.
+/// trials. The target-distance row is either owned (computed by one BFS)
+/// or borrowed from a shared [`crate::oracle::TargetDistanceCache`].
 pub struct GreedyRouter<'g> {
     g: &'g Graph,
     target: NodeId,
-    dist_t: Vec<u32>,
+    dist_t: Cow<'g, [u32]>,
 }
 
 impl<'g> GreedyRouter<'g> {
@@ -45,15 +49,45 @@ impl<'g> GreedyRouter<'g> {
     pub fn new(g: &'g Graph, target: NodeId) -> Result<Self, GraphError> {
         g.check_node(target)?;
         let mut bfs = Bfs::new(g.num_nodes());
-        let dist_t = bfs.distances(g, target);
+        let dist_t = Cow::Owned(bfs.distances(g, target));
         Ok(GreedyRouter { g, target, dist_t })
     }
 
     /// Builds the router reusing a caller-provided BFS workspace.
     pub fn with_workspace(g: &'g Graph, target: NodeId, bfs: &mut Bfs) -> Result<Self, GraphError> {
         g.check_node(target)?;
-        let dist_t = bfs.distances(g, target);
+        let dist_t = Cow::Owned(bfs.distances(g, target));
         Ok(GreedyRouter { g, target, dist_t })
+    }
+
+    /// Builds the router on a borrowed, precomputed distance row
+    /// (`dist_t[v] = dist_G(v, target)`) — no BFS. This is how the
+    /// distance-oracle layer hands out routers.
+    ///
+    /// # Panics
+    /// Panics if `dist_t.len() != g.num_nodes()` or `dist_t[target] != 0`
+    /// (a row that cannot be a distance row of `target`).
+    pub fn from_row(g: &'g Graph, target: NodeId, dist_t: &'g [u32]) -> Result<Self, GraphError> {
+        g.check_node(target)?;
+        assert_eq!(
+            dist_t.len(),
+            g.num_nodes(),
+            "distance row length must equal node count"
+        );
+        assert_eq!(
+            dist_t[target as usize], 0,
+            "row is not a distance row of target {target}"
+        );
+        Ok(GreedyRouter {
+            g,
+            target,
+            dist_t: Cow::Borrowed(dist_t),
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
     }
 
     /// The routing target.
@@ -319,6 +353,39 @@ mod tests {
         let out = router.route(&NoAugmentation, 0, &mut rng, 10, false);
         assert!(!out.reached);
         assert_eq!(out.steps, 10);
+    }
+
+    #[test]
+    fn from_row_routes_like_fresh_router() {
+        let g = path(40);
+        let fresh = GreedyRouter::new(&g, 39).unwrap();
+        let row: Vec<u32> = (0..40).map(|v| fresh.dist_to_target(v)).collect();
+        let borrowed = GreedyRouter::from_row(&g, 39, &row).unwrap();
+        let out_f = fresh.route(
+            &UniformScheme,
+            0,
+            &mut seeded_rng(11),
+            default_step_cap(&g),
+            true,
+        );
+        let out_b = borrowed.route(
+            &UniformScheme,
+            0,
+            &mut seeded_rng(11),
+            default_step_cap(&g),
+            true,
+        );
+        assert_eq!(out_f, out_b);
+        assert!(GreedyRouter::from_row(&g, 40, &row).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a distance row")]
+    fn from_row_rejects_wrong_target() {
+        let g = path(4);
+        let fresh = GreedyRouter::new(&g, 3).unwrap();
+        let row: Vec<u32> = (0..4).map(|v| fresh.dist_to_target(v)).collect();
+        let _ = GreedyRouter::from_row(&g, 0, &row);
     }
 
     #[test]

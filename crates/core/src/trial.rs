@@ -1,15 +1,19 @@
 //! Parallel Monte-Carlo trial running.
 //!
 //! Estimates `E(φ, s, t)` for a set of source/target pairs by repeated
-//! greedy-routing trials with fresh long-range draws. Pairs run in
-//! parallel (`nav-par`), each pair's trials use an RNG derived from
-//! `(seed, pair index)` — results are bit-identical across thread counts.
+//! greedy-routing trials with fresh long-range draws. Target-distance rows
+//! come from one shared [`TargetDistanceCache`] (each distinct target's
+//! row computed exactly once, 64 targets per bit-parallel BFS pass); pairs
+//! then run in parallel (`nav-par`), each pair's trials using an RNG
+//! derived from `(seed, pair index)` — results are bit-identical across
+//! thread counts.
 
+use crate::oracle::TargetDistanceCache;
 use crate::routing::{default_step_cap, GreedyRouter};
 use crate::scheme::AugmentationScheme;
 use nav_graph::{Graph, GraphError, NodeId};
 use nav_par::rng::task_rng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// Configuration for a trial run.
 #[derive(Clone, Debug)]
@@ -82,6 +86,52 @@ impl TrialResult {
     }
 }
 
+/// Aggregates `trials` independent routing attempts from `s` through
+/// `router` into a [`PairStats`]. This is *the* per-pair statistic
+/// definition: the engine below and the perf baseline's legacy-engine
+/// reproduction (`nav-bench`, `--bench-json`) both call it, so their
+/// bit-identity comparison isolates exactly where the distance rows came
+/// from.
+pub fn aggregate_pair<S: AugmentationScheme + ?Sized>(
+    router: &GreedyRouter<'_>,
+    scheme: &S,
+    s: NodeId,
+    rng: &mut dyn RngCore,
+    trials: usize,
+    cap: u32,
+) -> PairStats {
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut max_steps = 0u32;
+    let mut long_links = 0.0f64;
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        let out = router.route(scheme, s, rng, cap, false);
+        if !out.reached {
+            failures += 1;
+            continue;
+        }
+        let st = out.steps as f64;
+        sum += st;
+        sum_sq += st * st;
+        max_steps = max_steps.max(out.steps);
+        long_links += out.long_links_used as f64;
+    }
+    let ok = (trials - failures).max(1) as f64;
+    let mean = sum / ok;
+    let var = (sum_sq / ok - mean * mean).max(0.0);
+    PairStats {
+        s,
+        t: router.target(),
+        dist: router.dist_to_target(s),
+        mean_steps: mean,
+        std_steps: var.sqrt(),
+        max_steps,
+        mean_long_links: long_links / ok,
+        failures,
+    }
+}
+
 /// Runs trials for explicit (s, t) pairs.
 pub fn run_trials<S: AugmentationScheme + ?Sized>(
     g: &Graph,
@@ -93,42 +143,54 @@ pub fn run_trials<S: AugmentationScheme + ?Sized>(
         g.check_node(s)?;
         g.check_node(t)?;
     }
-    let cap = default_step_cap(g);
-    let stats = nav_par::parallel_map(pairs.len(), cfg.threads, |idx| {
-        let (s, t) = pairs[idx];
-        let router = GreedyRouter::new(g, t).expect("validated above");
-        let mut rng = task_rng(cfg.seed, idx as u64);
-        let mut sum = 0.0f64;
-        let mut sum_sq = 0.0f64;
-        let mut max_steps = 0u32;
-        let mut long_links = 0.0f64;
-        let mut failures = 0usize;
-        for _ in 0..cfg.trials_per_pair {
-            let out = router.route(scheme, s, &mut rng, cap, false);
-            if !out.reached {
-                failures += 1;
-                continue;
+    // Group the pair indices by distinct target, 64 distinct targets per
+    // group, and process the groups in waves of `threads`: within a wave
+    // every group's oracle builds on its own worker (one MS-BFS pass
+    // each) and the wave's pairs then share the full worker pool, so both
+    // phases scale with cores while resident rows stay bounded at
+    // `O(64·threads·n)` however many targets the workload has. Outputs
+    // are a pure function of `(seed, pair index)`, so neither grouping
+    // nor wave partitioning changes them.
+    use nav_graph::msbfs::LANES;
+    let mut slot_of = vec![u32::MAX; g.num_nodes()];
+    let mut num_targets = 0usize;
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (idx, &(_, t)) in pairs.iter().enumerate() {
+        let slot = &mut slot_of[t as usize];
+        if *slot == u32::MAX {
+            *slot = num_targets as u32;
+            num_targets += 1;
+            if num_targets.div_ceil(LANES) > groups.len() {
+                groups.push(Vec::new());
             }
-            let st = out.steps as f64;
-            sum += st;
-            sum_sq += st * st;
-            max_steps = max_steps.max(out.steps);
-            long_links += out.long_links_used as f64;
         }
-        let ok = (cfg.trials_per_pair - failures).max(1) as f64;
-        let mean = sum / ok;
-        let var = (sum_sq / ok - mean * mean).max(0.0);
-        PairStats {
-            s,
-            t,
-            dist: router.dist_to_target(s),
-            mean_steps: mean,
-            std_steps: var.sqrt(),
-            max_steps,
-            mean_long_links: long_links / ok,
-            failures,
+        groups[*slot as usize / LANES].push(idx);
+    }
+    let cap = default_step_cap(g);
+    let mut stats: Vec<PairStats> = vec![PairStats::default(); pairs.len()];
+    for wave in groups.chunks(cfg.threads.max(1)) {
+        let oracles: Vec<Option<TargetDistanceCache<'_>>> =
+            nav_par::parallel_map(wave.len(), cfg.threads, |w| {
+                let targets = wave[w].iter().map(|&i| pairs[i].1);
+                Some(TargetDistanceCache::build(g, targets, 1).expect("pairs validated above"))
+            });
+        let items: Vec<(usize, usize)> = wave
+            .iter()
+            .enumerate()
+            .flat_map(|(w, group)| group.iter().map(move |&idx| (w, idx)))
+            .collect();
+        let wave_stats = nav_par::parallel_map(items.len(), cfg.threads, |j| {
+            let (w, idx) = items[j];
+            let (s, t) = pairs[idx];
+            let oracle = oracles[w].as_ref().expect("built above");
+            let router = oracle.router(t).expect("target cached above");
+            let mut rng = task_rng(cfg.seed, idx as u64);
+            aggregate_pair(&router, scheme, s, &mut rng, cfg.trials_per_pair, cap)
+        });
+        for (j, ps) in wave_stats.into_iter().enumerate() {
+            stats[items[j].1] = ps;
         }
-    });
+    }
     Ok(TrialResult { pairs: stats })
 }
 
@@ -151,8 +213,15 @@ pub fn random_pairs(g: &Graph, count: usize, rng: &mut impl Rng) -> Vec<(NodeId,
 /// diametral pair — the pairs that realise lower-bound behaviour on paths,
 /// lollipops, combs, etc.
 pub fn extremal_pairs(g: &Graph) -> Vec<(NodeId, NodeId)> {
-    let (a, b, _) = nav_graph::distance::double_sweep(g, 0);
-    vec![(a, b), (b, a)]
+    extremal_pairs_with_distance(g).0
+}
+
+/// [`extremal_pairs`] plus `dist(a, b)` — the double sweep already
+/// computed it, so callers wanting the extremal distance (a diameter
+/// proxy) need not re-run any BFS.
+pub fn extremal_pairs_with_distance(g: &Graph) -> (Vec<(NodeId, NodeId)>, u32) {
+    let (a, b, d) = nav_graph::distance::double_sweep(g, 0);
+    (vec![(a, b), (b, a)], d)
 }
 
 /// A convenience runner: extremal pairs plus `extra_random` random pairs.
@@ -246,9 +315,41 @@ mod tests {
     }
 
     #[test]
+    fn oracle_engine_matches_fresh_bfs_engine() {
+        // The pre-oracle engine ran one fresh BFS per pair; the cached rows
+        // must reproduce its outputs bit for bit.
+        use crate::routing::{default_step_cap, GreedyRouter};
+        use nav_par::rng::task_rng;
+        let g = path(96);
+        let pairs: Vec<(NodeId, NodeId)> = vec![(0, 95), (95, 0), (3, 77), (12, 77), (50, 1)];
+        let cfg = TrialConfig {
+            trials_per_pair: 16,
+            seed: 41,
+            threads: 1,
+        };
+        let cached = run_trials(&g, &UniformScheme, &pairs, &cfg).unwrap();
+        let cap = default_step_cap(&g);
+        for (idx, &(s, t)) in pairs.iter().enumerate() {
+            let router = GreedyRouter::new(&g, t).unwrap();
+            let mut rng = task_rng(cfg.seed, idx as u64);
+            let mut steps: Vec<u32> = Vec::new();
+            for _ in 0..cfg.trials_per_pair {
+                steps.push(router.route(&UniformScheme, s, &mut rng, cap, false).steps);
+            }
+            let mean = steps.iter().map(|&x| x as f64).sum::<f64>() / steps.len() as f64;
+            let p = &cached.pairs[idx];
+            assert_eq!(p.mean_steps, mean, "pair {idx}");
+            assert_eq!(p.max_steps, steps.iter().copied().max().unwrap());
+            assert_eq!(p.dist, router.dist_to_target(s));
+        }
+    }
+
+    #[test]
     fn extremal_pairs_on_path_are_endpoints() {
         let g = path(50);
-        let pairs = extremal_pairs(&g);
+        let (pairs, d) = extremal_pairs_with_distance(&g);
+        assert_eq!(d, 49);
+        assert_eq!(pairs, extremal_pairs(&g));
         assert_eq!(pairs.len(), 2);
         assert_eq!(pairs[0].0, pairs[1].1);
         let d = pairs[0];

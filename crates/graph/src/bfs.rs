@@ -9,16 +9,22 @@
 //! treated as unvisited.
 
 use crate::{csr::Graph, NodeId, INFINITY};
-use std::collections::VecDeque;
 
 /// Reusable BFS workspace for graphs with at most the configured node count.
+///
+/// The queue is a flat ring over a reused `Vec<NodeId>`: BFS enqueues every
+/// node at most once, so a head cursor into a grow-only vector is a full
+/// FIFO — contiguous memory, no `VecDeque` wrap-around arithmetic on the
+/// hot pop/push path, and the allocation survives across searches.
 #[derive(Clone, Debug)]
 pub struct Bfs {
     /// `dist[v]` is meaningful only when `mark[v] == epoch`.
     dist: Vec<u32>,
     mark: Vec<u32>,
     epoch: u32,
-    queue: VecDeque<NodeId>,
+    /// Flat FIFO: `queue[head..]` is the pending frontier.
+    queue: Vec<NodeId>,
+    head: usize,
 }
 
 impl Bfs {
@@ -28,7 +34,8 @@ impl Bfs {
             dist: vec![0; n],
             mark: vec![0; n],
             epoch: 0,
-            queue: VecDeque::new(),
+            queue: Vec::new(),
+            head: 0,
         }
     }
 
@@ -49,13 +56,21 @@ impl Bfs {
             self.epoch = 1;
         }
         self.queue.clear();
+        self.head = 0;
     }
 
     #[inline]
     fn visit(&mut self, v: NodeId, d: u32) {
         self.dist[v as usize] = d;
         self.mark[v as usize] = self.epoch;
-        self.queue.push_back(v);
+        self.queue.push(v);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<NodeId> {
+        let v = self.queue.get(self.head).copied();
+        self.head += v.is_some() as usize;
+        v
     }
 
     #[inline]
@@ -98,7 +113,7 @@ impl Bfs {
         if !visit(source, 0) {
             return;
         }
-        while let Some(u) = self.queue.pop_front() {
+        while let Some(u) = self.pop() {
             let du = self.dist[u as usize];
             if du >= max_depth {
                 continue;

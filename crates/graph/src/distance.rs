@@ -4,11 +4,29 @@
 //! graph, so the reproduction needs cheap access to `dist_G(·, t)` (one BFS
 //! per target, cached by the routing engine) and, for analysis and small-n
 //! exact computations, full all-pairs matrices.
+//!
+//! All-pairs work here is batched: sources are packed 64 at a time into
+//! bit-parallel [`MsBfs`](crate::msbfs::MsBfs) passes and the batches run
+//! on `nav-par` workers, so [`DistanceMatrix::new`], [`eccentricities`] and
+//! [`diameter_exact`] scale with cores instead of running `n` sequential
+//! scalar sweeps.
 
+use crate::msbfs::{with_msbfs, LANES};
 use crate::{bfs::Bfs, csr::Graph, NodeId, INFINITY};
 
-/// Dense all-pairs distance matrix (`n` BFS runs, `O(n·m)` time, `O(n²)`
-/// space) — intended for analysis and exact evaluation at small `n`.
+/// The source batches of an all-pairs sweep: `0..n` packed into runs of
+/// [`LANES`] consecutive ids.
+fn source_batches(n: usize) -> impl Iterator<Item = Vec<NodeId>> {
+    (0..n.div_ceil(LANES)).map(move |c| {
+        let lo = c * LANES;
+        let hi = (lo + LANES).min(n);
+        (lo as NodeId..hi as NodeId).collect()
+    })
+}
+
+/// Dense all-pairs distance matrix (`O(n·m)` time via batched bit-parallel
+/// BFS, `O(n²)` space) — intended for analysis and exact evaluation at
+/// small `n`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DistanceMatrix {
     n: usize,
@@ -17,18 +35,23 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Computes all-pairs shortest-path distances by repeated BFS.
+    /// Computes all-pairs shortest-path distances with the default worker
+    /// count (batched 64-wide MS-BFS, batches in parallel).
     pub fn new(g: &Graph) -> Self {
+        Self::with_threads(g, nav_par::default_threads())
+    }
+
+    /// [`DistanceMatrix::new`] with an explicit worker count (`1` =
+    /// inline). Distances are exact, so the result is identical for every
+    /// thread count.
+    pub fn with_threads(g: &Graph, threads: usize) -> Self {
         let n = g.num_nodes();
-        let mut data = vec![INFINITY; n * n];
-        let mut bfs = Bfs::new(n);
-        for s in 0..n {
-            bfs.run(g, s as NodeId, u32::MAX, |_, _| true);
-            let row = &mut data[s * n..(s + 1) * n];
-            for (v, slot) in row.iter_mut().enumerate() {
-                *slot = bfs.dist(v as NodeId);
-            }
-        }
+        let sources: Vec<NodeId> = (0..n as NodeId).collect();
+        // Workers write their 64-row stripes straight into the final
+        // buffer (every entry is overwritten, so plain zero-init suffices)
+        // — no per-batch vectors, no gather copy.
+        let mut data = vec![0u32; n * n];
+        crate::msbfs::batched_rows_into(g, &sources, threads, &mut data);
         DistanceMatrix { n, data }
     }
 
@@ -84,27 +107,54 @@ impl DistanceMatrix {
     }
 }
 
-/// Exact diameter via all eccentricities but without storing the matrix:
-/// `n` BFS runs in `O(n·m)` time and `O(n)` space.
-/// Returns `None` for disconnected graphs.
-pub fn diameter_exact(g: &Graph) -> Option<u32> {
+/// Eccentricity of every node without storing the matrix: batched MS-BFS
+/// in `O(n·m / 64)`-ish word operations and `O(n)` space per batch.
+/// `ecc[u]` is `None` when `u` does not reach the whole graph.
+pub fn eccentricities(g: &Graph) -> Vec<Option<u32>> {
+    eccentricities_with_threads(g, nav_par::default_threads())
+}
+
+/// [`eccentricities`] with an explicit worker count (`1` = inline).
+pub fn eccentricities_with_threads(g: &Graph, threads: usize) -> Vec<Option<u32>> {
     let n = g.num_nodes();
-    let mut bfs = Bfs::new(n);
+    let batches: Vec<Vec<NodeId>> = source_batches(n).collect();
+    let per_batch = nav_par::parallel_map(batches.len(), threads, |c| {
+        with_msbfs(n, |ms| ms.eccentricities(g, &batches[c]))
+    });
+    per_batch
+        .into_iter()
+        .flatten()
+        .map(|(ecc, reached)| (reached == n).then_some(ecc))
+        .collect()
+}
+
+/// Exact diameter via all eccentricities but without storing the matrix.
+/// Returns `None` for disconnected graphs — detected by one cheap scalar
+/// BFS up front, so the full batched sweep only runs when it can succeed.
+pub fn diameter_exact(g: &Graph) -> Option<u32> {
+    if g.num_nodes() > 0 && !crate::components::is_connected(g) {
+        return None;
+    }
     let mut best = 0u32;
-    for s in 0..n {
-        let mut local = 0u32;
-        let mut seen = 0usize;
-        bfs.run(g, s as NodeId, u32::MAX, |_, d| {
-            local = local.max(d);
-            seen += 1;
-            true
-        });
-        if seen != n {
-            return None;
-        }
-        best = best.max(local);
+    for ecc in eccentricities(g) {
+        best = best.max(ecc?);
     }
     Some(best)
+}
+
+/// Exact radius (minimum eccentricity). `None` for disconnected graphs
+/// and for the empty graph (connectivity pre-checked as in
+/// [`diameter_exact`]).
+pub fn radius_exact(g: &Graph) -> Option<u32> {
+    if g.num_nodes() > 0 && !crate::components::is_connected(g) {
+        return None;
+    }
+    let mut best: Option<u32> = None;
+    for ecc in eccentricities(g) {
+        let e = ecc?;
+        best = Some(best.map_or(e, |b| b.min(e)));
+    }
+    best
 }
 
 /// Double-sweep lower bound on the diameter: BFS from `start`, then BFS from
@@ -194,6 +244,38 @@ mod tests {
         let (_, _, d) = double_sweep(&g, 0);
         assert!(d <= 6);
         assert!(d >= 5); // double sweep on a cycle still finds ~diameter
+    }
+
+    #[test]
+    fn eccentricities_and_radius() {
+        let g = path(7);
+        let eccs = eccentricities(&g);
+        assert_eq!(eccs[0], Some(6));
+        assert_eq!(eccs[3], Some(3));
+        assert_eq!(radius_exact(&g), Some(3));
+        assert_eq!(radius_exact(&cycle(10)), Some(5));
+        let disc = GraphBuilder::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(eccentricities(&disc).iter().all(|e| e.is_none()));
+        assert_eq!(radius_exact(&disc), None);
+    }
+
+    #[test]
+    fn matrix_identical_across_thread_counts() {
+        // Exact distances: every thread count must produce the same bytes.
+        let n = 150usize; // spans three 64-lane batches
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as NodeId {
+            b.add_edge(u, (u + 1) % n as NodeId);
+            b.add_edge(u, (u + 11) % n as NodeId);
+        }
+        let g = b.build().unwrap();
+        let m1 = DistanceMatrix::with_threads(&g, 1);
+        let m4 = DistanceMatrix::with_threads(&g, 4);
+        assert_eq!(m1, m4);
+        assert_eq!(
+            eccentricities_with_threads(&g, 1),
+            eccentricities_with_threads(&g, 4)
+        );
     }
 
     #[test]

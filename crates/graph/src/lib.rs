@@ -13,6 +13,9 @@
 //! * **BFS** machinery with reusable buffers ([`bfs::Bfs`]) — full
 //!   single-source distances, truncated (radius-bounded) searches and early
 //!   exit on a target;
+//! * **bit-parallel multi-source BFS** ([`msbfs::MsBfs`]) — 64 sources per
+//!   pass, one `u64` lane each, feeding the all-pairs, eccentricity and
+//!   distance-oracle layers;
 //! * **balls** `B(u, r) = { v : dist(u, v) ≤ r }` as used by the paper's
 //!   Theorem 4 scheme ([`ball`]);
 //! * exact **distance matrices**, eccentricities and diameters for analysis
@@ -57,6 +60,7 @@ pub mod components;
 pub mod csr;
 pub mod distance;
 pub mod error;
+pub mod msbfs;
 pub mod properties;
 pub mod prufer;
 

@@ -1,0 +1,460 @@
+//! Bit-parallel multi-source BFS (MS-BFS).
+//!
+//! Every statistic of the reproduction reduces to BFS distances, and most
+//! callers need distances from *many* sources on the *same* graph: the
+//! all-pairs [`crate::distance::DistanceMatrix`] runs `n` sweeps, exact
+//! diameters run `n` sweeps, and the routing engine needs one distance row
+//! per distinct trial target. Running those sweeps one at a time wastes the
+//! fact that they all traverse the same CSR structure.
+//!
+//! [`MsBfs`] batches up to [`LANES`] (= 64) sources into a single traversal
+//! by giving every source one bit lane of a `u64` per node (the MS-BFS
+//! technique of Then et al., *The More the Merrier: Efficient Multi-Source
+//! Graph Traversal*, VLDB 2015). One pass over an edge advances **all**
+//! sources whose frontiers contain the endpoint — a bitwise `OR`/`AND NOT`
+//! per neighbour instead of 64 separate queue operations. On low-diameter
+//! graphs the frontiers of the batch overlap heavily and the traversal does
+//! close to `1/64`-th of the scalar work; on high-diameter graphs (paths)
+//! it degrades gracefully to scalar-equivalent traversal counts with a
+//! smaller constant.
+//!
+//! The workspace keeps an explicit *active list* of nodes with non-empty
+//! frontiers, so sparse levels (long thin graphs) cost `O(active)` rather
+//! than `O(n)` per level.
+
+use crate::{csr::Graph, NodeId, INFINITY};
+
+/// Number of bit lanes (sources) a single [`MsBfs`] pass can carry.
+pub const LANES: usize = 64;
+
+/// Reusable workspace for 64-wide bit-parallel multi-source BFS.
+///
+/// All buffers are retained between runs, so batched sweeps (e.g. the
+/// `n / 64` passes of an all-pairs computation) never reallocate.
+#[derive(Clone, Debug, Default)]
+pub struct MsBfs {
+    /// `seen[v]` bit `i` ⇔ lane `i`'s search already visited `v`.
+    seen: Vec<u64>,
+    /// `frontier[v]` bit `i` ⇔ lane `i` reached `v` at the current level.
+    frontier: Vec<u64>,
+    /// Next-level frontier accumulator (doubles as "queued" flag).
+    next: Vec<u64>,
+    /// Nodes with non-empty `frontier` at the current level.
+    cur_list: Vec<NodeId>,
+    /// Nodes with non-empty `next` (deduplicated via `next[v] == 0`).
+    next_list: Vec<NodeId>,
+    /// Node-major distance accumulator for [`MsBfs::distances_into`].
+    dist_scratch: Vec<u32>,
+}
+
+impl MsBfs {
+    /// Creates a workspace able to search graphs of up to `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MsBfs {
+            seen: vec![0; n],
+            frontier: vec![0; n],
+            next: vec![0; n],
+            cur_list: Vec::new(),
+            next_list: Vec::new(),
+            dist_scratch: Vec::new(),
+        }
+    }
+
+    /// Ensures capacity for graphs of `n` nodes (cheap if already large
+    /// enough).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.seen.len() < n {
+            self.seen.resize(n, 0);
+            self.frontier.resize(n, 0);
+            self.next.resize(n, 0);
+        }
+    }
+
+    /// Runs one bit-parallel BFS pass carrying `sources.len() ≤ 64` lanes,
+    /// invoking `visit(lane, node, dist)` for every (lane, node) discovery
+    /// — including each source at distance 0. Duplicate sources are
+    /// allowed (their lanes see identical discoveries).
+    ///
+    /// Discoveries are emitted level by level; within a level, in a
+    /// deterministic (discovery-list, then lane-index) order that does not
+    /// depend on anything but the graph and the source list.
+    ///
+    /// # Panics
+    /// Panics if `sources` is empty, has more than [`LANES`] entries, or
+    /// names a node `≥ g.num_nodes()`.
+    pub fn run<F: FnMut(u32, NodeId, u32)>(&mut self, g: &Graph, sources: &[NodeId], mut visit: F) {
+        let n = g.num_nodes();
+        assert!(
+            !sources.is_empty() && sources.len() <= LANES,
+            "MS-BFS takes 1..=64 sources, got {}",
+            sources.len()
+        );
+        self.ensure_capacity(n);
+        // Bitmask workspaces carry no epoch trick (bits of distinct lanes
+        // alias); clearing is O(n) per pass but amortises over 64 lanes.
+        self.seen[..n].fill(0);
+        self.frontier[..n].fill(0);
+        self.next[..n].fill(0);
+        self.cur_list.clear();
+        self.next_list.clear();
+
+        for (lane, &s) in sources.iter().enumerate() {
+            assert!((s as usize) < n, "source {s} out of range (n = {n})");
+            let su = s as usize;
+            if self.seen[su] == 0 {
+                self.cur_list.push(s);
+            }
+            let bit = 1u64 << lane;
+            self.seen[su] |= bit;
+            self.frontier[su] |= bit;
+            visit(lane as u32, s, 0);
+        }
+
+        // The lists move out of `self` so the hot loops can hold plain
+        // slice bindings (no repeated field loads, no indexed re-borrows).
+        let mut cur = std::mem::take(&mut self.cur_list);
+        let mut nxt = std::mem::take(&mut self.next_list);
+        let full = if sources.len() == LANES {
+            !0u64
+        } else {
+            (1u64 << sources.len()) - 1
+        };
+        let mut depth = 0u32;
+        while !cur.is_empty() {
+            // Expand, direction-optimized (Beamer-style). `seen` is stable
+            // during either scan, so the bits landing in `next[v]` are
+            // exactly the lanes newly discovering `v`.
+            let seen = &self.seen[..n];
+            let frontier = &self.frontier[..n];
+            let next = &mut self.next[..n];
+            if cur.len() >= n / 8 {
+                // Bottom-up: the frontier covers a large fraction of the
+                // graph, so pull from the (few) lanes still missing at
+                // each node and stop scanning a node's neighbours as soon
+                // as its missing lanes are covered. Sparse levels (long
+                // thin graphs) never trigger this arm, keeping the
+                // `O(active)`-per-level behaviour there.
+                for vu in 0..n {
+                    let missing = full & !seen[vu];
+                    if missing == 0 {
+                        continue;
+                    }
+                    let mut cand = 0u64;
+                    for &w in g.neighbors(vu as NodeId) {
+                        cand |= frontier[w as usize];
+                        if cand & missing == missing {
+                            break;
+                        }
+                    }
+                    let new = cand & missing;
+                    if new != 0 {
+                        nxt.push(vu as NodeId);
+                        next[vu] = new;
+                    }
+                }
+            } else {
+                // Top-down: push every frontier lane across every
+                // incident edge.
+                for &u in &cur {
+                    let fu = frontier[u as usize];
+                    for &v in g.neighbors(u) {
+                        let vu = v as usize;
+                        let new = fu & !seen[vu];
+                        if new != 0 {
+                            let slot = &mut next[vu];
+                            if *slot == 0 {
+                                nxt.push(v);
+                            }
+                            *slot |= new;
+                        }
+                    }
+                }
+            }
+            // Retire the old frontier before installing the new one (a
+            // node can sit in both lists when different lanes reach it at
+            // consecutive levels).
+            for &u in &cur {
+                self.frontier[u as usize] = 0;
+            }
+            depth += 1;
+            for &v in &nxt {
+                let vu = v as usize;
+                let newly = self.next[vu];
+                self.seen[vu] |= newly;
+                self.frontier[vu] = newly;
+                self.next[vu] = 0;
+                let mut bits = newly;
+                while bits != 0 {
+                    let lane = bits.trailing_zeros();
+                    visit(lane, v, depth);
+                    bits &= bits - 1;
+                }
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            nxt.clear();
+        }
+        self.cur_list = cur;
+        self.next_list = nxt;
+    }
+
+    /// Fills `rows` — row-major `sources.len() × g.num_nodes()` — with the
+    /// BFS distances of each source's lane ([`INFINITY`] for unreached).
+    ///
+    /// Distances are accumulated **node-major** during the traversal (all
+    /// lanes of one node share a cache line, so the per-discovery write is
+    /// contiguous instead of striding across `sources.len()` rows) and
+    /// transposed into the caller's lane-major layout in cache-sized tiles
+    /// afterwards — on big batches this is several times faster than
+    /// writing `rows[lane·n + v]` directly.
+    ///
+    /// # Panics
+    /// Panics if `rows.len() != sources.len() * g.num_nodes()` (in
+    /// addition to [`MsBfs::run`]'s conditions).
+    pub fn distances_into(&mut self, g: &Graph, sources: &[NodeId], rows: &mut [u32]) {
+        let n = g.num_nodes();
+        let k = sources.len();
+        assert_eq!(rows.len(), k * n, "rows buffer must be sources.len() * n");
+        let mut scratch = std::mem::take(&mut self.dist_scratch);
+        if scratch.len() < k * n {
+            scratch.resize(k * n, 0);
+        }
+        self.run(g, sources, |lane, v, d| {
+            scratch[v as usize * k + lane as usize] = d;
+        });
+        // `scratch` is not pre-filled (it may hold stale values from the
+        // previous batch): the pass's `seen` masks say exactly which
+        // (lane, node) slots were written, so only the unreached ones need
+        // an [`INFINITY`] patch — a no-op sweep on connected graphs.
+        let full = if k == LANES { !0u64 } else { (1u64 << k) - 1 };
+        for (v, &seen) in self.seen[..n].iter().enumerate() {
+            let mut missing = full & !seen;
+            while missing != 0 {
+                scratch[v * k + missing.trailing_zeros() as usize] = INFINITY;
+                missing &= missing - 1;
+            }
+        }
+        // Tiled transpose: for each 64-node stripe, the scratch tile
+        // (≤ 64·64 u32 = 16 KiB) stays in cache while every lane's row
+        // segment is written sequentially.
+        const TILE: usize = 64;
+        let mut v0 = 0;
+        while v0 < n {
+            let v1 = (v0 + TILE).min(n);
+            for lane in 0..k {
+                let row = &mut rows[lane * n + v0..lane * n + v1];
+                for (i, slot) in row.iter_mut().enumerate() {
+                    *slot = scratch[(v0 + i) * k + lane];
+                }
+            }
+            v0 = v1;
+        }
+        self.dist_scratch = scratch;
+    }
+
+    /// Owned-buffer convenience around [`MsBfs::distances_into`].
+    pub fn distances(&mut self, g: &Graph, sources: &[NodeId]) -> Vec<u32> {
+        // Zero-init: `distances_into` overwrites every slot (reached ones
+        // during the run, the rest via the INFINITY patch).
+        let mut rows = vec![0u32; sources.len() * g.num_nodes()];
+        self.distances_into(g, sources, &mut rows);
+        rows
+    }
+
+    /// Per-lane `(eccentricity, reached_count)` of one pass: the maximum
+    /// finite distance each lane saw and how many nodes it reached. Feeds
+    /// exact diameters/eccentricities without materialising rows.
+    pub fn eccentricities(&mut self, g: &Graph, sources: &[NodeId]) -> Vec<(u32, usize)> {
+        let mut out = vec![(0u32, 0usize); sources.len()];
+        self.run(g, sources, |lane, _, d| {
+            let slot = &mut out[lane as usize];
+            slot.0 = slot.0.max(d);
+            slot.1 += 1;
+        });
+        out
+    }
+}
+
+/// Fills `rows` — row-major `sources.len() × g.num_nodes()` — with the BFS
+/// distance rows of `sources`: 64 lanes per [`MsBfs`] pass, passes fanned
+/// out to `threads` `nav-par` workers that write disjoint stripes of
+/// `rows` in place (`1` = inline). This is the one definition of the
+/// batch-to-stripe layout; the all-pairs matrix and the routing engine's
+/// distance oracle both build on it.
+///
+/// # Panics
+/// Panics if `rows.len() != sources.len() * g.num_nodes()`.
+pub fn batched_rows_into(g: &Graph, sources: &[NodeId], threads: usize, rows: &mut [u32]) {
+    let n = g.num_nodes();
+    assert_eq!(
+        rows.len(),
+        sources.len() * n,
+        "rows buffer must be sources.len() * n"
+    );
+    let batches: Vec<&[NodeId]> = sources.chunks(LANES).collect();
+    nav_par::parallel_chunks_mut(rows, LANES * n.max(1), threads, |b, stripe| {
+        with_msbfs(n, |ms| ms.distances_into(g, batches[b], stripe));
+    });
+}
+
+thread_local! {
+    static MSBFS_WS: std::cell::RefCell<MsBfs> = std::cell::RefCell::new(MsBfs::new(0));
+}
+
+/// Runs `f` with this thread's reusable [`MsBfs`] workspace, grown to
+/// capacity `n`. Batched sweeps (all-pairs, the distance oracle) call this
+/// once per 64-source batch, so buffers are recycled across batches both
+/// inline and on `nav-par` workers.
+///
+/// # Panics
+/// Panics if called re-entrantly from within `f` (the workspace is
+/// exclusive per thread; batch loops never nest MS-BFS passes).
+pub fn with_msbfs<R>(n: usize, f: impl FnOnce(&mut MsBfs) -> R) -> R {
+    MSBFS_WS.with(|cell| {
+        let mut ws = cell.borrow_mut();
+        ws.ensure_capacity(n);
+        f(&mut ws)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs::Bfs, GraphBuilder};
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    fn circulant(n: usize, chords: &[u32]) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as NodeId {
+            b.add_edge(u, (u + 1) % n as NodeId);
+            for &c in chords {
+                b.add_edge(u, (u + c) % n as NodeId);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn assert_matches_scalar(g: &Graph, sources: &[NodeId]) {
+        let n = g.num_nodes();
+        let mut ms = MsBfs::new(n);
+        let rows = ms.distances(g, sources);
+        let mut bfs = Bfs::new(n);
+        for (lane, &s) in sources.iter().enumerate() {
+            let scalar = bfs.distances(g, s);
+            assert_eq!(
+                &rows[lane * n..(lane + 1) * n],
+                scalar.as_slice(),
+                "lane {lane} (source {s})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_scalar_on_path() {
+        let g = path(50);
+        assert_matches_scalar(&g, &[0, 7, 25, 49]);
+    }
+
+    #[test]
+    fn matches_scalar_on_circulant_full_batch() {
+        let g = circulant(130, &[5, 17]);
+        let sources: Vec<NodeId> = (0..64u32).map(|i| i * 2).collect();
+        assert_matches_scalar(&g, &sources);
+    }
+
+    #[test]
+    fn matches_scalar_on_disconnected() {
+        let g = GraphBuilder::from_edges(7, [(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap();
+        assert_matches_scalar(&g, &[0, 2, 3, 5, 6]);
+        let mut ms = MsBfs::new(7);
+        let rows = ms.distances(&g, &[0]);
+        assert_eq!(rows[3], INFINITY);
+        assert_eq!(rows[5], INFINITY);
+    }
+
+    #[test]
+    fn duplicate_sources_share_discoveries() {
+        let g = path(10);
+        let mut ms = MsBfs::new(10);
+        let rows = ms.distances(&g, &[4, 4]);
+        assert_eq!(&rows[0..10], &rows[10..20]);
+        assert_eq!(rows[0], 4);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        let mut ms = MsBfs::new(1);
+        assert_eq!(ms.distances(&g, &[0]), vec![0]);
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let g1 = path(30);
+        let g2 = circulant(20, &[3]);
+        let mut ms = MsBfs::new(30);
+        let _ = ms.distances(&g1, &[0, 29]);
+        // Second run on a smaller graph must not see stale bits.
+        let rows = ms.distances(&g2, &[0]);
+        let mut bfs = Bfs::new(20);
+        assert_eq!(rows, bfs.distances(&g2, 0));
+        // And growing again afterwards works.
+        let g3 = path(100);
+        let rows = ms.distances(&g3, &[99]);
+        assert_eq!(rows[0], 99);
+    }
+
+    #[test]
+    fn eccentricities_match_matrix() {
+        let g = circulant(40, &[7]);
+        let sources: Vec<NodeId> = (0..40u32).collect();
+        let mut ms = MsBfs::new(40);
+        let ecc = ms.eccentricities(&g, &sources);
+        let mut bfs = Bfs::new(40);
+        for (lane, &s) in sources.iter().enumerate() {
+            let d = bfs.distances(&g, s);
+            let max = d.iter().copied().max().unwrap();
+            assert_eq!(ecc[lane].0, max);
+            assert_eq!(ecc[lane].1, 40);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 sources")]
+    fn too_many_sources_panics() {
+        let g = path(100);
+        let sources: Vec<NodeId> = (0..65u32).collect();
+        MsBfs::new(100).distances(&g, &sources);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_panics() {
+        let g = path(3);
+        MsBfs::new(3).distances(&g, &[3]);
+    }
+
+    #[test]
+    fn thread_local_workspace_grows_and_reuses() {
+        let g1 = path(5);
+        let d = with_msbfs(5, |ms| ms.distances(&g1, &[0]));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let g2 = path(80);
+        let d = with_msbfs(80, |ms| ms.distances(&g2, &[79]));
+        assert_eq!(d[0], 79);
+    }
+
+    #[test]
+    fn visit_reports_levels_in_order() {
+        let g = path(6);
+        let mut ms = MsBfs::new(6);
+        let mut last_depth = 0;
+        ms.run(&g, &[0, 5], |_, _, d| {
+            assert!(d >= last_depth, "levels must be non-decreasing");
+            last_depth = d;
+        });
+        assert_eq!(last_depth, 5);
+    }
+}

@@ -26,6 +26,11 @@ pub fn is_regular(g: &Graph, d: usize) -> bool {
 }
 
 /// Whether `g` is bipartite (2-colourable), via BFS layering.
+///
+/// Deliberately scalar: one epoch-versioned BFS per component is `O(n+m)`
+/// total with no per-component clears, which beats a 64-lane batched pass
+/// both on connected graphs (a single lane suffices) and on
+/// many-component graphs (batches would pay `O(n)` mask clears each).
 pub fn is_bipartite(g: &Graph) -> bool {
     let n = g.num_nodes();
     let mut color = vec![u8::MAX; n];
@@ -41,6 +46,31 @@ pub fn is_bipartite(g: &Graph) -> bool {
     }
     g.edges()
         .all(|(u, v)| color[u as usize] != color[v as usize])
+}
+
+/// The center of `g`: all nodes of minimum eccentricity, in id order.
+/// Empty for disconnected (or empty) graphs. Eccentricities come from the
+/// batched bit-parallel sweep ([`crate::distance::eccentricities`]), so
+/// this is `64×`-batched and parallel like the diameter computations.
+pub fn center(g: &Graph) -> Vec<NodeId> {
+    // Same cheap pre-check as `diameter_exact`: one scalar BFS beats
+    // running the full batched sweep just to find a `None` eccentricity.
+    if g.num_nodes() > 0 && !is_connected(g) {
+        return Vec::new();
+    }
+    let eccs = crate::distance::eccentricities(g);
+    let mut radius = u32::MAX;
+    for ecc in &eccs {
+        match ecc {
+            None => return Vec::new(),
+            Some(e) => radius = radius.min(*e),
+        }
+    }
+    eccs.iter()
+        .enumerate()
+        .filter(|(_, e)| **e == Some(radius))
+        .map(|(v, _)| v as NodeId)
+        .collect()
 }
 
 /// Degree histogram: `hist[d]` = number of nodes with degree `d`.
@@ -148,6 +178,18 @@ mod tests {
         // Disconnected with one odd cycle.
         let g = GraphBuilder::from_edges(6, [(0, 1), (2, 3), (3, 4), (4, 2)]).unwrap();
         assert!(!is_bipartite(&g));
+    }
+
+    #[test]
+    fn center_of_paths_and_cycles() {
+        assert_eq!(center(&path(7)), vec![3]);
+        assert_eq!(center(&path(6)), vec![2, 3]);
+        // Vertex-transitive: every node is central.
+        assert_eq!(center(&cycle(8)).len(), 8);
+        assert_eq!(center(&complete(4)).len(), 4);
+        // Disconnected: no center.
+        let g = GraphBuilder::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(center(&g).is_empty());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 pub mod map;
 pub mod rng;
 
-pub use map::{parallel_for, parallel_map, parallel_map_reduce};
+pub use map::{parallel_chunks_mut, parallel_for, parallel_map, parallel_map_reduce};
 pub use rng::{seeded_rng, task_rng, SplitMix64, Xoshiro256pp};
 
 /// Default number of worker threads: the machine's available parallelism,

@@ -11,14 +11,22 @@
 //! outputs do not depend on scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Chunk size for the atomic work counter. Small enough to balance
 /// heavy-tailed items, large enough to keep contention negligible.
 const CHUNK: usize = 8;
 
 /// Applies `f` to every index in `0..n` on `threads` workers and collects
-/// results in index order. `f` must be `Sync` (it is shared), results are
-/// written to disjoint slots so no locking is needed beyond the cursor.
+/// results in index order.
+///
+/// The results buffer is pre-split into `CHUNK`-sized disjoint cells
+/// (`chunks_mut`), and workers write `f(i)` straight into the cell they
+/// claim from the atomic cursor — no per-worker side buffers, no final
+/// scatter copy. The crate forbids `unsafe`, so each cell sits behind its
+/// own `Mutex`; a cell is claimed by exactly one worker, making every lock
+/// uncontended (one atomic op per `CHUNK` items, not a shared-lock
+/// bottleneck).
 ///
 /// With `threads <= 1` runs inline on the caller thread (no spawn cost),
 /// which also gives a trivially deterministic reference implementation.
@@ -28,50 +36,63 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let mut results = vec![T::default(); n];
-    if threads <= 1 || n <= 1 {
-        for (i, slot) in results.iter_mut().enumerate() {
-            *slot = f(i);
+    parallel_chunks_mut(&mut results, CHUNK, threads, |c, cell| {
+        let base = c * CHUNK;
+        for (j, slot) in cell.iter_mut().enumerate() {
+            *slot = f(base + j);
         }
-        return results;
+    });
+    results
+}
+
+/// Splits `buf` into `chunk_size`-sized consecutive cells and runs
+/// `f(chunk_index, cell)` once per cell on `threads` workers (cells are
+/// claimed from an atomic cursor; each lock is uncontended by
+/// construction). The in-place sibling of [`parallel_map`] for callers
+/// that own one large output buffer — e.g. an all-pairs matrix filled 64
+/// rows at a time — avoiding per-chunk result vectors and the final
+/// gather copy entirely.
+///
+/// With `threads <= 1` the cells are processed inline, in order.
+///
+/// # Panics
+/// Panics if `chunk_size == 0` while `buf` is non-empty.
+pub fn parallel_chunks_mut<T, F>(buf: &mut [T], chunk_size: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if buf.is_empty() {
+        return;
     }
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    // Single cell ⇒ strictly serial work: run it inline rather than
+    // paying a scope + worker spawn to block on one chunk.
+    if threads <= 1 || buf.len() <= chunk_size {
+        for (c, chunk) in buf.chunks_mut(chunk_size).enumerate() {
+            f(c, chunk);
+        }
+        return;
+    }
+    let cells: Vec<Mutex<&mut [T]>> = buf.chunks_mut(chunk_size).map(Mutex::new).collect();
     let cursor = AtomicUsize::new(0);
-    let workers = threads.min(n);
-    // Hand each worker a disjoint view of the results buffer through a
-    // channel of (index, value) writes? Simpler: split results into cells
-    // via interior mutability — but we forbid unsafe. Instead, each worker
-    // accumulates (index, value) pairs and we scatter at the end.
-    let mut buckets: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+    let workers = threads.min(cells.len());
     crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let cursor = &cursor;
+            let cells = &cells;
             let f = &f;
-            handles.push(scope.spawn(move |_| {
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + CHUNK).min(n);
-                    for i in start..end {
-                        local.push((i, f(i)));
-                    }
+            scope.spawn(move |_| loop {
+                let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                if chunk >= cells.len() {
+                    break;
                 }
-                local
-            }));
-        }
-        for h in handles {
-            buckets.push(h.join().expect("worker panicked"));
+                let mut cell = cells[chunk].lock().expect("cell poisoned");
+                f(chunk, &mut cell);
+            });
         }
     })
     .expect("thread scope failed");
-    for bucket in buckets {
-        for (i, v) in bucket {
-            results[i] = v;
-        }
-    }
-    results
 }
 
 /// Runs `f` for every index in `0..n` in parallel for side effects only
@@ -150,6 +171,28 @@ mod tests {
         let seq = parallel_map(257, 1, work);
         let par = parallel_map(257, 8, work);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn chunks_mut_fills_every_slot() {
+        for threads in [1, 4] {
+            let mut buf = vec![0usize; 103]; // deliberately not a multiple of 10
+            parallel_chunks_mut(&mut buf, 10, threads, |c, chunk| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = c * 10 + j + 1;
+                }
+            });
+            for (i, &v) in buf.iter().enumerate() {
+                assert_eq!(v, i + 1, "threads={threads} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_mut_empty_buffer_is_noop() {
+        let mut buf: Vec<u32> = Vec::new();
+        parallel_chunks_mut(&mut buf, 0, 4, |_, _| panic!("no cells"));
+        parallel_chunks_mut(&mut buf, 8, 4, |_, _| panic!("no cells"));
     }
 
     #[test]

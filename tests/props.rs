@@ -9,6 +9,24 @@ use navigability::graph::prufer::{prufer_encode, tree_from_prufer};
 use navigability::prelude::*;
 use proptest::prelude::*;
 
+/// Arbitrary graph (possibly disconnected): random edge set over `n` nodes.
+fn arbitrary_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (1usize..max_n)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..2 * n);
+            (Just(n), edges)
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build().expect("valid")
+        })
+}
+
 /// Arbitrary connected graph: random edge set over `n` nodes, repaired.
 fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2usize..max_n)
@@ -30,6 +48,50 @@ fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn msbfs_distances_equal_scalar_bfs(g in arbitrary_graph(90), seed in 0u64..1000) {
+        // The bit-parallel kernel must agree with scalar BFS lane by lane,
+        // including unreachable nodes on disconnected graphs and duplicate
+        // sources.
+        use navigability::graph::bfs::Bfs;
+        use navigability::graph::msbfs::MsBfs;
+        use rand::Rng;
+        let n = g.num_nodes();
+        let mut rng = seeded_rng(seed);
+        let k = rng.gen_range(1..=64usize);
+        let sources: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n as u32)).collect();
+        let mut ms = MsBfs::new(n);
+        let rows = ms.distances(&g, &sources);
+        let mut bfs = Bfs::new(n);
+        for (lane, &s) in sources.iter().enumerate() {
+            let scalar = bfs.distances(&g, s);
+            prop_assert_eq!(&rows[lane * n..(lane + 1) * n], scalar.as_slice(),
+                "lane {} source {}", lane, s);
+        }
+    }
+
+    #[test]
+    fn oracle_rows_equal_fresh_router_rows(g in arbitrary_graph(70), seed in 0u64..1000) {
+        // Cached target rows must be exactly what a per-pair router would
+        // have computed (disconnected graphs included).
+        use navigability::core::oracle::TargetDistanceCache;
+        use rand::Rng;
+        let n = g.num_nodes() as u32;
+        let mut rng = seeded_rng(seed ^ 0x0c1e);
+        let targets: Vec<u32> = (0..rng.gen_range(1..80usize))
+            .map(|_| rng.gen_range(0..n))
+            .collect();
+        let threads = rng.gen_range(1..4usize);
+        let cache = TargetDistanceCache::build(&g, targets.iter().copied(), threads).unwrap();
+        for &t in &targets {
+            let fresh = GreedyRouter::new(&g, t).unwrap();
+            let row = cache.row(t).expect("built");
+            for v in 0..n {
+                prop_assert_eq!(row[v as usize], fresh.dist_to_target(v), "t {} v {}", t, v);
+            }
+        }
+    }
 
     #[test]
     fn greedy_steps_between_dist_and_n(g in connected_graph(60), seed in 0u64..1000) {
