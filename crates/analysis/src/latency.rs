@@ -1,0 +1,107 @@
+//! Latency summaries for the query-serving path.
+//!
+//! The serving engine records one wall-clock sample per service batch;
+//! this module turns a sample set into the tail-latency digest a service
+//! report needs (mean plus p50/p90/p99/max), built on the same
+//! [`crate::quantile`] order statistics as the experiment tables.
+
+use crate::quantile::quantile_sorted;
+
+/// A tail-latency digest of a sample set. Unit-agnostic: whatever unit
+/// the samples carry (the engine uses milliseconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples` (`None` on empty input). Quantiles use
+    /// type-7 linear interpolation, like every table in this crate.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in latency samples"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(LatencySummary {
+            count: sorted.len(),
+            mean,
+            min: sorted[0],
+            p50: quantile_sorted(&sorted, 0.5),
+            p90: quantile_sorted(&sorted, 0.9),
+            p99: quantile_sorted(&sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Renders the digest as one JSON object (hand-rolled, like the other
+    /// emitters in this dependency-free workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"mean\": {:.3}, \"min\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}",
+            self.count, self.mean, self.min, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(LatencySummary::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn digest_of_uniform_ramp() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p90 - 90.1).abs() < 1e-9);
+        assert!(s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencySummary::from_samples(&[7.25]).unwrap();
+        assert_eq!(s.p50, 7.25);
+        assert_eq!(s.p99, 7.25);
+        assert_eq!(s.mean, 7.25);
+    }
+
+    #[test]
+    fn json_shape() {
+        let s = LatencySummary::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        let j = s.to_json();
+        for key in [
+            "\"count\": 3",
+            "\"mean\":",
+            "\"p50\":",
+            "\"p90\":",
+            "\"p99\":",
+            "\"max\":",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

@@ -11,16 +11,20 @@
 //!   √n-regime, `γ ≈ 1/3` the ball scheme's headline, `γ ≈ 0` the polylog
 //!   regimes), plus a polylog model `y = C·logᵖn` for the Corollary-1
 //!   instances;
-//! * [`table`] — markdown/CSV table rendering for the experiment binary.
+//! * [`table`] — markdown/CSV table rendering for the experiment binary;
+//! * [`latency`] — tail-latency digests (p50/p90/p99) for the
+//!   query-serving engine's batch reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bootstrap;
 pub mod fit;
+pub mod latency;
 pub mod quantile;
 pub mod stats;
 pub mod table;
 
 pub use fit::PowerLawFit;
+pub use latency::LatencySummary;
 pub use stats::Summary;

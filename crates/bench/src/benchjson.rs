@@ -77,19 +77,10 @@ fn legacy_run_trials<S: AugmentationScheme + ?Sized>(
     })
 }
 
-/// Exact (bit-level for floats) equality of two per-pair stat sets.
-fn stats_identical(a: &[PairStats], b: &[PairStats]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| {
-            x.s == y.s
-                && x.t == y.t
-                && x.dist == y.dist
-                && x.mean_steps.to_bits() == y.mean_steps.to_bits()
-                && x.std_steps.to_bits() == y.std_steps.to_bits()
-                && x.max_steps == y.max_steps
-                && x.mean_long_links.to_bits() == y.mean_long_links.to_bits()
-                && x.failures == y.failures
-        })
+/// Exact (bit-level for floats) equality of two per-pair stat sets — the
+/// correctness gate shared by the core and serve emitters.
+pub(crate) fn stats_identical(a: &[PairStats], b: &[PairStats]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bits_eq(y))
 }
 
 fn fms(v: f64) -> String {
@@ -138,9 +129,10 @@ pub fn render_core_bench(cfg: &ExpConfig) -> String {
     });
     let matrix = matrix.expect("timed at least once");
     for u in 0..n {
-        assert_eq!(
-            matrix.row(u as NodeId),
-            &legacy_data[u * n..(u + 1) * n],
+        assert!(
+            matrix
+                .row(u as NodeId)
+                .eq_wide(&legacy_data[u * n..(u + 1) * n]),
             "all-pairs row {u} diverged from the legacy engine"
         );
     }
@@ -201,6 +193,12 @@ pub fn render_core_bench(cfg: &ExpConfig) -> String {
     ));
     out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
     out.push_str(&format!("  \"threads\": {},\n", cfg.threads));
+    // Host metadata keeps baselines from different machines (the 1-core
+    // CI container vs a many-core box) distinguishable at a glance.
+    out.push_str(&format!(
+        "  \"host\": {},\n",
+        nav_par::HostMeta::current().to_json()
+    ));
     out.push_str(&format!(
         "  \"graph\": {{\"family\": \"gnp\", \"n\": {}, \"m\": {}, \"avg_degree\": {}}},\n",
         n,
@@ -250,6 +248,8 @@ mod tests {
         for key in [
             "\"schema\": \"nav-bench-core/v1\"",
             "\"mode\": \"quick\"",
+            "\"host\":",
+            "\"cores\":",
             "\"bfs_single_source\"",
             "\"all_pairs\"",
             "\"trial_sweep\"",
@@ -270,7 +270,7 @@ mod tests {
         let legacy = legacy_all_pairs(&g);
         let m = DistanceMatrix::with_threads(&g, 2);
         for u in 0..n {
-            assert_eq!(m.row(u as NodeId), &legacy[u * n..(u + 1) * n]);
+            assert!(m.row(u as NodeId).eq_wide(&legacy[u * n..(u + 1) * n]));
         }
     }
 }

@@ -1,0 +1,356 @@
+//! The `nav-engine` CLI: the serving subsystem as a command.
+//!
+//! ```text
+//! # replay a workload file through a persistent engine
+//! cargo run -p nav-bench --release --bin nav-engine -- serve FILE \
+//!     [--threads N] [--seed S] [--cache-mb M] [--scheme uniform|ball|ball-realized|none] [--json PATH]
+//!
+//! # write a zipfian workload file
+//! cargo run -p nav-bench --release --bin nav-engine -- gen FILE \
+//!     [--family gnp] [--n 4096] [--graph-seed 42] [--queries 100000] \
+//!     [--theta 1.1] [--hot 1024] [--zipf-seed 7] [--trials 8] [--batch 512]
+//!
+//! # emit the BENCH_serve.json cold-vs-warm baseline
+//! cargo run -p nav-bench --release --bin nav-engine -- --bench-json [PATH] [--quick] [--threads N] [--seed S]
+//! ```
+
+use nav_bench::servejson::render_serve_bench;
+use nav_bench::workloads::Workload;
+use nav_bench::ExpConfig;
+use nav_core::ball::BallScheme;
+use nav_core::scheme::AugmentationScheme;
+use nav_core::uniform::{NoAugmentation, UniformScheme};
+use nav_engine::workload::{parse_workload, render_workload, GraphSpec, ZipfSpec};
+use nav_engine::{Engine, EngineConfig};
+use nav_graph::Graph;
+
+fn family_graph(spec: &GraphSpec) -> Graph {
+    let family = match spec.family.as_str() {
+        "path" => Workload::Path,
+        "grid2d" => Workload::Grid2d,
+        "random-tree" => Workload::RandomTree,
+        "gnp" => Workload::Gnp,
+        "lollipop" => Workload::Lollipop,
+        "comb" => Workload::Comb,
+        other => {
+            eprintln!("unknown graph family `{other}` (path|grid2d|random-tree|gnp|lollipop|comb)");
+            std::process::exit(2);
+        }
+    };
+    family.build(spec.n, spec.seed)
+}
+
+fn scheme_for(
+    name: &str,
+    g: &Graph,
+    seed: u64,
+    threads: usize,
+) -> Box<dyn AugmentationScheme + Send> {
+    match name {
+        "uniform" => Box::new(UniformScheme),
+        "ball" => Box::new(BallScheme::new(g)),
+        // One fixed joint draw of every node's ball-scheme contact,
+        // realized 64 centres per MS-BFS pass — the deployed-overlay view.
+        "ball-realized" => Box::new(BallScheme::new(g).realize_batched(g, seed, threads)),
+        "none" => Box::new(NoAugmentation),
+        other => {
+            eprintln!("unknown scheme `{other}` (uniform|ball|ball-realized|none)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn expect_num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a number");
+        std::process::exit(2);
+    })
+}
+
+fn serve(mut args: impl Iterator<Item = String>) {
+    let mut file: Option<String> = None;
+    let mut threads = nav_par::default_threads();
+    let mut seed = 0x5eedu64;
+    let mut cache_mb = 128usize;
+    let mut scheme_name = "uniform".to_string();
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => threads = expect_num(&mut args, "--threads"),
+            "--seed" => seed = expect_num(&mut args, "--seed"),
+            "--cache-mb" => cache_mb = expect_num(&mut args, "--cache-mb"),
+            "--scheme" => {
+                scheme_name = args.next().unwrap_or_else(|| {
+                    eprintln!("--scheme needs a value");
+                    std::process::exit(2);
+                })
+            }
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            other if file.is_none() && !other.starts_with("--") => file = Some(other.to_string()),
+            other => {
+                eprintln!("unknown serve argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let file = file.unwrap_or_else(|| {
+        eprintln!("serve needs a workload file (try `gen` first)");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("reading {file}: {e}");
+        std::process::exit(2);
+    });
+    let spec = parse_workload(&text).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        std::process::exit(2);
+    });
+    let g = family_graph(&spec.graph);
+    // Workload endpoints were validated against the file's node count at
+    // parse time; families build *approximate* sizes, so the two must
+    // agree exactly or out-of-range endpoints would abort mid-replay.
+    // (`gen` pins the file to the built size, so its files always pass.)
+    if g.num_nodes() != spec.graph.n {
+        eprintln!(
+            "{file}: graph {} builds {} nodes, but the workload declares n={} — regenerate with `gen --family {} --n {}`",
+            spec.graph.family,
+            g.num_nodes(),
+            spec.graph.n,
+            spec.graph.family,
+            g.num_nodes()
+        );
+        std::process::exit(2);
+    }
+    eprintln!(
+        "[nav-engine] graph {} n={} m={} | {} queries ({} distinct targets), batch {}, scheme {}, cache {} MiB, threads {}",
+        spec.graph.family,
+        g.num_nodes(),
+        g.num_edges(),
+        spec.queries.len(),
+        spec.distinct_targets(),
+        spec.batch_size,
+        scheme_name,
+        cache_mb,
+        threads
+    );
+    let scheme = scheme_for(&scheme_name, &g, seed, threads);
+    let mut engine = Engine::new(
+        g,
+        scheme,
+        EngineConfig {
+            seed,
+            threads,
+            cache_bytes: cache_mb << 20,
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let mut failures = 0usize;
+    for batch in spec.batches() {
+        let result = engine.serve(&batch).unwrap_or_else(|e| {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        });
+        failures += result.answers.iter().map(|a| a.failures).sum::<usize>();
+    }
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let m = engine.metrics();
+    let cache = engine.cache_stats();
+    let latency = m
+        .latency()
+        .map(|l| l.to_json())
+        .unwrap_or_else(|| "null".into());
+    println!("queries           {}", m.queries);
+    println!("batches           {}", m.batches);
+    println!("trials            {}", m.trials);
+    println!("failures          {failures}");
+    println!("elapsed           {elapsed_ms:.1} ms");
+    println!("throughput        {:.0} queries/s", m.throughput_qps());
+    println!("batch latency     {latency}");
+    println!(
+        "cache             {} rows resident ({} KiB), {} hits / {} misses (rate {:.3}), {} evictions",
+        cache.resident_rows,
+        cache.resident_bytes / 1024,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate(),
+        cache.evictions
+    );
+    println!(
+        "targets           {} warm / {} cold",
+        m.warm_targets, m.cold_targets
+    );
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"schema\": \"nav-engine-serve/v1\",\n  \"workload\": \"{}\",\n  \"scheme\": \"{}\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"host\": {},\n  \"queries\": {},\n  \"batches\": {},\n  \"trials\": {},\n  \"failures\": {failures},\n  \"elapsed_ms\": {elapsed_ms:.3},\n  \"qps\": {:.3},\n  \"batch_latency_ms\": {latency},\n  \"cache\": {{\"capacity_bytes\": {}, \"resident_rows\": {}, \"resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.3}}}\n}}\n",
+            json_escape(&file),
+            json_escape(&engine.scheme_name()),
+            nav_par::HostMeta::current().to_json(),
+            m.queries,
+            m.batches,
+            m.trials,
+            m.throughput_qps(),
+            cache.capacity_bytes,
+            cache.resident_rows,
+            cache.resident_bytes,
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.hit_rate(),
+        );
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[nav-engine] summary -> {path}");
+    }
+}
+
+fn gen(mut args: impl Iterator<Item = String>) {
+    let mut file: Option<String> = None;
+    let mut family = "gnp".to_string();
+    let mut n = 4096usize;
+    let mut graph_seed = 42u64;
+    let mut queries = 100_000usize;
+    let mut theta = 1.1f64;
+    let mut hot = 1024usize;
+    let mut zipf_seed = 7u64;
+    let mut trials = 8usize;
+    let mut batch = 512usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--family" => {
+                family = args.next().unwrap_or_else(|| {
+                    eprintln!("--family needs a value");
+                    std::process::exit(2);
+                })
+            }
+            "--n" => n = expect_num(&mut args, "--n"),
+            "--graph-seed" => graph_seed = expect_num(&mut args, "--graph-seed"),
+            "--queries" => queries = expect_num(&mut args, "--queries"),
+            "--theta" => theta = expect_num(&mut args, "--theta"),
+            "--hot" => hot = expect_num(&mut args, "--hot"),
+            "--zipf-seed" => zipf_seed = expect_num(&mut args, "--zipf-seed"),
+            "--trials" => trials = expect_num(&mut args, "--trials"),
+            "--batch" => batch = expect_num(&mut args, "--batch"),
+            other if file.is_none() && !other.starts_with("--") => file = Some(other.to_string()),
+            other => {
+                eprintln!("unknown gen argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let file = file.unwrap_or_else(|| {
+        eprintln!("gen needs an output path");
+        std::process::exit(2);
+    });
+    // Families build *approximate* sizes (a grid rounds to a square, a
+    // comb to whole teeth). Build once to learn the real node count, pin
+    // the file to it, and verify the pinned size is a fixed point of the
+    // builder — so `serve` reconstructs the exact same graph.
+    let requested = GraphSpec {
+        family,
+        n,
+        seed: graph_seed,
+    };
+    let built_n = family_graph(&requested).num_nodes();
+    let spec = GraphSpec {
+        n: built_n,
+        ..requested
+    };
+    if family_graph(&spec).num_nodes() != built_n {
+        eprintln!(
+            "family {} cannot be pinned at its built size ({built_n} nodes from --n {n}); try a different --n",
+            spec.family
+        );
+        std::process::exit(2);
+    }
+    if built_n != n {
+        eprintln!("[nav-engine] note: {} builds {built_n} nodes for --n {n}; workload pinned to {built_n}", spec.family);
+    }
+    let zipf = ZipfSpec {
+        count: queries,
+        theta,
+        seed: zipf_seed,
+        hot: hot.min(built_n),
+    };
+    let text = render_workload(&spec, trials, batch, &zipf);
+    // Validate what we are about to hand to `serve`.
+    parse_workload(&text).unwrap_or_else(|e| panic!("generated workload invalid: {e}"));
+    std::fs::write(&file, &text).unwrap_or_else(|e| panic!("writing {file}: {e}"));
+    eprintln!(
+        "[nav-engine] workload ({queries} queries over {} hot targets) -> {file}",
+        zipf.hot
+    );
+}
+
+fn bench_json(mut args: impl Iterator<Item = String>) {
+    let mut cfg = ExpConfig::default();
+    let mut path = "BENCH_serve.json".to_string();
+    let mut path_set = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--threads" => cfg.threads = expect_num(&mut args, "--threads"),
+            "--seed" => cfg.seed = expect_num(&mut args, "--seed"),
+            other if !path_set && !other.starts_with("--") => {
+                path = other.to_string();
+                path_set = true;
+            }
+            other => {
+                eprintln!("unknown bench-json argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "[nav-engine] bench-json mode={} seed={} threads={}",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.seed,
+        cfg.threads
+    );
+    let start = std::time::Instant::now();
+    let json = render_serve_bench(&cfg);
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    print!("{json}");
+    eprintln!(
+        "[nav-engine] bench-json -> {path} in {:.1?}",
+        start.elapsed()
+    );
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--json PATH]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("serve") => serve(args),
+        Some("gen") => gen(args),
+        Some("--bench-json") => bench_json(args),
+        Some("--help") | Some("-h") | None => usage(),
+        Some(other) => {
+            eprintln!("unknown command: {other} (try --help)");
+            usage();
+        }
+    }
+}

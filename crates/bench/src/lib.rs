@@ -7,6 +7,12 @@
 //! time representative instances of the same code paths. The binary's
 //! `--bench-json` mode ([`benchjson`]) emits the `BENCH_core.json` perf
 //! baseline for the distance-oracle layer.
+//!
+//! The harness also fronts the serving subsystem: the `nav-engine` binary
+//! replays workload files through a persistent [`nav_engine::Engine`]
+//! (mapping workload graph specs onto [`workloads::Workload`] builders)
+//! and its `--bench-json` mode ([`servejson`]) emits the
+//! `BENCH_serve.json` cold-vs-warm-cache baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +20,7 @@
 pub mod benchjson;
 pub mod experiments;
 pub mod measure;
+pub mod servejson;
 pub mod workloads;
 
 /// Global experiment configuration.

@@ -1,0 +1,237 @@
+//! The `BENCH_serve.json` emitter (`nav-engine --bench-json`).
+//!
+//! Measures the serving subsystem the way it will actually be used: a
+//! long-lived [`nav_engine::Engine`] replaying a zipfian-target query
+//! stream in batches, cold (cache capacity 0 — every batch recomputes its
+//! rows) versus warm (cache sized for the working set, throughput
+//! measured on a second replay after the first has populated it). The gap
+//! between the two is exactly what the cross-batch row cache buys.
+//!
+//! Like the core emitter, this one is a correctness gate first: before a
+//! single number is rendered it asserts that the engine's answers — both
+//! at capacity 0 and with the populated cache — are **bit-identical** to
+//! a fresh [`run_trials`] over the same query sequence, and that the warm
+//! replay actually outran the cold one.
+
+use crate::benchjson::stats_identical;
+use crate::workloads::Workload;
+use crate::ExpConfig;
+use nav_analysis::latency::LatencySummary;
+use nav_core::trial::{run_trials, PairStats, TrialConfig};
+use nav_core::uniform::UniformScheme;
+use nav_engine::workload::{zipf_queries, ZipfSpec};
+use nav_engine::{Engine, EngineConfig, Query, QueryBatch};
+use nav_graph::Graph;
+use std::time::Instant;
+
+fn fms(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// A fresh engine over `g` with the given cache capacity.
+fn engine(g: &Graph, seed: u64, threads: usize, cache_bytes: usize) -> Engine {
+    Engine::new(
+        g.clone(),
+        Box::new(UniformScheme),
+        EngineConfig {
+            seed,
+            threads,
+            cache_bytes,
+        },
+    )
+}
+
+/// Serves every batch in order, returning the concatenated answers.
+fn replay(engine: &mut Engine, batches: &[QueryBatch]) -> Vec<PairStats> {
+    let mut answers = Vec::new();
+    for b in batches {
+        answers.extend(engine.serve(b).expect("workload validated").answers);
+    }
+    answers
+}
+
+/// One JSON fragment for a measured replay.
+fn replay_json(label: &str, elapsed_ms: f64, queries: usize, latency: &[f64]) -> String {
+    let digest = LatencySummary::from_samples(latency)
+        .map(|l| l.to_json())
+        .unwrap_or_else(|| "null".into());
+    format!(
+        "  \"{label}\": {{\"elapsed_ms\": {}, \"qps\": {}, \"batch_latency_ms\": {digest}}},\n",
+        fms(elapsed_ms),
+        fms(queries as f64 / (elapsed_ms / 1e3))
+    )
+}
+
+/// Runs the serve benchmark and renders `BENCH_serve.json`.
+///
+/// # Panics
+/// Panics if engine answers diverge from [`run_trials`] at any cache
+/// capacity, or if the warm replay fails to beat the cold one — the JSON
+/// is only produced for a correct, cache-effective engine.
+pub fn render_serve_bench(cfg: &ExpConfig) -> String {
+    // Full mode replays a ≥100k-query stream (the acceptance-scale run);
+    // quick mode is the CI-sized smoke of the same shape.
+    let (n, count, hot, batch_size) = if cfg.quick {
+        (512, 6_000, 128, 256)
+    } else {
+        (4096, 120_000, 1024, 512)
+    };
+    let trials = 4usize;
+    let g = Workload::Gnp.build(n, cfg.seed_for("serve-graph", n));
+    let n = g.num_nodes();
+    let zipf = ZipfSpec {
+        count,
+        theta: 1.1,
+        seed: cfg.seed_for("serve-zipf", n),
+        hot,
+    };
+    let queries: Vec<Query> = zipf_queries(n, &zipf, trials);
+    let batches: Vec<QueryBatch> = queries
+        .chunks(batch_size)
+        .map(|c| QueryBatch {
+            queries: c.to_vec(),
+        })
+        .collect();
+    let distinct = {
+        let mut t: Vec<_> = queries.iter().map(|q| q.t).collect();
+        t.sort_unstable();
+        t.dedup();
+        t.len()
+    };
+    let seed = cfg.seed_for("serve-trials", n);
+
+    // --- the reference: one long run_trials over the whole stream -------
+    let pairs: Vec<_> = queries.iter().map(|q| (q.s, q.t)).collect();
+    let reference = run_trials(
+        &g,
+        &UniformScheme,
+        &pairs,
+        &TrialConfig {
+            trials_per_pair: trials,
+            seed,
+            threads: cfg.threads,
+        },
+    )
+    .expect("valid pairs");
+
+    // --- cold: capacity 0, every batch recomputes its rows --------------
+    let mut cold_engine = engine(&g, seed, cfg.threads, 0);
+    let t0 = Instant::now();
+    let cold_answers = replay(&mut cold_engine, &batches);
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        stats_identical(&cold_answers, &reference.pairs),
+        "cold engine answers diverged from run_trials"
+    );
+
+    // --- warm: cache sized for the working set ---------------------------
+    // Compact rows are 2 bytes per node; ×2 headroom over the distinct-
+    // target working set.
+    let cache_bytes = (distinct * n * 4).max(1 << 20);
+    let mut warm_engine = engine(&g, seed, cfg.threads, cache_bytes);
+    let first_answers = replay(&mut warm_engine, &batches);
+    // Cache state must be invisible in the answers: the populating replay
+    // (mixed cold/warm as the zipf head fills in) is bit-identical too.
+    assert!(
+        stats_identical(&first_answers, &reference.pairs),
+        "warm-cache engine answers diverged from run_trials"
+    );
+    // The second replay of the same stream is served entirely from the
+    // resident rows — the steady state of a skewed production stream.
+    let populate_batches = warm_engine.metrics().batches as usize;
+    let t1 = Instant::now();
+    let _steady = replay(&mut warm_engine, &batches);
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let warm_stats = warm_engine.cache_stats();
+    assert_eq!(
+        warm_stats.misses as usize, distinct,
+        "steady-state replay must be all hits"
+    );
+    let cold_qps = count as f64 / (cold_ms / 1e3);
+    let warm_qps = count as f64 / (warm_ms / 1e3);
+    assert!(
+        warm_qps > cold_qps,
+        "warm-cache replay ({warm_qps:.0} qps) must beat cold ({cold_qps:.0} qps)"
+    );
+
+    // --- render ----------------------------------------------------------
+    let warm_latency = &warm_engine.metrics().batch_latencies_ms()[populate_batches..];
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"nav-bench-serve/v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cfg.quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"threads\": {},\n", cfg.threads));
+    out.push_str(&format!(
+        "  \"host\": {},\n",
+        nav_par::HostMeta::current().to_json()
+    ));
+    out.push_str(&format!(
+        "  \"graph\": {{\"family\": \"gnp\", \"n\": {}, \"m\": {}, \"avg_degree\": {}}},\n",
+        n,
+        g.num_edges(),
+        fms(g.avg_degree())
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"queries\": {count}, \"trials_per_query\": {trials}, \"batch\": {batch_size}, \"zipf_theta\": {}, \"hot_targets\": {hot}, \"distinct_targets\": {distinct}, \"scheme\": \"uniform\"}},\n",
+        zipf.theta
+    ));
+    out.push_str(&replay_json(
+        "cold",
+        cold_ms,
+        count,
+        cold_engine.metrics().batch_latencies_ms(),
+    ));
+    out.push_str(&replay_json("warm", warm_ms, count, warm_latency));
+    out.push_str(&format!(
+        "  \"cache\": {{\"capacity_bytes\": {}, \"resident_rows\": {}, \"resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {}}},\n",
+        warm_stats.capacity_bytes,
+        warm_stats.resident_rows,
+        warm_stats.resident_bytes,
+        warm_stats.hits,
+        warm_stats.misses,
+        warm_stats.evictions,
+        fms(warm_stats.hit_rate())
+    ));
+    out.push_str(&format!(
+        "  \"warm_over_cold_speedup\": {},\n",
+        fms(cold_ms / warm_ms)
+    ));
+    out.push_str("  \"bit_identical_to_run_trials\": true\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_serve_bench_renders_valid_schema() {
+        let cfg = ExpConfig {
+            quick: true,
+            seed: 4,
+            threads: 2,
+        };
+        let json = render_serve_bench(&cfg);
+        for key in [
+            "\"schema\": \"nav-bench-serve/v1\"",
+            "\"mode\": \"quick\"",
+            "\"host\":",
+            "\"workload\":",
+            "\"cold\":",
+            "\"warm\":",
+            "\"batch_latency_ms\":",
+            "\"cache\":",
+            "\"warm_over_cold_speedup\":",
+            "\"bit_identical_to_run_trials\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -14,10 +14,13 @@
 //! closest nodes to the target, leave its boundary, grow the ball scale,
 //! shrink it onto the target, walk the rest).
 
+use crate::realization::Realization;
 use crate::scheme::{AugmentationScheme, ExplicitScheme};
 use crate::workspace::with_bfs;
 use nav_graph::ball::rank_of_distance;
-use nav_graph::{Graph, NodeId};
+use nav_graph::msbfs::{with_msbfs, LANES};
+use nav_graph::{Graph, NodeId, INFINITY};
+use nav_par::rng::task_rng;
 use rand::{Rng, RngCore};
 
 /// The Theorem-4 ball scheme, bound to a graph size (`K = ⌈log₂ n⌉`).
@@ -39,6 +42,73 @@ impl BallScheme {
     pub fn scales(&self) -> u32 {
         self.k_max
     }
+
+    /// The ball radius of scale `k` (`2^k`, saturating).
+    fn radius(k: u32) -> u32 {
+        if k >= 31 {
+            u32::MAX
+        } else {
+            1u32 << k
+        }
+    }
+
+    /// Realizes one long-range draw for **every** node, batched: centres
+    /// are packed [`LANES`] (= 64) per bit-parallel MS-BFS pass and the
+    /// passes fanned out to `threads` `nav-par` workers — replacing the
+    /// one scalar truncated BFS per node that [`Realization::sample`]
+    /// would issue through [`AugmentationScheme::sample_contact`].
+    ///
+    /// Node `u`'s draw is a pure function of `(seed, u)` (via
+    /// [`task_rng`]), so the result is identical for every thread count
+    /// and batch split. Each draw has exactly the scheme's distribution —
+    /// a uniform scale `k`, then a uniform element of `B(u, 2^k)` selected
+    /// by index against the batch's distance rows — but the realization is
+    /// *not* stream-compatible with the sequential single-RNG
+    /// [`Realization::sample`], which consumes one shared stream in node
+    /// order.
+    pub fn realize_batched(&self, g: &Graph, seed: u64, threads: usize) -> Realization {
+        let n = g.num_nodes();
+        let batches: Vec<Vec<NodeId>> = (0..n.div_ceil(LANES))
+            .map(|c| {
+                let lo = c * LANES;
+                let hi = (lo + LANES).min(n);
+                (lo as NodeId..hi as NodeId).collect()
+            })
+            .collect();
+        let per_batch: Vec<Vec<Option<NodeId>>> =
+            nav_par::parallel_map(batches.len(), threads, |b| {
+                let centres = &batches[b];
+                with_msbfs(n, |ms| {
+                    let rows = ms.distances(g, centres);
+                    centres
+                        .iter()
+                        .enumerate()
+                        .map(|(lane, &u)| {
+                            let row = &rows[lane * n..(lane + 1) * n];
+                            let mut rng = task_rng(seed, u as u64);
+                            let k = rng.gen_range(1..=self.k_max);
+                            let radius = Self::radius(k);
+                            // Uniform over B(u, 2^k) by index: count the
+                            // members (u itself is always one, d = 0),
+                            // draw a rank, take the rank-th member in
+                            // ascending node-id order.
+                            let in_ball = |d: u32| d != INFINITY && d <= radius;
+                            let count = row.iter().filter(|&&d| in_ball(d)).count() as u64;
+                            let pick = rng.gen_range(0..count);
+                            let chosen = row
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, &d)| in_ball(d))
+                                .nth(pick as usize)
+                                .map(|(v, _)| v as NodeId)
+                                .expect("ball contains at least the centre");
+                            Some(chosen)
+                        })
+                        .collect()
+                })
+            });
+        Realization::from_contacts(per_batch.into_iter().flatten().collect())
+    }
 }
 
 /// `⌈log₂ n⌉` (0 for n = 1).
@@ -57,7 +127,7 @@ impl AugmentationScheme for BallScheme {
 
     fn sample_contact(&self, g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
         let k = rng.gen_range(1..=self.k_max);
-        let radius = if k >= 31 { u32::MAX } else { 1u32 << k };
+        let radius = Self::radius(k);
         // Uniform element of B(u, 2^k) via reservoir sampling over a
         // truncated BFS — O(|B|) time, no ball materialisation. Stops as
         // soon as the whole graph is covered (dense cores at large radii).
@@ -226,6 +296,58 @@ mod tests {
         // p = (1/3)(1/8).
         let p7 = dist.iter().find(|&&(v, _)| v == 7).unwrap().1;
         assert!((p7 - (1.0 / 3.0) * (1.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_realization_is_thread_invariant_and_deterministic() {
+        let g = path(150); // spans three 64-lane batches
+        let scheme = BallScheme::new(&g);
+        let r1 = scheme.realize_batched(&g, 9, 1);
+        let r4 = scheme.realize_batched(&g, 9, 4);
+        assert_eq!(r1, r4, "thread count must not change the realization");
+        assert_ne!(r1, scheme.realize_batched(&g, 10, 1));
+        assert_eq!(r1.num_links(), 150); // the scheme is fully stochastic
+    }
+
+    #[test]
+    fn batched_realization_matches_distribution() {
+        // Empirical contact frequencies of node u across many batched
+        // realizations must match the closed-form φ_u.
+        let g = path(17);
+        let scheme = BallScheme::new(&g);
+        let u = 8u32;
+        let samples = 60_000usize;
+        let mut counts = [0usize; 17];
+        for s in 0..samples {
+            let real = scheme.realize_batched(&g, s as u64, 1);
+            counts[real.contact(u).unwrap() as usize] += 1;
+        }
+        let exact = scheme.contact_distribution(&g, u);
+        let mut expected = [0.0f64; 17];
+        for (v, p) in exact {
+            expected[v as usize] = p;
+        }
+        for v in 0..17 {
+            let emp = counts[v] as f64 / samples as f64;
+            assert!(
+                (emp - expected[v]).abs() < 0.012,
+                "node {u}→{v}: empirical {emp:.4} vs exact {:.4}",
+                expected[v]
+            );
+        }
+    }
+
+    #[test]
+    fn batched_realization_stays_inside_largest_ball() {
+        let g = path(40);
+        let scheme = BallScheme::new(&g);
+        let real = scheme.realize_batched(&g, 3, 2);
+        let max_radius = 1u64 << scheme.scales();
+        for u in 0..40u32 {
+            let v = real.contact(u).unwrap();
+            let d = (v as i64 - u as i64).unsigned_abs();
+            assert!(d <= max_radius, "u={u} v={v}");
+        }
     }
 
     #[test]

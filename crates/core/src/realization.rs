@@ -34,6 +34,13 @@ impl Realization {
         Realization { contacts }
     }
 
+    /// Wraps an explicit per-node contact table (entry `u` is node `u`'s
+    /// long-range contact) — the constructor used by batched realizers
+    /// such as [`crate::ball::BallScheme::realize_batched`].
+    pub fn from_contacts(contacts: Vec<Option<NodeId>>) -> Self {
+        Realization { contacts }
+    }
+
     /// The long-range contact of `u` in this realization.
     pub fn contact(&self, u: NodeId) -> Option<NodeId> {
         self.contacts[u as usize]
@@ -66,6 +73,20 @@ impl Realization {
             }
         }
         b.build().expect("augmenting a valid graph stays valid")
+    }
+}
+
+/// An owned [`Realization`] is itself a (deterministic)
+/// [`AugmentationScheme`]: every sample returns the fixed contact. This is
+/// the form a long-lived serving engine boxes up — no borrow to keep
+/// alive. Use [`Realization::as_scheme`] when a borrow suffices.
+impl AugmentationScheme for Realization {
+    fn name(&self) -> String {
+        "realized".into()
+    }
+
+    fn sample_contact(&self, _g: &Graph, u: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        self.contact(u)
     }
 }
 

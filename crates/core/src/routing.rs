@@ -17,9 +17,9 @@
 //!   id, making trials reproducible given the RNG seed.
 
 use crate::scheme::AugmentationScheme;
+use nav_graph::distance::{DistRowView, NARROW_INFINITY};
 use nav_graph::{bfs::Bfs, Graph, GraphError, NodeId, INFINITY};
 use rand::RngCore;
-use std::borrow::Cow;
 
 /// Outcome of one greedy-routing trial.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,13 +35,41 @@ pub struct RouteOutcome {
     pub path: Option<Vec<NodeId>>,
 }
 
+/// The router's target-distance row: owned (one BFS), or borrowed at
+/// either storage width — full-width oracle rows and the serving cache's
+/// compact (`u16`) resident rows route without any copy or widening.
+enum Row<'g> {
+    Owned(Vec<u32>),
+    Wide(&'g [u32]),
+    Narrow(&'g [u16]),
+}
+
+impl Row<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> u32 {
+        match self {
+            Row::Owned(v) => v[i],
+            Row::Wide(v) => v[i],
+            Row::Narrow(v) => {
+                let d = v[i];
+                if d == NARROW_INFINITY {
+                    INFINITY
+                } else {
+                    d as u32
+                }
+            }
+        }
+    }
+}
+
 /// A router bound to one (graph, target) pair; reusable across sources and
 /// trials. The target-distance row is either owned (computed by one BFS)
-/// or borrowed from a shared [`crate::oracle::TargetDistanceCache`].
+/// or borrowed — from a shared [`crate::oracle::TargetDistanceCache`] row,
+/// or from compact cached storage via [`GreedyRouter::from_row_view`].
 pub struct GreedyRouter<'g> {
     g: &'g Graph,
     target: NodeId,
-    dist_t: Cow<'g, [u32]>,
+    dist_t: Row<'g>,
 }
 
 impl<'g> GreedyRouter<'g> {
@@ -49,14 +77,14 @@ impl<'g> GreedyRouter<'g> {
     pub fn new(g: &'g Graph, target: NodeId) -> Result<Self, GraphError> {
         g.check_node(target)?;
         let mut bfs = Bfs::new(g.num_nodes());
-        let dist_t = Cow::Owned(bfs.distances(g, target));
+        let dist_t = Row::Owned(bfs.distances(g, target));
         Ok(GreedyRouter { g, target, dist_t })
     }
 
     /// Builds the router reusing a caller-provided BFS workspace.
     pub fn with_workspace(g: &'g Graph, target: NodeId, bfs: &mut Bfs) -> Result<Self, GraphError> {
         g.check_node(target)?;
-        let dist_t = Cow::Owned(bfs.distances(g, target));
+        let dist_t = Row::Owned(bfs.distances(g, target));
         Ok(GreedyRouter { g, target, dist_t })
     }
 
@@ -68,6 +96,22 @@ impl<'g> GreedyRouter<'g> {
     /// Panics if `dist_t.len() != g.num_nodes()` or `dist_t[target] != 0`
     /// (a row that cannot be a distance row of `target`).
     pub fn from_row(g: &'g Graph, target: NodeId, dist_t: &'g [u32]) -> Result<Self, GraphError> {
+        Self::from_row_view(g, target, DistRowView::Wide(dist_t))
+    }
+
+    /// [`GreedyRouter::from_row`] for a width-agnostic
+    /// [`DistRowView`] — the serving layer's compact (`u16`) cached rows
+    /// are routed on directly, with no widening copy. Narrow values are
+    /// decoded on the fly ([`NARROW_INFINITY`] ⇔ [`INFINITY`]), so routing
+    /// decisions are bit-identical to the full-width row.
+    ///
+    /// # Panics
+    /// Same conditions as [`GreedyRouter::from_row`].
+    pub fn from_row_view(
+        g: &'g Graph,
+        target: NodeId,
+        dist_t: DistRowView<'g>,
+    ) -> Result<Self, GraphError> {
         g.check_node(target)?;
         assert_eq!(
             dist_t.len(),
@@ -75,14 +119,15 @@ impl<'g> GreedyRouter<'g> {
             "distance row length must equal node count"
         );
         assert_eq!(
-            dist_t[target as usize], 0,
+            dist_t.get(target as usize),
+            0,
             "row is not a distance row of target {target}"
         );
-        Ok(GreedyRouter {
-            g,
-            target,
-            dist_t: Cow::Borrowed(dist_t),
-        })
+        let dist_t = match dist_t {
+            DistRowView::Wide(v) => Row::Wide(v),
+            DistRowView::Narrow(v) => Row::Narrow(v),
+        };
+        Ok(GreedyRouter { g, target, dist_t })
     }
 
     /// The underlying graph.
@@ -98,7 +143,7 @@ impl<'g> GreedyRouter<'g> {
     /// `dist_G(u, target)`.
     #[inline]
     pub fn dist_to_target(&self, u: NodeId) -> u32 {
-        self.dist_t[u as usize]
+        self.dist_t.get(u as usize)
     }
 
     /// The greedy *local* next hop from `u`: the neighbour closest to the
@@ -107,7 +152,7 @@ impl<'g> GreedyRouter<'g> {
     pub fn local_next(&self, u: NodeId) -> Option<NodeId> {
         let mut best: Option<(u32, NodeId)> = None;
         for &v in self.g.neighbors(u) {
-            let d = self.dist_t[v as usize];
+            let d = self.dist_t.get(v as usize);
             // Sorted adjacency ⇒ first strict improvement wins ties by id.
             match best {
                 Some((bd, _)) if d >= bd => {}
@@ -124,10 +169,10 @@ impl<'g> GreedyRouter<'g> {
     pub fn next_hop(&self, u: NodeId, contact: Option<NodeId>) -> Option<NodeId> {
         let local = self.local_next(u);
         match (local, contact) {
-            (None, c) => c.filter(|&v| self.dist_t[v as usize] < self.dist_t[u as usize]),
+            (None, c) => c.filter(|&v| self.dist_t.get(v as usize) < self.dist_t.get(u as usize)),
             (Some(l), None) => Some(l),
             (Some(l), Some(c)) => {
-                if self.dist_t[c as usize] < self.dist_t[l as usize] {
+                if self.dist_t.get(c as usize) < self.dist_t.get(l as usize) {
                     Some(c)
                 } else {
                     Some(l)
@@ -159,7 +204,7 @@ impl<'g> GreedyRouter<'g> {
             None
         };
         while u != self.target && steps < max_steps {
-            if self.dist_t[u as usize] == INFINITY {
+            if self.dist_t.get(u as usize) == INFINITY {
                 break; // target unreachable from here
             }
             let contact = scheme.sample_contact(self.g, u, rng);
@@ -167,7 +212,7 @@ impl<'g> GreedyRouter<'g> {
                 break; // isolated node and useless contact
             };
             debug_assert!(
-                self.dist_t[next as usize] < self.dist_t[u as usize],
+                self.dist_t.get(next as usize) < self.dist_t.get(u as usize),
                 "greedy step must strictly decrease target distance"
             );
             if Some(next) == contact && self.g.neighbors(u).binary_search(&next).is_err() {
@@ -377,6 +422,38 @@ mod tests {
         );
         assert_eq!(out_f, out_b);
         assert!(GreedyRouter::from_row(&g, 40, &row).is_err());
+    }
+
+    #[test]
+    fn from_narrow_row_view_routes_identically() {
+        use nav_graph::distance::DistRowBuf;
+        let g = path(50);
+        let fresh = GreedyRouter::new(&g, 49).unwrap();
+        let wide: Vec<u32> = (0..50).map(|v| fresh.dist_to_target(v)).collect();
+        let compact = DistRowBuf::from_wide(&wide);
+        assert!(compact.is_narrow());
+        let narrow = GreedyRouter::from_row_view(&g, 49, compact.view()).unwrap();
+        assert_eq!(narrow.dist_to_target(0), 49);
+        let out_f = fresh.route(
+            &UniformScheme,
+            0,
+            &mut seeded_rng(21),
+            default_step_cap(&g),
+            true,
+        );
+        let out_n = narrow.route(
+            &UniformScheme,
+            0,
+            &mut seeded_rng(21),
+            default_step_cap(&g),
+            true,
+        );
+        assert_eq!(out_f, out_n);
+        // Narrow INFINITY decodes as unreachable.
+        let g2 = GraphBuilder::from_edges(3, [(0, 1)]).unwrap();
+        let row2 = DistRowBuf::from_wide(&[0, 1, INFINITY]);
+        let r2 = GreedyRouter::from_row_view(&g2, 0, row2.view()).unwrap();
+        assert_eq!(r2.dist_to_target(2), INFINITY);
     }
 
     #[test]

@@ -59,6 +59,22 @@ pub struct PairStats {
     pub failures: usize,
 }
 
+impl PairStats {
+    /// Exact equality, floats compared **bit for bit** — the comparison
+    /// behind every "engine B reproduces engine A" determinism gate
+    /// (perf baselines, the serving engine's contract, property tests).
+    pub fn bits_eq(&self, other: &PairStats) -> bool {
+        self.s == other.s
+            && self.t == other.t
+            && self.dist == other.dist
+            && self.mean_steps.to_bits() == other.mean_steps.to_bits()
+            && self.std_steps.to_bits() == other.std_steps.to_bits()
+            && self.max_steps == other.max_steps
+            && self.mean_long_links.to_bits() == other.mean_long_links.to_bits()
+            && self.failures == other.failures
+    }
+}
+
 /// Result of a full trial run.
 #[derive(Clone, Debug)]
 pub struct TrialResult {

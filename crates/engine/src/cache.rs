@@ -1,0 +1,367 @@
+//! The cross-batch distance-row cache.
+//!
+//! One distance row per routing target is the engine's whole marginal
+//! cost: a row is `Θ(n)` bytes and `Θ(m)` BFS work to produce, while the
+//! trials that consume it are comparatively cheap. Real query streams are
+//! heavily skewed toward hot targets, so rows computed for one batch are
+//! exactly what the next batch wants. [`RowCache`] keeps them: a strict
+//! LRU over [`DistRowBuf`] rows (compact `u16` storage whenever the
+//! graph's eccentricities fit, halving resident bytes), bounded by a
+//! **byte** capacity rather than a row count so one knob survives graphs
+//! of any size.
+//!
+//! Rows are handed out as [`Arc`]s: eviction drops the cache's reference,
+//! never a row a batch is still routing on. Distances are exact, so cache
+//! state can never change an answer — only its latency.
+
+use nav_graph::distance::DistRowBuf;
+use nav_graph::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// Counter snapshot of a [`RowCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a resident row.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Rows inserted.
+    pub insertions: u64,
+    /// Rows evicted to make room.
+    pub evictions: u64,
+    /// Rows rejected at admission (larger than the whole capacity).
+    pub rejected: u64,
+    /// Rows currently resident.
+    pub resident_rows: usize,
+    /// Payload bytes currently resident.
+    pub resident_bytes: usize,
+    /// Configured capacity in bytes.
+    pub capacity_bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot {
+    key: NodeId,
+    row: Arc<DistRowBuf>,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// A byte-bounded strict-LRU cache of target distance rows.
+///
+/// Implemented as a slot slab threaded with an intrusive doubly-linked
+/// recency list plus a `HashMap` index — `O(1)` get/insert/evict, no
+/// per-operation scans, no unsafe.
+pub struct RowCache {
+    capacity_bytes: usize,
+    index: HashMap<NodeId, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    resident_bytes: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    rejected: u64,
+}
+
+impl RowCache {
+    /// Creates a cache bounded at `capacity_bytes` of row payload.
+    /// Capacity 0 is legal and means "never retain anything" — the engine
+    /// degrades to per-batch recomputation but stays correct.
+    pub fn new(capacity_bytes: usize) -> Self {
+        RowCache {
+            capacity_bytes,
+            index: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            resident_bytes: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The configured byte capacity.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            rejected: self.rejected,
+            resident_rows: self.index.len(),
+            resident_bytes: self.resident_bytes,
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+
+    /// Looks up the row of target `t`, promoting it to most-recently-used
+    /// on a hit.
+    pub fn get(&mut self, t: NodeId) -> Option<Arc<DistRowBuf>> {
+        match self.index.get(&t).copied() {
+            Some(slot) => {
+                self.hits += 1;
+                self.unlink(slot);
+                self.push_front(slot);
+                Some(Arc::clone(&self.slots[slot].row))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts the row of target `t`, evicting least-recently-used rows
+    /// until it fits. A row bigger than the whole capacity is rejected
+    /// (counted, not stored) — admission control, so one oversized row
+    /// cannot flush the entire working set. Re-inserting a resident key
+    /// replaces its row.
+    pub fn insert(&mut self, t: NodeId, row: Arc<DistRowBuf>) {
+        let bytes = row.bytes();
+        if bytes > self.capacity_bytes {
+            self.rejected += 1;
+            return;
+        }
+        if let Some(&slot) = self.index.get(&t) {
+            self.resident_bytes = self.resident_bytes - self.slots[slot].bytes + bytes;
+            self.slots[slot].row = row;
+            self.slots[slot].bytes = bytes;
+            self.unlink(slot);
+            self.push_front(slot);
+            // A bigger replacement can push the cache over budget; evict
+            // from the cold end until the bound holds again. The replaced
+            // slot itself is at the front, and `bytes <= capacity`, so the
+            // loop terminates before reaching it.
+            while self.resident_bytes > self.capacity_bytes {
+                self.evict_lru();
+            }
+        } else {
+            while self.resident_bytes + bytes > self.capacity_bytes {
+                self.evict_lru();
+            }
+            let slot = self.alloc_slot(t, row, bytes);
+            self.index.insert(t, slot);
+            self.resident_bytes += bytes;
+            self.push_front(slot);
+        }
+        self.insertions += 1;
+    }
+
+    fn alloc_slot(&mut self, key: NodeId, row: Arc<DistRowBuf>, bytes: usize) -> usize {
+        let slot = Slot {
+            key,
+            row,
+            bytes,
+            prev: NIL,
+            next: NIL,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let slot = self.tail;
+        debug_assert_ne!(slot, NIL, "evict called on an empty cache");
+        self.unlink(slot);
+        let key = self.slots[slot].key;
+        self.index.remove(&key);
+        self.resident_bytes -= self.slots[slot].bytes;
+        // Drop the cache's Arc; in-flight borrowers keep the row alive.
+        self.slots[slot].row = Arc::new(DistRowBuf::Wide(Vec::new()));
+        self.free.push(slot);
+        self.evictions += 1;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NIL {
+            if self.head == slot {
+                self.head = next;
+            }
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            if self.tail == slot {
+                self.tail = prev;
+            }
+        } else {
+            self.slots[next].prev = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(len: usize, narrow: bool) -> Arc<DistRowBuf> {
+        Arc::new(if narrow {
+            DistRowBuf::Narrow(vec![1u16; len])
+        } else {
+            DistRowBuf::Wide(vec![1u32; len])
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_promotion() {
+        let mut c = RowCache::new(1000);
+        assert!(c.get(1).is_none());
+        c.insert(1, row(10, true)); // 20 bytes
+        c.insert(2, row(10, true));
+        assert!(c.get(1).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 2));
+        assert_eq!(s.resident_rows, 2);
+        assert_eq!(s.resident_bytes, 40);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order_respects_recency() {
+        // Three 20-byte rows in a 40-byte cache: inserting the third
+        // evicts the least recently *used*, not the oldest inserted.
+        let mut c = RowCache::new(40);
+        c.insert(1, row(10, true));
+        c.insert(2, row(10, true));
+        assert!(c.get(1).is_some()); // 1 is now MRU
+        c.insert(3, row(10, true)); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_zero_rejects_everything() {
+        let mut c = RowCache::new(0);
+        c.insert(7, row(1, true));
+        assert!(c.get(7).is_none());
+        let s = c.stats();
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.resident_rows, 0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn oversized_row_rejected_without_flushing() {
+        let mut c = RowCache::new(100);
+        c.insert(1, row(10, true)); // 20 bytes, fits
+        c.insert(2, row(200, true)); // 400 bytes > capacity: rejected
+        assert!(c.get(1).is_some(), "resident row must survive rejection");
+        assert!(c.get(2).is_none());
+        assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_adjusts_bytes() {
+        let mut c = RowCache::new(1000);
+        c.insert(1, row(10, true)); // 20 bytes
+        c.insert(1, row(10, false)); // 40 bytes, same key
+        let s = c.stats();
+        assert_eq!(s.resident_rows, 1);
+        assert_eq!(s.resident_bytes, 40);
+        assert_eq!(s.insertions, 2);
+        assert!(!c.get(1).unwrap().is_narrow());
+    }
+
+    #[test]
+    fn growing_replacement_evicts_to_stay_within_capacity() {
+        // 100-byte budget: two 20-byte rows, then key 1 grows to 90 bytes
+        // — key 2 must go, and the byte bound must hold.
+        let mut c = RowCache::new(100);
+        c.insert(1, row(10, true)); // 20 B
+        c.insert(2, row(10, true)); // 20 B
+        c.insert(1, row(45, true)); // 90 B, same key
+        let s = c.stats();
+        assert!(s.resident_bytes <= s.capacity_bytes, "{s:?}");
+        assert_eq!(s.resident_bytes, 90);
+        assert_eq!(s.evictions, 1);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(1).unwrap().len(), 45);
+    }
+
+    #[test]
+    fn eviction_keeps_borrowed_rows_alive() {
+        let mut c = RowCache::new(20);
+        c.insert(1, row(10, true));
+        let borrowed = c.get(1).unwrap();
+        c.insert(2, row(10, true)); // evicts 1
+        assert!(c.get(1).is_none());
+        assert_eq!(borrowed.len(), 10, "borrower unaffected by eviction");
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut c = RowCache::new(20);
+        for t in 0..100u32 {
+            c.insert(t, row(10, true));
+        }
+        assert_eq!(c.stats().evictions, 99);
+        assert_eq!(c.stats().resident_rows, 1);
+        assert!(c.slots.len() <= 2, "slab must recycle slots");
+        assert!(c.get(99).is_some());
+    }
+
+    #[test]
+    fn narrow_rows_charge_half() {
+        let mut c = RowCache::new(10_000);
+        c.insert(1, row(100, true));
+        c.insert(2, row(100, false));
+        assert_eq!(c.stats().resident_bytes, 200 + 400);
+        assert_eq!(c.capacity_bytes(), 10_000);
+    }
+}

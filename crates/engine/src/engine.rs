@@ -1,0 +1,361 @@
+//! The long-lived serving engine and its admission/cache/execute pipeline.
+
+use crate::batch::{BatchResult, QueryBatch};
+use crate::cache::{CacheStats, RowCache};
+use crate::metrics::EngineMetrics;
+use nav_core::routing::{default_step_cap, GreedyRouter};
+use nav_core::scheme::AugmentationScheme;
+use nav_core::trial::{aggregate_pair, PairStats};
+use nav_graph::distance::DistRowBuf;
+use nav_graph::{Graph, GraphError, NodeId};
+use nav_par::rng::task_rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Construction-time knobs of an [`Engine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Master seed: every query's trial RNG derives from
+    /// `(seed, lifetime query index)`.
+    pub seed: u64,
+    /// Worker threads for row computation and trial execution
+    /// (`1` = inline). Never changes answers.
+    pub threads: usize,
+    /// Row-cache capacity in bytes (`0` = recompute every batch).
+    pub cache_bytes: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0x5eed,
+            threads: nav_par::default_threads(),
+            // Room for ~16k compact rows at n = 4096 — a generous default
+            // that still fits comfortably in commodity RAM.
+            cache_bytes: 128 << 20,
+        }
+    }
+}
+
+/// A persistent query-serving engine: owns a graph and an augmentation
+/// scheme, keeps hot target rows resident across batches, and answers
+/// [`QueryBatch`]es with statistics bit-identical to a fresh
+/// [`nav_core::trial::run_trials`] over the same query sequence.
+///
+/// ```
+/// use nav_engine::{Engine, EngineConfig, QueryBatch};
+/// use nav_core::uniform::UniformScheme;
+/// use nav_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::from_edges(64, (0..63u32).map(|u| (u, u + 1))).unwrap();
+/// let mut engine = Engine::new(g, Box::new(UniformScheme), EngineConfig::default());
+/// let batch = QueryBatch::from_pairs(&[(0, 63), (5, 63)], 8);
+/// let result = engine.serve(&batch).unwrap();
+/// assert_eq!(result.answers.len(), 2);
+/// assert_eq!(result.cold_targets, 1); // 63, deduplicated
+/// // Serving the same batch again finds the row resident.
+/// assert_eq!(engine.serve(&batch).unwrap().warm_targets, 1);
+/// ```
+pub struct Engine {
+    g: Graph,
+    scheme: Box<dyn AugmentationScheme + Send>,
+    cfg: EngineConfig,
+    cache: RowCache,
+    metrics: EngineMetrics,
+    /// Lifetime query counter — the RNG index of the next query, which
+    /// makes a batched stream equivalent to one long `run_trials`.
+    served: u64,
+    cap: u32,
+}
+
+impl Engine {
+    /// Builds an engine owning `g` and `scheme`.
+    pub fn new(g: Graph, scheme: Box<dyn AugmentationScheme + Send>, cfg: EngineConfig) -> Self {
+        let cap = default_step_cap(&g);
+        Engine {
+            cache: RowCache::new(cfg.cache_bytes),
+            metrics: EngineMetrics::default(),
+            served: 0,
+            cap,
+            g,
+            scheme,
+            cfg,
+        }
+    }
+
+    /// The graph being served.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// The augmentation scheme's display name.
+    pub fn scheme_name(&self) -> String {
+        self.scheme.name()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Row-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Lifetime service metrics.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Queries answered over the engine's lifetime.
+    pub fn queries_served(&self) -> u64 {
+        self.served
+    }
+
+    /// Serves one batch through the pipeline:
+    ///
+    /// 1. **admission** — validate every endpoint, deduplicate the batch's
+    ///    targets;
+    /// 2. **cache** — serve resident rows from the cross-batch LRU;
+    /// 3. **execute (rows)** — pack the cold targets 64 per bit-parallel
+    ///    MS-BFS pass, passes fanned out to `threads` workers, compact
+    ///    each fresh row and admit it to the cache;
+    /// 4. **execute (trials)** — answer queries in parallel, query `i` of
+    ///    the batch using the RNG derived from
+    ///    `(seed, lifetime_index + i)`.
+    ///
+    /// Answers are a pure function of `(graph, scheme, seed, query
+    /// sequence)`: thread count, cache capacity and batch splits never
+    /// change a bit. Errors on an out-of-range endpoint; the engine state
+    /// is unchanged in that case.
+    pub fn serve(&mut self, batch: &QueryBatch) -> Result<BatchResult, GraphError> {
+        let t0 = Instant::now();
+        // --- admission -----------------------------------------------
+        for q in &batch.queries {
+            self.g.check_node(q.s)?;
+            self.g.check_node(q.t)?;
+        }
+        let mut targets: Vec<NodeId> = batch.queries.iter().map(|q| q.t).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        // --- cache ----------------------------------------------------
+        let mut rows: HashMap<NodeId, Arc<DistRowBuf>> = HashMap::with_capacity(targets.len());
+        let mut cold: Vec<NodeId> = Vec::new();
+        for &t in &targets {
+            match self.cache.get(t) {
+                Some(row) => {
+                    rows.insert(t, row);
+                }
+                None => cold.push(t),
+            }
+        }
+        // --- execute: cold rows ----------------------------------------
+        let n = self.g.num_nodes();
+        if !cold.is_empty() {
+            let mut wide = vec![0u32; cold.len() * n];
+            nav_graph::msbfs::batched_rows_into(&self.g, &cold, self.cfg.threads, &mut wide);
+            for (i, &t) in cold.iter().enumerate() {
+                let row = Arc::new(DistRowBuf::from_wide(&wide[i * n..(i + 1) * n]));
+                self.cache.insert(t, Arc::clone(&row));
+                rows.insert(t, row);
+            }
+        }
+        // --- execute: trials -------------------------------------------
+        let base = self.served;
+        let answers: Vec<PairStats> = nav_par::parallel_map(batch.len(), self.cfg.threads, |i| {
+            let q = &batch.queries[i];
+            let row = rows.get(&q.t).expect("row staged above");
+            let router = GreedyRouter::from_row_view(&self.g, q.t, row.view())
+                .expect("endpoints validated at admission");
+            let mut rng = task_rng(self.cfg.seed, base + i as u64);
+            aggregate_pair(
+                &router,
+                self.scheme.as_ref(),
+                q.s,
+                &mut rng,
+                q.trials,
+                self.cap,
+            )
+        });
+        self.served += batch.len() as u64;
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let warm = targets.len() - cold.len();
+        let trials: u64 = batch.queries.iter().map(|q| q.trials as u64).sum();
+        self.metrics
+            .record_batch(batch.len(), trials, warm, cold.len(), elapsed_ms);
+        Ok(BatchResult {
+            answers,
+            warm_targets: warm,
+            cold_targets: cold.len(),
+            elapsed_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Query;
+    use nav_core::trial::{run_trials, TrialConfig};
+    use nav_core::uniform::{NoAugmentation, UniformScheme};
+    use nav_graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    fn identical(a: &[PairStats], b: &[PairStats]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bits_eq(y))
+    }
+
+    #[test]
+    fn answers_match_run_trials_bit_for_bit() {
+        let g = path(96);
+        let pairs: Vec<(NodeId, NodeId)> = vec![(0, 95), (95, 0), (3, 77), (12, 77), (50, 1)];
+        let cfg = EngineConfig {
+            seed: 41,
+            threads: 2,
+            cache_bytes: 1 << 20,
+        };
+        let mut engine = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+        let got = engine.serve(&QueryBatch::from_pairs(&pairs, 16)).unwrap();
+        let want = run_trials(
+            &g,
+            &UniformScheme,
+            &pairs,
+            &TrialConfig {
+                trials_per_pair: 16,
+                seed: 41,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        assert!(identical(&got.answers, &want.pairs));
+    }
+
+    #[test]
+    fn batch_split_never_changes_answers() {
+        let g = path(64);
+        let pairs: Vec<(NodeId, NodeId)> = (0..20).map(|i| (i, 63 - (i % 7))).collect();
+        let cfg = EngineConfig {
+            seed: 5,
+            threads: 1,
+            cache_bytes: 1 << 16,
+        };
+        let mut one = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+        let whole = one.serve(&QueryBatch::from_pairs(&pairs, 6)).unwrap();
+        let mut split = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+        let mut stitched = Vec::new();
+        for chunk in pairs.chunks(3) {
+            stitched.extend(
+                split
+                    .serve(&QueryBatch::from_pairs(chunk, 6))
+                    .unwrap()
+                    .answers,
+            );
+        }
+        assert!(identical(&whole.answers, &stitched));
+        assert_eq!(split.queries_served(), 20);
+    }
+
+    #[test]
+    fn cache_capacity_never_changes_answers() {
+        let g = path(80);
+        let pairs: Vec<(NodeId, NodeId)> = (0..12).map(|i| (i * 3, 79 - (i % 4))).collect();
+        let mut answers = Vec::new();
+        for cache_bytes in [0usize, 200, 1 << 20] {
+            let cfg = EngineConfig {
+                seed: 99,
+                threads: 2,
+                cache_bytes,
+            };
+            let mut e = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+            let mut got = Vec::new();
+            for chunk in pairs.chunks(4) {
+                got.extend(e.serve(&QueryBatch::from_pairs(chunk, 5)).unwrap().answers);
+            }
+            answers.push(got);
+        }
+        assert!(identical(&answers[0], &answers[1]));
+        assert!(identical(&answers[0], &answers[2]));
+    }
+
+    #[test]
+    fn warm_batches_skip_row_computation() {
+        let g = path(50);
+        let cfg = EngineConfig {
+            seed: 1,
+            threads: 1,
+            cache_bytes: 1 << 20,
+        };
+        let mut e = Engine::new(g, Box::new(NoAugmentation), cfg);
+        let batch = QueryBatch::from_pairs(&[(0, 49), (3, 49), (7, 20)], 2);
+        let first = e.serve(&batch).unwrap();
+        assert_eq!((first.cold_targets, first.warm_targets), (2, 0));
+        let second = e.serve(&batch).unwrap();
+        assert_eq!((second.cold_targets, second.warm_targets), (0, 2));
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.resident_rows, 2);
+        // Path distances fit 16 bits → compact rows, 2 bytes per node.
+        assert_eq!(stats.resident_bytes, 2 * 50 * 2);
+        assert_eq!(e.metrics().queries, 6);
+        assert_eq!(e.metrics().batches, 2);
+        assert_eq!(e.metrics().trials, 12);
+        assert!(e.metrics().throughput_qps() > 0.0);
+        assert_eq!(e.scheme_name(), "none");
+        assert_eq!(e.config().cache_bytes, 1 << 20);
+        assert_eq!(e.graph().num_nodes(), 50);
+    }
+
+    #[test]
+    fn per_query_trial_counts_are_respected() {
+        let g = path(30);
+        let cfg = EngineConfig {
+            seed: 2,
+            threads: 1,
+            cache_bytes: 0,
+        };
+        let mut e = Engine::new(g, Box::new(NoAugmentation), cfg);
+        let batch = QueryBatch {
+            queries: vec![
+                Query {
+                    s: 0,
+                    t: 29,
+                    trials: 1,
+                },
+                Query {
+                    s: 5,
+                    t: 29,
+                    trials: 9,
+                },
+            ],
+        };
+        let r = e.serve(&batch).unwrap();
+        assert_eq!(r.answers[0].mean_steps, 29.0);
+        assert_eq!(r.answers[1].mean_steps, 24.0);
+        assert_eq!(e.metrics().trials, 10);
+    }
+
+    #[test]
+    fn invalid_endpoint_rejected_without_side_effects() {
+        let g = path(10);
+        let mut e = Engine::new(g, Box::new(NoAugmentation), EngineConfig::default());
+        let bad = QueryBatch::from_pairs(&[(0, 10)], 2);
+        assert!(e.serve(&bad).is_err());
+        assert_eq!(e.queries_served(), 0);
+        assert_eq!(e.metrics().batches, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let g = path(4);
+        let mut e = Engine::new(g, Box::new(NoAugmentation), EngineConfig::default());
+        let r = e.serve(&QueryBatch::default()).unwrap();
+        assert!(r.answers.is_empty());
+        assert_eq!(r.cold_targets + r.warm_targets, 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Lifetime service metrics of an [`crate::Engine`].
+
+use nav_analysis::latency::LatencySummary;
+
+/// Counters and latency samples accumulated across every batch an engine
+/// has served.
+#[derive(Clone, Debug, Default)]
+pub struct EngineMetrics {
+    /// Queries answered.
+    pub queries: u64,
+    /// Batches served.
+    pub batches: u64,
+    /// Routing trials executed.
+    pub trials: u64,
+    /// Distinct targets served warm (row already resident).
+    pub warm_targets: u64,
+    /// Distinct targets computed cold (MS-BFS this batch).
+    pub cold_targets: u64,
+    /// Total service wall-clock, milliseconds.
+    pub total_ms: f64,
+    /// One wall-clock sample per served batch, milliseconds.
+    batch_ms: Vec<f64>,
+}
+
+impl EngineMetrics {
+    /// Records one served batch.
+    pub fn record_batch(
+        &mut self,
+        queries: usize,
+        trials: u64,
+        warm: usize,
+        cold: usize,
+        elapsed_ms: f64,
+    ) {
+        self.queries += queries as u64;
+        self.batches += 1;
+        self.trials += trials;
+        self.warm_targets += warm as u64;
+        self.cold_targets += cold as u64;
+        self.total_ms += elapsed_ms;
+        self.batch_ms.push(elapsed_ms);
+    }
+
+    /// The per-batch latency samples, in service order (milliseconds).
+    pub fn batch_latencies_ms(&self) -> &[f64] {
+        &self.batch_ms
+    }
+
+    /// Tail-latency digest of the per-batch service times (`None` before
+    /// the first batch).
+    pub fn latency(&self) -> Option<LatencySummary> {
+        LatencySummary::from_samples(&self.batch_ms)
+    }
+
+    /// Overall throughput in queries per second (0 before any work).
+    pub fn throughput_qps(&self) -> f64 {
+        if self.total_ms <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / (self.total_ms / 1e3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_digests() {
+        let mut m = EngineMetrics::default();
+        assert!(m.latency().is_none());
+        assert_eq!(m.throughput_qps(), 0.0);
+        m.record_batch(100, 400, 3, 7, 50.0);
+        m.record_batch(100, 400, 10, 0, 150.0);
+        assert_eq!(m.queries, 200);
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.trials, 800);
+        assert_eq!(m.warm_targets, 13);
+        assert_eq!(m.cold_targets, 7);
+        assert_eq!(m.batch_latencies_ms(), &[50.0, 150.0]);
+        let lat = m.latency().unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.max, 150.0);
+        // 200 queries in 0.2 s → 1000 qps.
+        assert!((m.throughput_qps() - 1000.0).abs() < 1e-9);
+    }
+}

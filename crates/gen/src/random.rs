@@ -83,7 +83,10 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Result<Graph, G
     if n == 0 {
         return Err(GraphError::Empty);
     }
-    assert!(d % 2 == 0, "random_regular requires even degree, got {d}");
+    assert!(
+        d.is_multiple_of(2),
+        "random_regular requires even degree, got {d}"
+    );
     assert!(n > d, "need n > d for a simple d-regular graph");
     let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * d / 2);
     let mut seen = std::collections::HashSet::with_capacity(n * d / 2);

@@ -14,6 +14,170 @@
 use crate::msbfs::{with_msbfs, LANES};
 use crate::{bfs::Bfs, csr::Graph, NodeId, INFINITY};
 
+/// The value encoding [`INFINITY`] inside narrow (`u16`) distance storage.
+pub const NARROW_INFINITY: u16 = u16::MAX;
+
+/// Owned distance values at adaptive width: `u16` when every finite
+/// distance fits (eccentricity `< 65535`), `u32` otherwise. Narrow storage
+/// halves the memory footprint — and the memory traffic of every
+/// subsequent scan — of resident rows, which is what bounds how many
+/// target rows a serving cache can keep warm at large `n`.
+///
+/// [`INFINITY`] is encoded as [`NARROW_INFINITY`] in narrow storage;
+/// [`DistRowBuf::get`] always decodes back to `u32` semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DistRowBuf {
+    /// 16-bit storage (`NARROW_INFINITY` ⇔ unreachable).
+    Narrow(Vec<u16>),
+    /// Full-width storage (`INFINITY` as-is).
+    Wide(Vec<u32>),
+}
+
+impl DistRowBuf {
+    /// Compacts a full-width buffer: narrow iff every finite value is
+    /// `< NARROW_INFINITY` (so the sentinel never collides with a real
+    /// distance), wide otherwise. One fused read pass — the fits check
+    /// rides the conversion and aborts to the wide copy at the first
+    /// oversized value, which matters when the buffer is a whole
+    /// all-pairs matrix rather than one row.
+    pub fn from_wide(values: &[u32]) -> Self {
+        let narrow: Option<Vec<u16>> = values
+            .iter()
+            .map(|&d| {
+                if d == INFINITY {
+                    Some(NARROW_INFINITY)
+                } else if d < NARROW_INFINITY as u32 {
+                    Some(d as u16)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        match narrow {
+            Some(v) => DistRowBuf::Narrow(v),
+            None => DistRowBuf::Wide(values.to_vec()),
+        }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        match self {
+            DistRowBuf::Narrow(v) => v.len(),
+            DistRowBuf::Wide(v) => v.len(),
+        }
+    }
+
+    /// `true` when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` for 16-bit storage.
+    pub fn is_narrow(&self) -> bool {
+        matches!(self, DistRowBuf::Narrow(_))
+    }
+
+    /// Payload size in bytes (what a byte-bounded cache should charge).
+    pub fn bytes(&self) -> usize {
+        match self {
+            DistRowBuf::Narrow(v) => v.len() * std::mem::size_of::<u16>(),
+            DistRowBuf::Wide(v) => v.len() * std::mem::size_of::<u32>(),
+        }
+    }
+
+    /// The value at `i`, decoded to `u32` semantics ([`INFINITY`] for
+    /// unreachable).
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        self.view().get(i)
+    }
+
+    /// A borrowed view of the whole buffer.
+    #[inline]
+    pub fn view(&self) -> DistRowView<'_> {
+        match self {
+            DistRowBuf::Narrow(v) => DistRowView::Narrow(v),
+            DistRowBuf::Wide(v) => DistRowView::Wide(v),
+        }
+    }
+
+    /// A borrowed view of the half-open index range `lo..hi` (used by
+    /// matrix storage to slice out one row).
+    #[inline]
+    pub fn slice(&self, lo: usize, hi: usize) -> DistRowView<'_> {
+        match self {
+            DistRowBuf::Narrow(v) => DistRowView::Narrow(&v[lo..hi]),
+            DistRowBuf::Wide(v) => DistRowView::Wide(&v[lo..hi]),
+        }
+    }
+}
+
+/// A borrowed distance row at either width; the reading side of
+/// [`DistRowBuf`]. Copyable, so routers and caches can hand it around
+/// freely without touching the owning storage.
+#[derive(Clone, Copy, Debug)]
+pub enum DistRowView<'a> {
+    /// Borrowed 16-bit values ([`NARROW_INFINITY`] ⇔ unreachable).
+    Narrow(&'a [u16]),
+    /// Borrowed full-width values.
+    Wide(&'a [u32]),
+}
+
+impl<'a> DistRowView<'a> {
+    /// Number of values in view.
+    pub fn len(&self) -> usize {
+        match self {
+            DistRowView::Narrow(v) => v.len(),
+            DistRowView::Wide(v) => v.len(),
+        }
+    }
+
+    /// `true` when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `i`, decoded to `u32` semantics.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        match self {
+            DistRowView::Narrow(v) => {
+                let d = v[i];
+                if d == NARROW_INFINITY {
+                    INFINITY
+                } else {
+                    d as u32
+                }
+            }
+            DistRowView::Wide(v) => v[i],
+        }
+    }
+
+    /// Iterates the decoded values in index order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + 'a {
+        let (narrow, wide) = match *self {
+            DistRowView::Narrow(v) => (Some(v), None),
+            DistRowView::Wide(v) => (None, Some(v)),
+        };
+        narrow
+            .into_iter()
+            .flatten()
+            .map(|&d| {
+                if d == NARROW_INFINITY {
+                    INFINITY
+                } else {
+                    d as u32
+                }
+            })
+            .chain(wide.into_iter().flatten().copied())
+    }
+
+    /// `true` iff the decoded values equal `other` element for element.
+    pub fn eq_wide(&self, other: &[u32]) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, &b)| a == b)
+    }
+}
+
 /// The source batches of an all-pairs sweep: `0..n` packed into runs of
 /// [`LANES`] consecutive ids.
 fn source_batches(n: usize) -> impl Iterator<Item = Vec<NodeId>> {
@@ -25,13 +189,17 @@ fn source_batches(n: usize) -> impl Iterator<Item = Vec<NodeId>> {
 }
 
 /// Dense all-pairs distance matrix (`O(n·m)` time via batched bit-parallel
-/// BFS, `O(n²)` space) — intended for analysis and exact evaluation at
-/// small `n`.
+/// BFS) — intended for analysis and exact evaluation at small `n`.
+///
+/// Storage is adaptive ([`DistRowBuf`]): `n × n × 2` bytes when every
+/// eccentricity fits in 16 bits (i.e. essentially always — only graphs of
+/// diameter ≥ 65535 fall back to `u32`), halving the memory footprint and
+/// the traffic of whole-matrix scans.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DistanceMatrix {
     n: usize,
-    /// Row-major `n × n`; `INFINITY` marks unreachable pairs.
-    data: Vec<u32>,
+    /// Row-major `n × n` at adaptive width.
+    data: DistRowBuf,
 }
 
 impl DistanceMatrix {
@@ -45,13 +213,43 @@ impl DistanceMatrix {
     /// inline). Distances are exact, so the result is identical for every
     /// thread count.
     pub fn with_threads(g: &Graph, threads: usize) -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
         let n = g.num_nodes();
         let sources: Vec<NodeId> = (0..n as NodeId).collect();
-        // Workers write their 64-row stripes straight into the final
-        // buffer (every entry is overwritten, so plain zero-init suffices)
-        // — no per-batch vectors, no gather copy.
-        let mut data = vec![0u32; n * n];
-        crate::msbfs::batched_rows_into(g, &sources, threads, &mut data);
+        let batches: Vec<&[NodeId]> = sources.chunks(LANES).collect();
+        // Optimistically narrow: workers fill a small per-stripe wide
+        // scratch (64 rows) and convert it cache-warm straight into the
+        // final 16-bit buffer — the full-width `n × n` matrix is never
+        // materialised, halving both the resident footprint and the
+        // allocation traffic. Only a graph with an eccentricity ≥ 65535
+        // takes the wide fallback (a full recompute, but such a graph
+        // pays Θ(n·diam) traversals anyway).
+        let mut narrow = vec![0u16; n * n];
+        let overflow = AtomicBool::new(false);
+        nav_par::parallel_chunks_mut(&mut narrow, LANES * n.max(1), threads, |b, stripe| {
+            if overflow.load(Ordering::Relaxed) {
+                return;
+            }
+            let mut wide = vec![0u32; batches[b].len() * n];
+            with_msbfs(n, |ms| ms.distances_into(g, batches[b], &mut wide));
+            for (slot, &d) in stripe.iter_mut().zip(&wide) {
+                *slot = if d == INFINITY {
+                    NARROW_INFINITY
+                } else if d < NARROW_INFINITY as u32 {
+                    d as u16
+                } else {
+                    overflow.store(true, Ordering::Relaxed);
+                    return;
+                };
+            }
+        });
+        let data = if overflow.into_inner() {
+            let mut wide = vec![0u32; n * n];
+            crate::msbfs::batched_rows_into(g, &sources, threads, &mut wide);
+            DistRowBuf::Wide(wide)
+        } else {
+            DistRowBuf::Narrow(narrow)
+        };
         DistanceMatrix { n, data }
     }
 
@@ -61,27 +259,40 @@ impl DistanceMatrix {
         self.n
     }
 
+    /// `true` when the matrix is stored at 16-bit width.
+    pub fn is_compact(&self) -> bool {
+        self.data.is_narrow()
+    }
+
+    /// Resident payload size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.bytes()
+    }
+
     /// `dist(u, v)`; [`INFINITY`] when disconnected.
     #[inline]
     pub fn dist(&self, u: NodeId, v: NodeId) -> u32 {
-        self.data[u as usize * self.n + v as usize]
+        self.data.get(u as usize * self.n + v as usize)
     }
 
-    /// Row of distances from `u`.
+    /// Row of distances from `u` (a width-agnostic borrowed view).
     #[inline]
-    pub fn row(&self, u: NodeId) -> &[u32] {
-        &self.data[u as usize * self.n..(u as usize + 1) * self.n]
+    pub fn row(&self, u: NodeId) -> DistRowView<'_> {
+        self.data
+            .slice(u as usize * self.n, (u as usize + 1) * self.n)
     }
 
     /// Eccentricity of `u` (max finite distance). `None` if some node is
     /// unreachable from `u`.
     pub fn eccentricity(&self, u: NodeId) -> Option<u32> {
-        let row = self.row(u);
-        if row.contains(&INFINITY) {
-            None
-        } else {
-            row.iter().copied().max()
+        let mut max = 0u32;
+        for d in self.row(u).iter() {
+            if d == INFINITY {
+                return None;
+            }
+            max = max.max(d);
         }
+        Some(max)
     }
 
     /// Exact diameter; `None` when the graph is disconnected.
@@ -187,7 +398,44 @@ mod tests {
         assert_eq!(m.dist(0, 4), 4);
         assert_eq!(m.dist(4, 0), 4);
         assert_eq!(m.dist(2, 2), 0);
-        assert_eq!(m.row(0), &[0, 1, 2, 3, 4]);
+        assert!(m.row(0).eq_wide(&[0, 1, 2, 3, 4]));
+        assert_eq!(m.row(0).iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn matrix_is_compact_and_halves_bytes() {
+        let g = path(10);
+        let m = DistanceMatrix::new(&g);
+        assert!(m.is_compact());
+        assert_eq!(m.bytes(), 10 * 10 * 2);
+    }
+
+    #[test]
+    fn row_buf_narrow_roundtrip_with_infinity() {
+        let wide = [0u32, 3, NARROW_INFINITY as u32 - 1, INFINITY];
+        let buf = DistRowBuf::from_wide(&wide);
+        assert!(buf.is_narrow());
+        assert!(!buf.is_empty());
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.bytes(), 8);
+        for (i, &d) in wide.iter().enumerate() {
+            assert_eq!(buf.get(i), d);
+            assert_eq!(buf.view().get(i), d);
+        }
+        assert!(buf.view().eq_wide(&wide));
+        assert!(!buf.view().eq_wide(&wide[..3]));
+        assert!(!buf.view().is_empty());
+    }
+
+    #[test]
+    fn row_buf_wide_fallback_when_distance_too_large() {
+        // A finite value equal to the narrow sentinel must force u32.
+        let wide = [0u32, NARROW_INFINITY as u32, INFINITY];
+        let buf = DistRowBuf::from_wide(&wide);
+        assert!(!buf.is_narrow());
+        assert_eq!(buf.bytes(), 12);
+        assert!(buf.view().eq_wide(&wide));
+        assert_eq!(buf.slice(1, 3).iter().collect::<Vec<_>>(), wide[1..]);
     }
 
     #[test]

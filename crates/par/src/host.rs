@@ -1,0 +1,65 @@
+//! Host metadata for benchmark baselines.
+//!
+//! The checked-in `BENCH_*.json` files are measured on whatever box ran
+//! the emitter — the 1-core CI container today, a many-core machine
+//! tomorrow. Recording the host's OS/arch/core count next to the numbers
+//! keeps multi-core baselines distinguishable from single-core ones (a
+//! ROADMAP requirement for the `nav-par` fan-out measurements).
+
+/// What the benchmark emitters record about the machine they ran on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostMeta {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: &'static str,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: &'static str,
+    /// Available parallelism (logical cores visible to the process).
+    pub cores: usize,
+}
+
+impl HostMeta {
+    /// Probes the current host.
+    pub fn current() -> Self {
+        HostMeta {
+            os: std::env::consts::OS,
+            arch: std::env::consts::ARCH,
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Renders the metadata as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"os\": \"{}\", \"arch\": \"{}\", \"cores\": {}}}",
+            self.os, self.arch, self.cores
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_host_is_plausible() {
+        let h = HostMeta::current();
+        assert!(!h.os.is_empty());
+        assert!(!h.arch.is_empty());
+        assert!(h.cores >= 1);
+    }
+
+    #[test]
+    fn json_shape() {
+        let h = HostMeta {
+            os: "linux",
+            arch: "x86_64",
+            cores: 8,
+        };
+        assert_eq!(
+            h.to_json(),
+            "{\"os\": \"linux\", \"arch\": \"x86_64\", \"cores\": 8}"
+        );
+    }
+}

@@ -21,9 +21,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod host;
 pub mod map;
 pub mod rng;
 
+pub use host::HostMeta;
 pub use map::{parallel_chunks_mut, parallel_for, parallel_map, parallel_map_reduce};
 pub use rng::{seeded_rng, task_rng, SplitMix64, Xoshiro256pp};
 

@@ -10,6 +10,7 @@
 //! * [`gen`] — graph-family generators (the experiment workloads);
 //! * [`decomp`] — tree/path decompositions and the pathshape parameter;
 //! * [`core`] — the paper's augmentation schemes and greedy routing;
+//! * [`engine`] — the persistent batched query-serving subsystem;
 //! * [`par`] — deterministic parallel substrate;
 //! * [`analysis`] — statistics, exponent fits, table output.
 //!
@@ -34,6 +35,7 @@
 pub use nav_analysis as analysis;
 pub use nav_core as core;
 pub use nav_decomp as decomp;
+pub use nav_engine as engine;
 pub use nav_gen as gen;
 pub use nav_graph as graph;
 pub use nav_par as par;
@@ -50,6 +52,7 @@ pub mod prelude {
     pub use nav_core::trial::{run_standard, run_trials, TrialConfig, TrialResult};
     pub use nav_core::uniform::UniformScheme;
     pub use nav_decomp::decomposition::PathDecomposition;
+    pub use nav_engine::{Engine, EngineConfig, QueryBatch};
     pub use nav_graph::{Graph, GraphBuilder, NodeId};
     pub use nav_par::rng::seeded_rng;
 }

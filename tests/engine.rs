@@ -1,0 +1,137 @@
+//! The serving engine's determinism contract, property-tested: batch
+//! answers are bit-identical to a direct [`run_trials`] over the same
+//! query sequence — across cache capacities (including 0), thread counts,
+//! and batch orderings.
+
+use navigability::core::trial::{run_trials, PairStats, TrialConfig};
+use navigability::core::uniform::UniformScheme;
+use navigability::engine::{Engine, EngineConfig, QueryBatch};
+use navigability::graph::components::connect_components;
+use navigability::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary connected graph: random edge set over `n` nodes, repaired.
+fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n);
+            (Just(n), edges)
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            let g = b.build().expect("valid");
+            connect_components(&g).0
+        })
+}
+
+fn identical(a: &[PairStats], b: &[PairStats]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bits_eq(y))
+}
+
+/// Replays `pairs` through a fresh engine in batches of `batch_size`.
+fn engine_answers(
+    g: &Graph,
+    pairs: &[(NodeId, NodeId)],
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    cache_bytes: usize,
+    batch_size: usize,
+) -> Vec<PairStats> {
+    let mut engine = Engine::new(
+        g.clone(),
+        Box::new(UniformScheme),
+        EngineConfig {
+            seed,
+            threads,
+            cache_bytes,
+        },
+    );
+    let mut answers = Vec::new();
+    for chunk in pairs.chunks(batch_size.max(1)) {
+        answers.extend(
+            engine
+                .serve(&QueryBatch::from_pairs(chunk, trials))
+                .expect("valid pairs")
+                .answers,
+        );
+    }
+    answers
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_matches_run_trials_everywhere(
+        g in connected_graph(48),
+        seed in 0u64..1000,
+        num_pairs in 1usize..24,
+        trials in 1usize..6,
+        batch_size in 1usize..10,
+    ) {
+        let n = g.num_nodes() as NodeId;
+        let mut rng = seeded_rng(seed ^ 0xabcd);
+        let pairs: Vec<(NodeId, NodeId)> = (0..num_pairs)
+            .map(|_| {
+                use rand::Rng;
+                (rng.gen_range(0..n), rng.gen_range(0..n))
+            })
+            .collect();
+        // The ground truth: one run_trials over the whole sequence.
+        let reference = run_trials(
+            &g,
+            &UniformScheme,
+            &pairs,
+            &TrialConfig { trials_per_pair: trials, seed, threads: 1 },
+        )
+        .expect("valid pairs");
+        // A tiny capacity that forces evictions mid-stream: one row plus
+        // change (rows are 2·n bytes compact).
+        let tiny = 3 * g.num_nodes();
+        for cache_bytes in [0usize, tiny, 1 << 22] {
+            for threads in [1usize, 4] {
+                let got = engine_answers(&g, &pairs, trials, seed, threads, cache_bytes, batch_size);
+                prop_assert!(
+                    identical(&got, &reference.pairs),
+                    "diverged at cache={cache_bytes} threads={threads} batch={batch_size}"
+                );
+            }
+        }
+        // Batch orderings: one query per batch vs everything in one batch.
+        let per_query = engine_answers(&g, &pairs, trials, seed, 1, 1 << 22, 1);
+        let one_shot = engine_answers(&g, &pairs, trials, seed, 1, 1 << 22, pairs.len());
+        prop_assert!(identical(&per_query, &reference.pairs));
+        prop_assert!(identical(&one_shot, &reference.pairs));
+    }
+
+    #[test]
+    fn permuted_streams_match_permuted_run_trials(
+        g in connected_graph(40),
+        seed in 0u64..500,
+        rot in 0usize..16,
+    ) {
+        // Serving a permuted stream is the same as run_trials on the
+        // permuted pair list — position in the stream, not the pair
+        // itself, owns the RNG.
+        let n = g.num_nodes() as NodeId;
+        let pairs: Vec<(NodeId, NodeId)> = (0..12u32).map(|i| (i % n, (i * 7 + 1) % n)).collect();
+        let mut rotated = pairs.clone();
+        let len = rotated.len();
+        rotated.rotate_left(rot % len);
+        let reference = run_trials(
+            &g,
+            &UniformScheme,
+            &rotated,
+            &TrialConfig { trials_per_pair: 3, seed, threads: 1 },
+        )
+        .expect("valid pairs");
+        let got = engine_answers(&g, &rotated, 3, seed, 2, 1 << 20, 5);
+        prop_assert!(identical(&got, &reference.pairs));
+    }
+}

@@ -189,14 +189,9 @@ impl<'a> BenchmarkGroup<'a> {
 }
 
 /// The benchmark harness entry point.
+#[derive(Default)]
 pub struct Criterion {
     filter: Option<String>,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { filter: None }
-    }
 }
 
 impl Criterion {
@@ -273,7 +268,7 @@ mod tests {
     #[test]
     fn id_rendering() {
         assert_eq!(BenchmarkId::new("bfs", 1024).render(), "bfs/1024");
-        assert_eq!(BenchmarkId::from(&"plain"[..]).render(), "plain");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
         assert_eq!(BenchmarkId::from_parameter(7).render(), "7");
     }
 
