@@ -17,7 +17,9 @@
 
 use crate::workloads::Workload;
 use crate::ExpConfig;
+use nav_core::ball::BallScheme;
 use nav_core::routing::{default_step_cap, GreedyRouter};
+use nav_core::sampler::SamplerMode;
 use nav_core::scheme::AugmentationScheme;
 use nav_core::trial::{
     aggregate_pair, extremal_pairs, random_pairs, run_trials, PairStats, TrialConfig,
@@ -146,6 +148,7 @@ pub fn render_core_bench(cfg: &ExpConfig) -> String {
         trials_per_pair,
         seed: cfg.seed_for("bench-trials", n),
         threads: cfg.threads,
+        sampler: SamplerMode::Scalar,
     };
     let mut legacy_stats = Vec::new();
     let before_sweep_ms = time_ms(3, || {
@@ -182,6 +185,81 @@ pub fn render_core_bench(cfg: &ExpConfig) -> String {
         stats_identical(&sequential.pairs, &oracle_stats.pairs),
         "trial sweep diverged across thread counts"
     );
+
+    // --- E1-style ball-scheme sweep: scalar vs batched sampler -----------
+    // The ball scheme's per-step draw is a truncated BFS, so this sweep
+    // paid O(visited · ball-BFS) under the scalar sampler — the last
+    // scalar hot path. The batched sampler serves draws from 64-lane
+    // MS-BFS ball-row caches: same trial pairs, same per-node
+    // distributions, O(MS-BFS / 64) per *distinct* visited node.
+    let ball = BallScheme::new(&g);
+    let tc_ball = TrialConfig {
+        trials_per_pair,
+        seed: cfg.seed_for("bench-ball", n),
+        threads: cfg.threads,
+        sampler: SamplerMode::Scalar,
+    };
+    let tc_ball_batched = TrialConfig {
+        sampler: SamplerMode::Batched,
+        ..tc_ball.clone()
+    };
+    let mut ball_scalar = None;
+    let ball_scalar_ms = time_ms(3, || {
+        ball_scalar = Some(run_trials(&g, &ball, &pairs, &tc_ball).expect("valid pairs"));
+    });
+    let mut ball_batched = None;
+    let ball_batched_ms = time_ms(3, || {
+        ball_batched = Some(run_trials(&g, &ball, &pairs, &tc_ball_batched).expect("valid pairs"));
+    });
+    let ball_scalar = ball_scalar.expect("timed at least once");
+    let ball_batched = ball_batched.expect("timed at least once");
+    assert_eq!(ball_scalar.failures() + ball_batched.failures(), 0);
+    // The two backends consume RNG differently, so they are compared as
+    // estimators: both sweeps estimate the same E[steps], and at
+    // `pairs × trials` draws their grand means must agree tightly.
+    let (gm_s, gm_b) = (ball_scalar.grand_mean(), ball_batched.grand_mean());
+    assert!(
+        (gm_s - gm_b).abs() / gm_s.max(1e-9) < 0.10,
+        "ball sweep estimators diverged: scalar {gm_s:.3} vs batched {gm_b:.3}"
+    );
+    // And the batched backend must itself be thread-invariant.
+    let ball_batched_1 = run_trials(
+        &g,
+        &ball,
+        &pairs,
+        &TrialConfig {
+            threads: 1,
+            ..tc_ball_batched.clone()
+        },
+    )
+    .expect("valid pairs");
+    let ball_batched_4 = run_trials(
+        &g,
+        &ball,
+        &pairs,
+        &TrialConfig {
+            threads: tc_ball_batched.threads.max(2),
+            ..tc_ball_batched
+        },
+    )
+    .expect("valid pairs");
+    assert!(
+        stats_identical(&ball_batched_1.pairs, &ball_batched_4.pairs),
+        "batched ball sweep diverged across thread counts"
+    );
+    if cfg.quick {
+        // Quick sweeps finish in single-digit milliseconds — too noisy
+        // for a hard wall-clock gate on a loaded CI runner. Full mode
+        // (the checked-in baseline) asserts the win.
+        eprintln!(
+            "[bench] ball sweep quick: scalar {ball_scalar_ms:.1} ms, batched {ball_batched_ms:.1} ms"
+        );
+    } else {
+        assert!(
+            ball_batched_ms < ball_scalar_ms,
+            "batched ball sampler ({ball_batched_ms:.1} ms) must beat scalar ({ball_scalar_ms:.1} ms)"
+        );
+    }
 
     // --- render ----------------------------------------------------------
     let mut out = String::new();
@@ -220,12 +298,22 @@ pub fn render_core_bench(cfg: &ExpConfig) -> String {
         fms(before_ap_ms / after_ap_ms)
     ));
     out.push_str(&format!(
-        "  \"trial_sweep\": {{\"pairs\": {}, \"trials_per_pair\": {}, \"scheme\": \"uniform\", \"before_ms\": {}, \"after_ms\": {}, \"speedup\": {}, \"bit_identical\": true, \"thread_invariant\": true}}\n",
+        "  \"trial_sweep\": {{\"pairs\": {}, \"trials_per_pair\": {}, \"scheme\": \"uniform\", \"before_ms\": {}, \"after_ms\": {}, \"speedup\": {}, \"bit_identical\": true, \"thread_invariant\": true}},\n",
         pairs.len(),
         trials_per_pair,
         fms(before_sweep_ms),
         fms(after_sweep_ms),
         fms(before_sweep_ms / after_sweep_ms)
+    ));
+    out.push_str(&format!(
+        "  \"ball_sweep\": {{\"pairs\": {}, \"trials_per_pair\": {}, \"scheme\": \"ball(thm4)\", \"scalar_ms\": {}, \"batched_ms\": {}, \"speedup\": {}, \"grand_mean_scalar\": {}, \"grand_mean_batched\": {}, \"distribution_identical\": true, \"thread_invariant\": true}}\n",
+        pairs.len(),
+        trials_per_pair,
+        fms(ball_scalar_ms),
+        fms(ball_batched_ms),
+        fms(ball_scalar_ms / ball_batched_ms),
+        fms(gm_s),
+        fms(gm_b)
     ));
     out.push_str("}\n");
     out
@@ -241,6 +329,7 @@ mod tests {
             quick: true,
             seed: 3,
             threads: 2,
+            ..ExpConfig::default()
         };
         let json = render_core_bench(&cfg);
         // Hand-rolled JSON: check the schema markers and that every
@@ -253,6 +342,8 @@ mod tests {
             "\"bfs_single_source\"",
             "\"all_pairs\"",
             "\"trial_sweep\"",
+            "\"ball_sweep\"",
+            "\"distribution_identical\": true",
             "\"bit_identical\": true",
             "\"thread_invariant\": true",
             "\"identical\": true",

@@ -4,13 +4,20 @@
 //! distance-oracle layer.
 //!
 //! ```text
-//! cargo run -p nav-bench --release --bin experiments -- [--quick] [--exp e1,e7] [--threads N] [--seed S] [--csv]
+//! cargo run -p nav-bench --release --bin experiments -- [--quick] [--exp e1,e7] [--threads N] [--seed S] [--sampler scalar|batched] [--csv]
 //! cargo run -p nav-bench --release --bin experiments -- --bench-json [PATH] [--quick] [--threads N] [--seed S]
 //! ```
+//!
+//! `--sampler batched` routes every trial sweep (e.g. the E1/E7 ball
+//! sweeps) through the batched per-step sampler — the ball scheme then
+//! draws from 64-lane MS-BFS ball-row caches instead of one truncated
+//! BFS per visited node; schemes without a batched backend fall back to
+//! the scalar path unchanged.
 
 use nav_bench::benchjson::render_core_bench;
 use nav_bench::experiments::run_experiments;
 use nav_bench::ExpConfig;
+use nav_core::sampler::SamplerMode;
 
 fn main() {
     let mut cfg = ExpConfig::default();
@@ -46,9 +53,16 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs a number");
             }
+            "--sampler" => {
+                cfg.sampler = args
+                    .next()
+                    .as_deref()
+                    .and_then(SamplerMode::parse)
+                    .expect("--sampler needs scalar|batched");
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--exp e1,..,e8] [--threads N] [--seed S] [--csv]\n       experiments --bench-json [PATH] [--quick] [--threads N] [--seed S]"
+                    "usage: experiments [--quick] [--exp e1,..,e8] [--threads N] [--seed S] [--sampler scalar|batched] [--csv]\n       experiments --bench-json [PATH] [--quick] [--threads N] [--seed S]"
                 );
                 return;
             }
@@ -59,10 +73,11 @@ fn main() {
         }
     }
     eprintln!(
-        "[experiments] mode={} seed={} threads={}",
+        "[experiments] mode={} seed={} threads={} sampler={}",
         if cfg.quick { "quick" } else { "full" },
         cfg.seed,
-        cfg.threads
+        cfg.threads,
+        cfg.sampler.label()
     );
     let start = std::time::Instant::now();
     if let Some(path) = bench_json {

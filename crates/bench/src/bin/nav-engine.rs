@@ -3,7 +3,8 @@
 //! ```text
 //! # replay a workload file through a persistent engine
 //! cargo run -p nav-bench --release --bin nav-engine -- serve FILE \
-//!     [--threads N] [--seed S] [--cache-mb M] [--scheme uniform|ball|ball-realized|none] [--json PATH]
+//!     [--threads N] [--seed S] [--cache-mb M] [--scheme uniform|ball|ball-realized|none] \
+//!     [--sampler scalar|batched|ball-realized] [--json PATH]
 //!
 //! # write a zipfian workload file
 //! cargo run -p nav-bench --release --bin nav-engine -- gen FILE \
@@ -18,6 +19,7 @@ use nav_bench::servejson::render_serve_bench;
 use nav_bench::workloads::Workload;
 use nav_bench::ExpConfig;
 use nav_core::ball::BallScheme;
+use nav_core::sampler::SamplerMode;
 use nav_core::scheme::AugmentationScheme;
 use nav_core::uniform::{NoAugmentation, UniformScheme};
 use nav_engine::workload::{parse_workload, render_workload, GraphSpec, ZipfSpec};
@@ -87,6 +89,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
     let mut seed = 0x5eedu64;
     let mut cache_mb = 128usize;
     let mut scheme_name = "uniform".to_string();
+    let mut sampler_flag: Option<String> = None;
     let mut json_path: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -98,6 +101,12 @@ fn serve(mut args: impl Iterator<Item = String>) {
                     eprintln!("--scheme needs a value");
                     std::process::exit(2);
                 })
+            }
+            "--sampler" => {
+                sampler_flag = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--sampler needs scalar|batched|ball-realized");
+                    std::process::exit(2);
+                }));
             }
             "--json" => {
                 json_path = Some(args.next().unwrap_or_else(|| {
@@ -116,6 +125,24 @@ fn serve(mut args: impl Iterator<Item = String>) {
         eprintln!("serve needs a workload file (try `gen` first)");
         std::process::exit(2);
     });
+    // Resolve the sampler backend: `ball-realized` is the pre-realized
+    // backend — one fixed joint draw served as a contact table — spelled
+    // as a scheme swap so the engine itself stays scheme-agnostic.
+    let sampler = match sampler_flag.as_deref() {
+        None => SamplerMode::Scalar,
+        Some("ball-realized") => {
+            if scheme_name != "ball" && scheme_name != "ball-realized" {
+                eprintln!("--sampler ball-realized only applies to --scheme ball");
+                std::process::exit(2);
+            }
+            scheme_name = "ball-realized".to_string();
+            SamplerMode::Scalar
+        }
+        Some(value) => SamplerMode::parse(value).unwrap_or_else(|| {
+            eprintln!("unknown sampler `{value}` (scalar|batched|ball-realized)");
+            std::process::exit(2);
+        }),
+    };
     let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
         eprintln!("reading {file}: {e}");
         std::process::exit(2);
@@ -141,7 +168,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
         std::process::exit(2);
     }
     eprintln!(
-        "[nav-engine] graph {} n={} m={} | {} queries ({} distinct targets), batch {}, scheme {}, cache {} MiB, threads {}",
+        "[nav-engine] graph {} n={} m={} | {} queries ({} distinct targets), batch {}, scheme {}, sampler {}, cache {} MiB, threads {}",
         spec.graph.family,
         g.num_nodes(),
         g.num_edges(),
@@ -149,6 +176,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
         spec.distinct_targets(),
         spec.batch_size,
         scheme_name,
+        sampler.label(),
         cache_mb,
         threads
     );
@@ -160,6 +188,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
             seed,
             threads,
             cache_bytes: cache_mb << 20,
+            sampler,
         },
     );
     let t0 = std::time::Instant::now();
@@ -198,11 +227,23 @@ fn serve(mut args: impl Iterator<Item = String>) {
         "targets           {} warm / {} cold",
         m.warm_targets, m.cold_targets
     );
+    if m.sampler.misses + m.sampler.hits > 0 {
+        println!(
+            "sampler           {} ball rows over {} MS-BFS passes, {} hits / {} misses, {} fallbacks, {} KiB",
+            m.sampler.rows,
+            m.sampler.passes,
+            m.sampler.hits,
+            m.sampler.misses,
+            m.sampler.fallbacks,
+            m.sampler.row_bytes / 1024
+        );
+    }
     if let Some(path) = json_path {
         let json = format!(
-            "{{\n  \"schema\": \"nav-engine-serve/v1\",\n  \"workload\": \"{}\",\n  \"scheme\": \"{}\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"host\": {},\n  \"queries\": {},\n  \"batches\": {},\n  \"trials\": {},\n  \"failures\": {failures},\n  \"elapsed_ms\": {elapsed_ms:.3},\n  \"qps\": {:.3},\n  \"batch_latency_ms\": {latency},\n  \"cache\": {{\"capacity_bytes\": {}, \"resident_rows\": {}, \"resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.3}}}\n}}\n",
+            "{{\n  \"schema\": \"nav-engine-serve/v1\",\n  \"workload\": \"{}\",\n  \"scheme\": \"{}\",\n  \"sampler\": \"{}\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"host\": {},\n  \"queries\": {},\n  \"batches\": {},\n  \"trials\": {},\n  \"failures\": {failures},\n  \"elapsed_ms\": {elapsed_ms:.3},\n  \"qps\": {:.3},\n  \"batch_latency_ms\": {latency},\n  \"cache\": {{\"capacity_bytes\": {}, \"resident_rows\": {}, \"resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.3}}},\n  \"ball_rows\": {{\"rows\": {}, \"passes\": {}, \"hits\": {}, \"misses\": {}, \"fallbacks\": {}, \"row_bytes\": {}}}\n}}\n",
             json_escape(&file),
             json_escape(&engine.scheme_name()),
+            sampler.label(),
             nav_par::HostMeta::current().to_json(),
             m.queries,
             m.batches,
@@ -215,6 +256,12 @@ fn serve(mut args: impl Iterator<Item = String>) {
             cache.misses,
             cache.evictions,
             cache.hit_rate(),
+            m.sampler.rows,
+            m.sampler.passes,
+            m.sampler.hits,
+            m.sampler.misses,
+            m.sampler.fallbacks,
+            m.sampler.row_bytes,
         );
         std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("[nav-engine] summary -> {path}");
@@ -336,7 +383,7 @@ fn bench_json(mut args: impl Iterator<Item = String>) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--json PATH]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
+        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--sampler scalar|batched|ball-realized] [--json PATH]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
     );
     std::process::exit(2);
 }

@@ -485,6 +485,7 @@ mod tests {
             quick: true,
             seed: 11,
             threads: 2,
+            ..ExpConfig::default()
         }
     }
 

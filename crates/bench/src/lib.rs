@@ -32,6 +32,10 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Per-step contact-sampling backend for every trial sweep
+    /// (`--sampler`): scalar reference path, or the batched ball-row
+    /// cache where the scheme supports it.
+    pub sampler: nav_core::sampler::SamplerMode,
 }
 
 impl Default for ExpConfig {
@@ -40,6 +44,7 @@ impl Default for ExpConfig {
             quick: false,
             seed: 20070610, // SPAA 2007, San Diego
             threads: nav_par::default_threads(),
+            sampler: nav_core::sampler::SamplerMode::Scalar,
         }
     }
 }

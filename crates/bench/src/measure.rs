@@ -37,6 +37,7 @@ pub fn measure(
         trials_per_pair: cfg.trials(),
         seed,
         threads: cfg.threads,
+        sampler: cfg.sampler,
     };
     let result = run_trials(g, scheme, &pairs, &tc).expect("valid pairs");
     assert_eq!(result.failures(), 0, "routing failures on {tag}");
@@ -81,6 +82,7 @@ mod tests {
             quick: true,
             seed: 1,
             threads: 2,
+            ..ExpConfig::default()
         }
     }
 

@@ -17,6 +17,8 @@ use crate::benchjson::stats_identical;
 use crate::workloads::Workload;
 use crate::ExpConfig;
 use nav_analysis::latency::LatencySummary;
+use nav_core::ball::BallScheme;
+use nav_core::sampler::SamplerMode;
 use nav_core::trial::{run_trials, PairStats, TrialConfig};
 use nav_core::uniform::UniformScheme;
 use nav_engine::workload::{zipf_queries, ZipfSpec};
@@ -37,6 +39,7 @@ fn engine(g: &Graph, seed: u64, threads: usize, cache_bytes: usize) -> Engine {
             seed,
             threads,
             cache_bytes,
+            ..EngineConfig::default()
         },
     )
 }
@@ -110,6 +113,7 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
             trials_per_pair: trials,
             seed,
             threads: cfg.threads,
+            ..TrialConfig::default()
         },
     )
     .expect("valid pairs");
@@ -154,6 +158,104 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
         "warm-cache replay ({warm_qps:.0} qps) must beat cold ({cold_qps:.0} qps)"
     );
 
+    // --- ball workload: the per-step sampler backends head to head ------
+    // A prefix of the same zipfian stream served under the Theorem-4 ball
+    // scheme, whose per-step draw is the engine's last scalar hot path:
+    // (a) scalar truncated-BFS draws, (b) the batched ball-row cache,
+    // (c) a pre-realized contact table from `realize_batched`. Each
+    // backend is gated bit-identical against `run_trials` in its own
+    // mode before a number is rendered.
+    let ball_count = if cfg.quick { 600 } else { 6_000 };
+    let ball_queries = &queries[..ball_count.min(queries.len())];
+    let ball_batches: Vec<QueryBatch> = ball_queries
+        .chunks(batch_size)
+        .map(|c| QueryBatch {
+            queries: c.to_vec(),
+        })
+        .collect();
+    let ball_pairs: Vec<_> = ball_queries.iter().map(|q| (q.s, q.t)).collect();
+    let ball = BallScheme::new(&g);
+    let ball_seed = cfg.seed_for("serve-ball", n);
+    let mut ball_ms = [0.0f64; 3];
+    for (slot, mode) in [SamplerMode::Scalar, SamplerMode::Batched]
+        .into_iter()
+        .enumerate()
+    {
+        let reference = run_trials(
+            &g,
+            &ball,
+            &ball_pairs,
+            &TrialConfig {
+                trials_per_pair: trials,
+                seed: ball_seed,
+                threads: cfg.threads,
+                sampler: mode,
+            },
+        )
+        .expect("valid pairs");
+        let mut e = Engine::new(
+            g.clone(),
+            Box::new(ball),
+            EngineConfig {
+                seed: ball_seed,
+                threads: cfg.threads,
+                cache_bytes,
+                sampler: mode,
+            },
+        );
+        let t = Instant::now();
+        let answers = replay(&mut e, &ball_batches);
+        ball_ms[slot] = t.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            stats_identical(&answers, &reference.pairs),
+            "ball engine ({mode:?} sampler) diverged from run_trials"
+        );
+    }
+    let realization = ball.realize_batched(&g, ball_seed, cfg.threads);
+    let realized_reference = run_trials(
+        &g,
+        &realization,
+        &ball_pairs,
+        &TrialConfig {
+            trials_per_pair: trials,
+            seed: ball_seed,
+            threads: cfg.threads,
+            sampler: SamplerMode::Scalar,
+        },
+    )
+    .expect("valid pairs");
+    let mut realized_engine = Engine::new(
+        g.clone(),
+        Box::new(realization),
+        EngineConfig {
+            seed: ball_seed,
+            threads: cfg.threads,
+            cache_bytes,
+            sampler: SamplerMode::Scalar,
+        },
+    );
+    let t = Instant::now();
+    let realized_answers = replay(&mut realized_engine, &ball_batches);
+    ball_ms[2] = t.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        stats_identical(&realized_answers, &realized_reference.pairs),
+        "ball engine (pre-realized scheme) diverged from run_trials"
+    );
+    let [ball_scalar_ms, ball_batched_ms, ball_realized_ms] = ball_ms;
+    if cfg.quick {
+        // See the core emitter: wall-clock gates only bind in full mode,
+        // where the replays run for seconds rather than milliseconds.
+        eprintln!(
+            "[bench] ball serving quick: scalar {ball_scalar_ms:.1} ms, batched {ball_batched_ms:.1} ms"
+        );
+    } else {
+        assert!(
+            ball_batched_ms < ball_scalar_ms,
+            "batched ball serving ({ball_batched_ms:.1} ms) must beat scalar ({ball_scalar_ms:.1} ms)"
+        );
+    }
+    let ball_qps = |ms: f64| ball_queries.len() as f64 / (ms / 1e3);
+
     // --- render ----------------------------------------------------------
     let warm_latency = &warm_engine.metrics().batch_latencies_ms()[populate_batches..];
     let mut out = String::new();
@@ -187,6 +289,17 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
     ));
     out.push_str(&replay_json("warm", warm_ms, count, warm_latency));
     out.push_str(&format!(
+        "  \"ball\": {{\"queries\": {}, \"trials_per_query\": {trials}, \"scheme\": \"ball(thm4)\", \"scalar_ms\": {}, \"scalar_qps\": {}, \"batched_ms\": {}, \"batched_qps\": {}, \"realized_ms\": {}, \"realized_qps\": {}, \"batched_over_scalar_speedup\": {}, \"bit_identical_to_run_trials\": true}},\n",
+        ball_queries.len(),
+        fms(ball_scalar_ms),
+        fms(ball_qps(ball_scalar_ms)),
+        fms(ball_batched_ms),
+        fms(ball_qps(ball_batched_ms)),
+        fms(ball_realized_ms),
+        fms(ball_qps(ball_realized_ms)),
+        fms(ball_scalar_ms / ball_batched_ms)
+    ));
+    out.push_str(&format!(
         "  \"cache\": {{\"capacity_bytes\": {}, \"resident_rows\": {}, \"resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {}}},\n",
         warm_stats.capacity_bytes,
         warm_stats.resident_rows,
@@ -215,6 +328,7 @@ mod tests {
             quick: true,
             seed: 4,
             threads: 2,
+            ..ExpConfig::default()
         };
         let json = render_serve_bench(&cfg);
         for key in [
@@ -224,6 +338,8 @@ mod tests {
             "\"workload\":",
             "\"cold\":",
             "\"warm\":",
+            "\"ball\":",
+            "\"batched_over_scalar_speedup\":",
             "\"batch_latency_ms\":",
             "\"cache\":",
             "\"warm_over_cold_speedup\":",

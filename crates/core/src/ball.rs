@@ -15,6 +15,7 @@
 //! shrink it onto the target, walk the rest).
 
 use crate::realization::Realization;
+use crate::sampler::{ContactSampler, SamplerStats};
 use crate::scheme::{AugmentationScheme, ExplicitScheme};
 use crate::workspace::with_bfs;
 use nav_graph::ball::rank_of_distance;
@@ -22,6 +23,7 @@ use nav_graph::msbfs::{with_msbfs, LANES};
 use nav_graph::{Graph, NodeId, INFINITY};
 use nav_par::rng::task_rng;
 use rand::{Rng, RngCore};
+use std::collections::{HashMap, HashSet};
 
 /// The Theorem-4 ball scheme, bound to a graph size (`K = ⌈log₂ n⌉`).
 #[derive(Clone, Copy, Debug)]
@@ -125,6 +127,11 @@ impl AugmentationScheme for BallScheme {
         "ball(thm4)".into()
     }
 
+    fn batched_sampler(&self, g: &Graph, byte_cap: usize) -> Option<Box<dyn ContactSampler + '_>> {
+        let _ = g;
+        Some(Box::new(BallRowSampler::new(*self, byte_cap)))
+    }
+
     fn sample_contact(&self, g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
         let k = rng.gen_range(1..=self.k_max);
         let radius = Self::radius(k);
@@ -198,10 +205,239 @@ impl ExplicitScheme for BallScheme {
     }
 }
 
+/// One node's cached ball index: every node of the largest ball
+/// `B(u, 2^K)`, sorted by (dyadic rank, node id), plus the dyadic prefix
+/// sizes `|B(u, 2^k)|` — so "a uniform member of `B(u, 2^k)`" is one
+/// `gen_range` over a prefix of `members`, `O(1)` per draw.
+///
+/// `B(u, 2^k) = { v : rank(v) ≤ k }` and ranks are bucketed in ascending
+/// order, so each ball is exactly a prefix of the rank-major layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BallRow {
+    /// Reachable nodes with `d ≤ 2^K`, rank-major, ascending id within a
+    /// rank.
+    members: Vec<NodeId>,
+    /// `ball_sizes[k] = |B(u, 2^k)|` for `k = 1..=K` (`[0]` unused).
+    ball_sizes: Vec<u32>,
+}
+
+impl BallRow {
+    /// Builds the index from a full distance row of the centre
+    /// (`row[v] = dist(u, v)`, [`INFINITY`] when unreachable).
+    pub fn from_distances(scheme: BallScheme, row: &[u32]) -> Self {
+        let kk = scheme.k_max as usize;
+        let max_radius = BallScheme::radius(scheme.k_max);
+        // Effective rank: the smallest scale in 1..=K whose ball holds the
+        // node, or None when it is outside even the largest ball. The
+        // saturated top radius (K ≥ 31) absorbs every reachable node.
+        let rank_in = |d: u32| -> Option<usize> {
+            if d == INFINITY || d > max_radius {
+                return None;
+            }
+            Some((rank_of_distance(d).max(1) as usize).min(kk))
+        };
+        let mut counts = vec![0u32; kk + 1];
+        for &d in row {
+            if let Some(r) = rank_in(d) {
+                counts[r] += 1;
+            }
+        }
+        // Prefix the counts into ball sizes and bucket cursors.
+        let mut ball_sizes = vec![0u32; kk + 1];
+        let mut cursors = vec![0usize; kk + 1];
+        let mut total = 0u32;
+        for k in 1..=kk {
+            cursors[k] = total as usize;
+            total += counts[k];
+            ball_sizes[k] = total;
+        }
+        let mut members = vec![0 as NodeId; total as usize];
+        for (v, &d) in row.iter().enumerate() {
+            if let Some(r) = rank_in(d) {
+                members[cursors[r]] = v as NodeId;
+                cursors[r] += 1;
+            }
+        }
+        BallRow {
+            members,
+            ball_sizes,
+        }
+    }
+
+    /// `|B(u, 2^k)|` for `k = 1..=K`.
+    pub fn ball_size(&self, k: u32) -> usize {
+        self.ball_sizes[k as usize] as usize
+    }
+
+    /// The members of `B(u, 2^k)` (rank-major prefix of the layout).
+    pub fn ball_members(&self, k: u32) -> &[NodeId] {
+        &self.members[..self.ball_sizes[k as usize] as usize]
+    }
+
+    /// One scheme draw from the cached index: uniform scale, then a
+    /// uniform member of that ball — the same distribution as
+    /// [`BallScheme::sample_contact`], in two `gen_range` calls.
+    fn sample(&self, scheme: &BallScheme, rng: &mut dyn RngCore) -> Option<NodeId> {
+        let k = rng.gen_range(1..=scheme.k_max) as usize;
+        let count = self.ball_sizes[k] as u64;
+        debug_assert!(count >= 1, "a ball always contains its centre");
+        let pick = rng.gen_range(0..count);
+        Some(self.members[pick as usize])
+    }
+
+    /// Payload bytes of the index (members + prefix table).
+    pub fn bytes(&self) -> usize {
+        (self.members.len() + self.ball_sizes.len()) * std::mem::size_of::<NodeId>()
+    }
+}
+
+/// Backend (b) of the sampler abstraction: a per-worker **ball-row
+/// cache** with deferred, batched row computation. The trial engine runs
+/// a pair's trials in lockstep rounds ([`ContactSampler::wants_lockstep`])
+/// and announces every concurrent walk's current node through
+/// [`ContactSampler::prepare`]; the sampler packs the *uncached* ones —
+/// real misses, no speculative lanes — up to [`LANES`] per bit-parallel
+/// MS-BFS pass and builds their [`BallRow`]s straight from the pass's
+/// level-ordered discoveries. Every draw at a cached node is then two
+/// `gen_range` calls. Same per-node distribution as the scalar
+/// [`BallScheme::sample_contact`], radically different cost model:
+/// `O(ball-BFS)` per *visit* becomes one shared pass per round plus
+/// `O(1)` per revisit.
+///
+/// `byte_cap` bounds the cached payload: once full, draws at uncached
+/// nodes fall back to the scalar scheme (counted in
+/// [`SamplerStats::fallbacks`]) — still correct, just uncached.
+pub struct BallRowSampler {
+    scheme: BallScheme,
+    rows: HashMap<NodeId, BallRow>,
+    byte_cap: usize,
+    bytes: usize,
+    stats: SamplerStats,
+}
+
+impl BallRowSampler {
+    /// A sampler for `scheme` bounded at `byte_cap` cached bytes
+    /// (`usize::MAX` = unbounded).
+    pub fn new(scheme: BallScheme, byte_cap: usize) -> Self {
+        BallRowSampler {
+            scheme,
+            rows: HashMap::new(),
+            byte_cap,
+            bytes: 0,
+            stats: SamplerStats::default(),
+        }
+    }
+
+    /// The cached row of `u`, if resident.
+    pub fn row(&self, u: NodeId) -> Option<&BallRow> {
+        self.rows.get(&u)
+    }
+
+    /// Computes and caches ball rows for up to [`LANES`] centres in one
+    /// MS-BFS pass, building each [`BallRow`] directly from the pass's
+    /// level-ordered discoveries (distances arrive ascending per lane, so
+    /// rank buckets are contiguous runs — no distance buffer, no sort).
+    fn fill_batch(&mut self, g: &Graph, centres: &[NodeId]) {
+        debug_assert!(centres.len() <= LANES);
+        let kk = self.scheme.k_max;
+        let max_radius = BallScheme::radius(kk);
+        let mut building: Vec<BallRow> = centres
+            .iter()
+            .map(|_| BallRow {
+                members: Vec::new(),
+                ball_sizes: vec![0u32; kk as usize + 1],
+            })
+            .collect();
+        with_msbfs(g.num_nodes(), |ms| {
+            ms.run(g, centres, |lane, v, d| {
+                if d <= max_radius {
+                    let row = &mut building[lane as usize];
+                    let r = (rank_of_distance(d).max(1)).min(kk) as usize;
+                    row.members.push(v);
+                    row.ball_sizes[r] += 1;
+                }
+            });
+        });
+        for (c, mut row) in centres.iter().zip(building) {
+            // Per-rank counts → cumulative ball sizes.
+            for k in 2..=kk as usize {
+                row.ball_sizes[k] += row.ball_sizes[k - 1];
+            }
+            debug_assert_eq!(
+                row.ball_sizes[kk as usize] as usize,
+                row.members.len(),
+                "level-ordered discoveries must bucket every member"
+            );
+            self.bytes += row.bytes();
+            self.stats.rows += 1;
+            self.rows.insert(*c, row);
+        }
+        self.stats.passes += 1;
+        self.stats.row_bytes = self.bytes as u64;
+    }
+
+    /// The announced nodes that are not yet cached and still fit the byte
+    /// budget, deduplicated.
+    fn plan_misses(&self, g: &Graph, nodes: &[NodeId]) -> Vec<NodeId> {
+        let n = g.num_nodes();
+        // A row's worst case: n member ids plus the K+1 prefix entries.
+        let per_row = (n + self.scheme.k_max as usize + 1) * std::mem::size_of::<NodeId>();
+        let room = (self.byte_cap.saturating_sub(self.bytes)) / per_row.max(1);
+        let mut misses: Vec<NodeId> = Vec::new();
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        for &u in nodes {
+            if misses.len() >= room {
+                break;
+            }
+            if !self.rows.contains_key(&u) && seen.insert(u) {
+                misses.push(u);
+            }
+        }
+        misses
+    }
+}
+
+impl ContactSampler for BallRowSampler {
+    fn name(&self) -> String {
+        "ball(thm4)+rows".into()
+    }
+
+    fn sample(&mut self, g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        if let Some(row) = self.rows.get(&u) {
+            self.stats.hits += 1;
+            return row.sample(&self.scheme, rng);
+        }
+        self.stats.misses += 1;
+        let misses = self.plan_misses(g, &[u]);
+        if misses.is_empty() {
+            self.stats.fallbacks += 1;
+            return self.scheme.sample_contact(g, u, rng);
+        }
+        self.fill_batch(g, &misses);
+        self.rows[&u].sample(&self.scheme, rng)
+    }
+
+    fn prepare(&mut self, g: &Graph, nodes: &[NodeId]) {
+        let misses = self.plan_misses(g, nodes);
+        for chunk in misses.chunks(LANES) {
+            self.fill_batch(g, chunk);
+        }
+    }
+
+    fn wants_lockstep(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> SamplerStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::assert_sampling_matches;
+    use crate::conformance::{check_scheme, ConformanceConfig};
+
     use nav_graph::GraphBuilder;
     use nav_par::rng::seeded_rng;
 
@@ -241,19 +477,24 @@ mod tests {
     fn sampler_matches_distribution_on_path() {
         let g = path(17);
         let scheme = BallScheme::new(&g);
-        let mut rng = seeded_rng(31);
-        for u in [0u32, 8, 16] {
-            assert_sampling_matches(&scheme, &g, u, 120_000, 0.012, &mut rng);
-        }
+        check_scheme(
+            &g,
+            &scheme,
+            &[0, 8, 16],
+            &ConformanceConfig::with_samples(120_000),
+        );
     }
 
     #[test]
     fn sampler_matches_distribution_on_star() {
         let g = GraphBuilder::from_edges(9, (1..9).map(|v| (0, v as NodeId))).unwrap();
         let scheme = BallScheme::new(&g);
-        let mut rng = seeded_rng(32);
-        assert_sampling_matches(&scheme, &g, 0, 60_000, 0.015, &mut rng);
-        assert_sampling_matches(&scheme, &g, 3, 60_000, 0.015, &mut rng);
+        check_scheme(
+            &g,
+            &scheme,
+            &[0, 3],
+            &ConformanceConfig::with_samples(60_000),
+        );
     }
 
     #[test]
@@ -359,5 +600,149 @@ mod tests {
             let v = scheme.sample_contact(&g, u, &mut rng).unwrap();
             assert!(v < 2);
         }
+    }
+
+    #[test]
+    fn ball_row_prefixes_are_exactly_the_dyadic_balls() {
+        let g = path(23);
+        let scheme = BallScheme::new(&g);
+        let u = 7u32;
+        let dist = with_bfs(23, |bfs| bfs.distances(&g, u));
+        let row = BallRow::from_distances(scheme, &dist);
+        for k in 1..=scheme.scales() {
+            let radius = if k >= 31 { u32::MAX } else { 1u32 << k };
+            let mut expect: Vec<NodeId> = (0..23u32)
+                .filter(|&v| dist[v as usize] != INFINITY && dist[v as usize] <= radius)
+                .collect();
+            let mut got = row.ball_members(k).to_vec();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expect, "k={k}");
+            assert_eq!(row.ball_size(k), expect.len());
+        }
+        assert!(row.bytes() >= 23 * 4);
+    }
+
+    #[test]
+    fn ball_row_drops_unreachable_nodes() {
+        let dist = [0u32, 1, INFINITY, 3];
+        let g = GraphBuilder::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let scheme = BallScheme::new(&g); // K = 2
+        let row = BallRow::from_distances(scheme, &dist);
+        assert_eq!(row.ball_members(scheme.scales()), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn row_sampler_matches_scalar_distribution() {
+        // The cached draw and the scalar reservoir draw must agree with
+        // the closed-form φ_u — same empirical gate as the scalar test.
+        let g = path(17);
+        let scheme = BallScheme::new(&g);
+        let exact = scheme.contact_distribution(&g, 8);
+        let mut expected = [0.0f64; 17];
+        for (v, p) in exact {
+            expected[v as usize] = p;
+        }
+        let mut sampler = BallRowSampler::new(scheme, usize::MAX);
+        let mut rng = seeded_rng(77);
+        let samples = 120_000usize;
+        let mut counts = [0usize; 17];
+        for _ in 0..samples {
+            counts[sampler.sample(&g, 8, &mut rng).unwrap() as usize] += 1;
+        }
+        for v in 0..17 {
+            let emp = counts[v] as f64 / samples as f64;
+            assert!(
+                (emp - expected[v]).abs() < 0.012,
+                "8→{v}: empirical {emp:.4} vs exact {:.4}",
+                expected[v]
+            );
+        }
+        let stats = sampler.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits as usize, samples - 1);
+        assert_eq!(stats.passes, 1);
+        assert_eq!(stats.rows, 1); // demand-driven: only the missed node
+        assert_eq!(stats.fallbacks, 0);
+        assert!(sampler.row(8).is_some());
+        assert!(stats.row_bytes > 0);
+    }
+
+    #[test]
+    fn prepare_batches_all_announced_misses_into_one_pass() {
+        let g = path(150);
+        let scheme = BallScheme::new(&g);
+        let mut sampler = BallRowSampler::new(scheme, usize::MAX);
+        // 20 distinct walks announce their nodes (with repeats): one
+        // MS-BFS pass computes exactly the distinct rows.
+        let nodes: Vec<NodeId> = (0..40).map(|i| (i % 20) * 7).collect();
+        sampler.prepare(&g, &nodes);
+        assert_eq!(sampler.stats().rows, 20);
+        assert_eq!(sampler.stats().passes, 1);
+        // Every announced node now samples as a hit.
+        let mut rng = seeded_rng(5);
+        for &u in &nodes {
+            assert!(sampler.sample(&g, u, &mut rng).unwrap() < 150);
+        }
+        assert_eq!(sampler.stats().misses, 0);
+        // More than 64 distinct misses split into multiple passes.
+        let many: Vec<NodeId> = (0..150).collect();
+        sampler.prepare(&g, &many);
+        assert_eq!(sampler.stats().rows, 150);
+        assert_eq!(sampler.stats().passes, 1 + 3); // 130 new rows / 64 per pass
+        assert!(sampler.wants_lockstep());
+    }
+
+    #[test]
+    fn batched_rows_agree_with_scalar_row_construction() {
+        // fill_batch builds rows from level-ordered discoveries;
+        // from_distances builds them from a raw distance row. Same balls.
+        let g = path(37);
+        let scheme = BallScheme::new(&g);
+        let mut sampler = BallRowSampler::new(scheme, usize::MAX);
+        sampler.prepare(&g, &(0..37).collect::<Vec<_>>());
+        for u in 0..37u32 {
+            let dist = with_bfs(37, |bfs| bfs.distances(&g, u));
+            let reference = BallRow::from_distances(scheme, &dist);
+            let got = sampler.row(u).unwrap();
+            for k in 1..=scheme.scales() {
+                assert_eq!(got.ball_size(k), reference.ball_size(k), "u={u} k={k}");
+                let mut a = got.ball_members(k).to_vec();
+                let mut b = reference.ball_members(k).to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "u={u} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_byte_budget_falls_back_to_scalar() {
+        let g = path(30);
+        let scheme = BallScheme::new(&g);
+        let mut sampler = BallRowSampler::new(scheme, 0);
+        let mut rng = seeded_rng(6);
+        for _ in 0..10 {
+            let v = sampler.sample(&g, 3, &mut rng).unwrap();
+            assert!(v < 30);
+        }
+        let stats = sampler.stats();
+        assert_eq!(stats.fallbacks, 10);
+        assert_eq!(stats.rows, 0);
+        assert_eq!(stats.row_bytes, 0);
+        assert!(sampler.row(3).is_none());
+    }
+
+    #[test]
+    fn scheme_hands_out_its_batched_sampler() {
+        let g = path(9);
+        let scheme = BallScheme::new(&g);
+        let mut s = scheme
+            .batched_sampler(&g, usize::MAX)
+            .expect("ball has one");
+        assert_eq!(s.name(), "ball(thm4)+rows");
+        let mut rng = seeded_rng(8);
+        assert!(s.sample(&g, 4, &mut rng).unwrap() < 9);
+        assert_eq!(s.stats().misses, 1);
     }
 }

@@ -84,6 +84,7 @@ mod tests {
                 trials_per_pair: 8,
                 seed: 5,
                 threads: 2,
+                ..TrialConfig::default()
             },
             random_pairs: 4,
         }
@@ -116,6 +117,7 @@ mod tests {
                 trials_per_pair: 400,
                 seed: 6,
                 threads: 2,
+                ..TrialConfig::default()
             },
             random_pairs: 10,
         };

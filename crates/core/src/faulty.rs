@@ -76,11 +76,10 @@ impl<S: ExplicitScheme> ExplicitScheme for FaultyScheme<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::conformance::{check_scheme, ConformanceConfig};
     use crate::exact::exact_expected_steps;
-    use crate::scheme::assert_sampling_matches;
     use crate::uniform::UniformScheme;
     use nav_graph::GraphBuilder;
-    use nav_par::rng::seeded_rng;
 
     fn path(n: usize) -> Graph {
         GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
@@ -123,8 +122,8 @@ mod tests {
     fn sampling_matches_scaled_distribution() {
         let g = path(12);
         let faulty = FaultyScheme::new(UniformScheme, 0.3);
-        let mut rng = seeded_rng(71);
-        assert_sampling_matches(&faulty, &g, 5, 60_000, 0.015, &mut rng);
+        let cfg = ConformanceConfig::with_samples(60_000);
+        check_scheme(&g, &faulty, &[5], &cfg);
     }
 
     #[test]

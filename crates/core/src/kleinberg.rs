@@ -91,7 +91,7 @@ impl ExplicitScheme for KleinbergScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::assert_sampling_matches;
+    use crate::conformance::{check_scheme, ConformanceConfig};
     use nav_graph::GraphBuilder;
     use nav_par::rng::seeded_rng;
 
@@ -127,8 +127,8 @@ mod tests {
     fn sampling_matches() {
         let g = path(12);
         let s = KleinbergScheme::new(1.5);
-        let mut rng = seeded_rng(41);
-        assert_sampling_matches(&s, &g, 5, 80_000, 0.012, &mut rng);
+        let cfg = ConformanceConfig::with_samples(80_000);
+        check_scheme(&g, &s, &[5], &cfg);
     }
 
     #[test]

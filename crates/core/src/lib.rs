@@ -25,6 +25,15 @@
 //! computed 64 at a time by bit-parallel multi-source BFS, then borrowed by
 //! the routers — no per-pair BFS anywhere in the engine.
 //!
+//! Per-step contact draws flow through the sampler layer ([`sampler`]):
+//! the scalar reference backend (bit-identical to calling
+//! [`scheme::AugmentationScheme::sample_contact`] directly), the ball-row
+//! cache ([`ball::BallRowSampler`] — lockstep trial rounds batching cache
+//! misses 64 per MS-BFS pass), and pre-realized contact tables
+//! ([`realization`]). The conformance harness ([`conformance`])
+//! chi-squared-tests every backend against the scheme's declared
+//! distribution.
+//!
 //! Two evaluation paths cross-check each other:
 //! * Monte-Carlo trials ([`trial`], [`diameter`]) — parallel, seeded,
 //!   reproducible;
@@ -37,6 +46,7 @@
 
 pub mod ancestry;
 pub mod ball;
+pub mod conformance;
 pub mod diameter;
 pub mod exact;
 pub mod faulty;
@@ -46,6 +56,7 @@ pub mod matrix;
 pub mod oracle;
 pub mod realization;
 pub mod routing;
+pub mod sampler;
 pub mod scheme;
 pub mod theorem1;
 pub mod theorem2;
@@ -54,13 +65,14 @@ pub mod trial;
 pub mod uniform;
 pub mod workspace;
 
-pub use ball::BallScheme;
+pub use ball::{BallRowSampler, BallScheme};
 pub use faulty::FaultyScheme;
 pub use kleinberg::KleinbergScheme;
 pub use matrix::{AugmentationMatrix, MatrixScheme};
 pub use oracle::TargetDistanceCache;
 pub use realization::Realization;
 pub use routing::{GreedyRouter, RouteOutcome};
+pub use sampler::{ContactSampler, SamplerMode, SamplerStats};
 pub use scheme::{AugmentationScheme, ExplicitScheme};
 pub use theorem2::{Theorem2Mode, Theorem2Scheme};
 pub use uniform::{NoAugmentation, UniformScheme};

@@ -329,7 +329,7 @@ impl ExplicitScheme for MatrixScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::assert_sampling_matches;
+    use crate::conformance::{check_scheme, ConformanceConfig};
     use nav_graph::GraphBuilder;
     use nav_par::rng::seeded_rng;
 
@@ -445,10 +445,8 @@ mod tests {
         )
         .unwrap();
         let scheme = MatrixScheme::name_independent("m", m, 6);
-        let mut rng = seeded_rng(11);
-        for u in [0u32, 3, 5] {
-            assert_sampling_matches(&scheme, &g, u, 60_000, 0.015, &mut rng);
-        }
+        let cfg = ConformanceConfig::with_samples(60_000);
+        check_scheme(&g, &scheme, &[0, 3, 5], &cfg);
     }
 
     #[test]

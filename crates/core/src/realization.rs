@@ -9,7 +9,7 @@
 //! are per-realization quantities. This module materialises realizations
 //! and exposes them as (deterministic) schemes.
 
-use crate::scheme::AugmentationScheme;
+use crate::scheme::{AugmentationScheme, ExplicitScheme};
 use nav_graph::{Graph, GraphBuilder, NodeId};
 use rand::RngCore;
 
@@ -90,6 +90,19 @@ impl AugmentationScheme for Realization {
     }
 }
 
+/// A realization's per-node distribution is a point mass on the fixed
+/// contact (empty when the draw produced no link) — which makes fixed
+/// realizations first-class citizens of the exact evaluator and the
+/// scheme-conformance harness.
+impl ExplicitScheme for Realization {
+    fn contact_distribution(&self, _g: &Graph, u: NodeId) -> Vec<(NodeId, f64)> {
+        match self.contact(u) {
+            Some(v) => vec![(v, 1.0)],
+            None => Vec::new(),
+        }
+    }
+}
+
 /// A [`Realization`] wrapped as an [`AugmentationScheme`] (every sample
 /// returns the fixed contact).
 #[derive(Clone, Copy, Debug)]
@@ -104,6 +117,12 @@ impl AugmentationScheme for RealizedScheme<'_> {
 
     fn sample_contact(&self, _g: &Graph, u: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
         self.realization.contact(u)
+    }
+}
+
+impl ExplicitScheme for RealizedScheme<'_> {
+    fn contact_distribution(&self, g: &Graph, u: NodeId) -> Vec<(NodeId, f64)> {
+        self.realization.contact_distribution(g, u)
     }
 }
 

@@ -16,6 +16,7 @@
 //! * ties are broken toward the local neighbour and then by smallest node
 //!   id, making trials reproducible given the RNG seed.
 
+use crate::sampler::{ContactSampler, ScalarSampler};
 use crate::scheme::AugmentationScheme;
 use nav_graph::distance::{DistRowView, NARROW_INFINITY};
 use nav_graph::{bfs::Bfs, Graph, GraphError, NodeId, INFINITY};
@@ -162,6 +163,24 @@ impl<'g> GreedyRouter<'g> {
         best.map(|(_, v)| v)
     }
 
+    /// One greedy step from `u` given an already-drawn contact: the next
+    /// hop plus whether the move used the long-range link (the contact
+    /// won *and* is not also a local edge). `None` when no neighbour
+    /// improves (an isolated node with a useless contact). This is the
+    /// single definition of step semantics — the sequential walk
+    /// ([`GreedyRouter::route_with`]) and the trial engine's lockstep
+    /// rounds both take steps through it.
+    #[inline]
+    pub fn step(&self, u: NodeId, contact: Option<NodeId>) -> Option<(NodeId, bool)> {
+        let next = self.next_hop(u, contact)?;
+        debug_assert!(
+            self.dist_t.get(next as usize) < self.dist_t.get(u as usize),
+            "greedy step must strictly decrease target distance"
+        );
+        let long = Some(next) == contact && self.g.neighbors(u).binary_search(&next).is_err();
+        Some((next, long))
+    }
+
     /// The greedy next hop given an already-drawn long-range contact.
     /// The contact wins only when **strictly** closer than the best local
     /// neighbour (ties → local, then smallest id; the paper allows any
@@ -187,9 +206,34 @@ impl<'g> GreedyRouter<'g> {
     /// `max_steps` caps the walk (use [`default_step_cap`]); the cap only
     /// triggers on disconnected graphs or broken schemes, and is surfaced
     /// through `reached == false`.
+    ///
+    /// Equivalent to [`GreedyRouter::route_with`] over a
+    /// [`ScalarSampler`] — the same RNG stream bit for bit.
     pub fn route<S: AugmentationScheme + ?Sized>(
         &self,
         scheme: &S,
+        source: NodeId,
+        rng: &mut dyn RngCore,
+        max_steps: u32,
+        record_path: bool,
+    ) -> RouteOutcome {
+        self.route_with(
+            &mut ScalarSampler::new(scheme),
+            source,
+            rng,
+            max_steps,
+            record_path,
+        )
+    }
+
+    /// [`GreedyRouter::route`] with the per-step draws coming from a
+    /// caller-owned [`ContactSampler`] — the entry point of the batched
+    /// sampling backends (ball-row cache, pre-realized tables). The
+    /// sampler outlives the call, so its cached state amortises across
+    /// all trials a worker routes through it.
+    pub fn route_with<C: ContactSampler + ?Sized>(
+        &self,
+        sampler: &mut C,
         source: NodeId,
         rng: &mut dyn RngCore,
         max_steps: u32,
@@ -207,17 +251,11 @@ impl<'g> GreedyRouter<'g> {
             if self.dist_t.get(u as usize) == INFINITY {
                 break; // target unreachable from here
             }
-            let contact = scheme.sample_contact(self.g, u, rng);
-            let Some(next) = self.next_hop(u, contact) else {
+            let contact = sampler.sample(self.g, u, rng);
+            let Some((next, long)) = self.step(u, contact) else {
                 break; // isolated node and useless contact
             };
-            debug_assert!(
-                self.dist_t.get(next as usize) < self.dist_t.get(u as usize),
-                "greedy step must strictly decrease target distance"
-            );
-            if Some(next) == contact && self.g.neighbors(u).binary_search(&next).is_err() {
-                long_links_used += 1;
-            }
+            long_links_used += long as u32;
             if let Some(p) = path.as_mut() {
                 p.push(next);
             }
@@ -463,6 +501,35 @@ mod tests {
         let fresh = GreedyRouter::new(&g, 3).unwrap();
         let row: Vec<u32> = (0..4).map(|v| fresh.dist_to_target(v)).collect();
         let _ = GreedyRouter::from_row(&g, 0, &row);
+    }
+
+    #[test]
+    fn route_with_scalar_sampler_is_bit_identical_to_route() {
+        use crate::sampler::ScalarSampler;
+        let g = path(80);
+        let router = GreedyRouter::new(&g, 79).unwrap();
+        let direct = router.route(&UniformScheme, 0, &mut seeded_rng(13), 81, true);
+        let mut sampler = ScalarSampler::new(&UniformScheme);
+        let via = router.route_with(&mut sampler, 0, &mut seeded_rng(13), 81, true);
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn route_with_ball_row_sampler_reaches_target() {
+        use crate::ball::{BallRowSampler, BallScheme};
+        let g = path(120);
+        let scheme = BallScheme::new(&g);
+        let router = GreedyRouter::new(&g, 119).unwrap();
+        let mut sampler = BallRowSampler::new(scheme, usize::MAX);
+        let mut rng = seeded_rng(14);
+        for _ in 0..8 {
+            let out = router.route_with(&mut sampler, 0, &mut rng, default_step_cap(&g), false);
+            assert!(out.reached);
+            assert!(out.steps <= 119);
+        }
+        // Later trials reuse the rows the first walk filled in.
+        let stats = sampler.stats();
+        assert!(stats.hits > 0, "{stats:?}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The augmentation-scheme abstraction.
 
+use crate::sampler::ContactSampler;
 use nav_graph::{Graph, NodeId};
 use rand::RngCore;
 
@@ -19,6 +20,19 @@ pub trait AugmentationScheme: Sync {
     /// call — the routing engine calls it exactly once per visited node
     /// (deferred-decisions sampling).
     fn sample_contact(&self, g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId>;
+
+    /// A per-worker **batched** sampler for this scheme, bounded at
+    /// `byte_cap` bytes of cached state, or `None` when only the generic
+    /// scalar path exists (the default). Implementations must draw from
+    /// exactly the same per-node distribution as [`sample_contact`]
+    /// (they may consume the RNG differently — see
+    /// [`crate::sampler::ContactSampler`]).
+    ///
+    /// [`sample_contact`]: AugmentationScheme::sample_contact
+    fn batched_sampler(&self, g: &Graph, byte_cap: usize) -> Option<Box<dyn ContactSampler + '_>> {
+        let _ = (g, byte_cap);
+        None
+    }
 }
 
 /// Schemes able to enumerate `φ_u` explicitly, enabling the exact
@@ -30,82 +44,18 @@ pub trait ExplicitScheme: AugmentationScheme {
     fn contact_distribution(&self, g: &Graph, u: NodeId) -> Vec<(NodeId, f64)>;
 }
 
-/// Empirically estimates `φ_u` by repeated sampling — a test utility for
-/// checking `sample_contact` against `contact_distribution`.
-pub fn empirical_distribution<S: AugmentationScheme + ?Sized>(
-    scheme: &S,
-    g: &Graph,
-    u: NodeId,
-    samples: usize,
-    rng: &mut dyn RngCore,
-) -> (Vec<f64>, f64) {
-    let mut counts = vec![0usize; g.num_nodes()];
-    let mut none = 0usize;
-    for _ in 0..samples {
-        match scheme.sample_contact(g, u, rng) {
-            Some(v) => counts[v as usize] += 1,
-            None => none += 1,
-        }
-    }
-    (
-        counts
-            .into_iter()
-            .map(|c| c as f64 / samples as f64)
-            .collect(),
-        none as f64 / samples as f64,
-    )
-}
-
-/// Asserts (within additive `tol`) that sampling matches an explicit
-/// distribution; for use in scheme tests.
-pub fn assert_sampling_matches<S: ExplicitScheme + ?Sized>(
-    scheme: &S,
-    g: &Graph,
-    u: NodeId,
-    samples: usize,
-    tol: f64,
-    rng: &mut dyn RngCore,
-) {
-    let (emp, emp_none) = empirical_distribution(scheme, g, u, samples, rng);
-    let dist = scheme.contact_distribution(g, u);
-    let mut expected = vec![0.0f64; g.num_nodes()];
-    let mut total = 0.0;
-    for (v, p) in dist {
-        assert!(p > 0.0, "non-positive probability in distribution");
-        assert_eq!(
-            expected[v as usize], 0.0,
-            "duplicate node {v} in distribution"
-        );
-        expected[v as usize] = p;
-        total += p;
-    }
-    assert!(
-        total <= 1.0 + 1e-9,
-        "distribution of node {u} sums to {total} > 1"
-    );
-    for v in 0..g.num_nodes() {
-        let diff = (emp[v] - expected[v]).abs();
-        assert!(
-            diff <= tol,
-            "node {u}→{v}: empirical {:.4} vs exact {:.4}",
-            emp[v],
-            expected[v]
-        );
-    }
-    let none_expected = 1.0 - total;
-    assert!(
-        (emp_none - none_expected).abs() <= tol,
-        "node {u} no-link mass: empirical {emp_none:.4} vs exact {none_expected:.4}"
-    );
-}
+// The sampling-vs-distribution checker lives in [`crate::conformance`]
+// (pooled chi-squared, support/self-contact discipline, fixed-seed
+// determinism) — one harness for scheme unit tests, the cross-scheme
+// suite, and the batched sampler backends alike.
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::conformance::{check_scheme, ConformanceConfig};
     use nav_graph::GraphBuilder;
-    use nav_par::rng::seeded_rng;
 
-    /// A degenerate deterministic scheme for exercising the helpers.
+    /// A degenerate deterministic scheme exercising the trait surface.
     struct AlwaysZero;
     impl AugmentationScheme for AlwaysZero {
         fn name(&self) -> String {
@@ -121,62 +71,16 @@ mod tests {
         }
     }
 
-    struct NeverLinks;
-    impl AugmentationScheme for NeverLinks {
-        fn name(&self) -> String {
-            "never".into()
-        }
-        fn sample_contact(&self, _g: &Graph, _u: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
-            None
-        }
-    }
-    impl ExplicitScheme for NeverLinks {
-        fn contact_distribution(&self, _g: &Graph, _u: NodeId) -> Vec<(NodeId, f64)> {
-            vec![]
-        }
-    }
-
     #[test]
-    fn empirical_distribution_concentrates() {
+    fn default_batched_sampler_is_absent() {
         let g = GraphBuilder::from_edges(3, [(0, 1), (1, 2)]).unwrap();
-        let mut rng = seeded_rng(1);
-        let (emp, none) = empirical_distribution(&AlwaysZero, &g, 2, 500, &mut rng);
-        assert_eq!(emp[0], 1.0);
-        assert_eq!(none, 0.0);
+        assert!(AlwaysZero.batched_sampler(&g, usize::MAX).is_none());
     }
 
     #[test]
-    fn matching_assertion_passes_for_consistent_scheme() {
+    fn trivial_scheme_passes_conformance() {
         let g = GraphBuilder::from_edges(3, [(0, 1), (1, 2)]).unwrap();
-        let mut rng = seeded_rng(2);
-        assert_sampling_matches(&AlwaysZero, &g, 1, 2000, 0.02, &mut rng);
-        assert_sampling_matches(&NeverLinks, &g, 1, 2000, 0.02, &mut rng);
-    }
-
-    #[test]
-    #[should_panic(expected = "empirical")]
-    fn mismatch_detected() {
-        struct Lies;
-        impl AugmentationScheme for Lies {
-            fn name(&self) -> String {
-                "lies".into()
-            }
-            fn sample_contact(
-                &self,
-                _g: &Graph,
-                _u: NodeId,
-                _rng: &mut dyn RngCore,
-            ) -> Option<NodeId> {
-                None
-            }
-        }
-        impl ExplicitScheme for Lies {
-            fn contact_distribution(&self, _g: &Graph, _u: NodeId) -> Vec<(NodeId, f64)> {
-                vec![(0, 1.0)] // claims certainty, samples nothing
-            }
-        }
-        let g = GraphBuilder::from_edges(2, [(0, 1)]).unwrap();
-        let mut rng = seeded_rng(3);
-        assert_sampling_matches(&Lies, &g, 0, 500, 0.05, &mut rng);
+        let cfg = ConformanceConfig::with_samples(2_000);
+        check_scheme(&g, &AlwaysZero, &[1, 2], &cfg);
     }
 }

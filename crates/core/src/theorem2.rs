@@ -231,7 +231,8 @@ impl ExplicitScheme for Theorem2Scheme {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::assert_sampling_matches;
+    use crate::conformance::{check_scheme, ConformanceConfig};
+
     use nav_decomp::construct::path_graph_pd;
     use nav_graph::GraphBuilder;
     use nav_par::rng::seeded_rng;
@@ -244,10 +245,12 @@ mod tests {
     fn sampler_matches_explicit_distribution() {
         let g = path(9);
         let scheme = Theorem2Scheme::new(&g, &path_graph_pd(9));
-        let mut rng = seeded_rng(21);
-        for u in [0u32, 4, 8] {
-            assert_sampling_matches(&scheme, &g, u, 80_000, 0.012, &mut rng);
-        }
+        check_scheme(
+            &g,
+            &scheme,
+            &[0, 4, 8],
+            &ConformanceConfig::with_samples(80_000),
+        );
     }
 
     #[test]
@@ -348,8 +351,7 @@ mod tests {
         let total: f64 = dist.iter().map(|&(_, p)| p).sum();
         assert!(total <= 1.0 + 1e-9);
         assert_eq!(s.name(), "theorem2(A-only)");
-        let mut rng = seeded_rng(77);
-        assert_sampling_matches(&s, &g, 5, 60_000, 0.015, &mut rng);
+        check_scheme(&g, &s, &[5], &ConformanceConfig::with_samples(60_000));
     }
 
     #[test]
@@ -391,7 +393,6 @@ mod tests {
         let g = path(6);
         let pd = nav_decomp::decomposition::PathDecomposition::trivial(6);
         let scheme = Theorem2Scheme::new(&g, &pd);
-        let mut rng = seeded_rng(25);
-        assert_sampling_matches(&scheme, &g, 2, 40_000, 0.015, &mut rng);
+        check_scheme(&g, &scheme, &[2], &ConformanceConfig::with_samples(40_000));
     }
 }

@@ -120,10 +120,9 @@ pub fn budget_for_epsilon(n: usize, epsilon: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::assert_sampling_matches;
+    use crate::conformance::{check_scheme, ConformanceConfig};
     use nav_decomp::construct::path_graph_pd;
     use nav_graph::GraphBuilder;
-    use nav_par::rng::seeded_rng;
 
     fn path(n: usize) -> Graph {
         GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
@@ -170,10 +169,10 @@ mod tests {
     fn sampling_matches_distribution() {
         let n = 27;
         let g = path(n);
+        let cfg = ConformanceConfig::with_samples(60_000);
         for k in [1usize, 3, 9, 26] {
             let s = RestrictedLabelScheme::new(&g, &path_graph_pd(n), k);
-            let mut rng = seeded_rng(61);
-            assert_sampling_matches(&s, &g, 13, 60_000, 0.015, &mut rng);
+            check_scheme(&g, &s, &[13], &cfg);
         }
     }
 

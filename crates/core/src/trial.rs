@@ -10,8 +10,9 @@
 
 use crate::oracle::TargetDistanceCache;
 use crate::routing::{default_step_cap, GreedyRouter};
+use crate::sampler::{sampler_for, ContactSampler, SamplerMode};
 use crate::scheme::AugmentationScheme;
-use nav_graph::{Graph, GraphError, NodeId};
+use nav_graph::{Graph, GraphError, NodeId, INFINITY};
 use nav_par::rng::task_rng;
 use rand::{Rng, RngCore};
 
@@ -24,6 +25,12 @@ pub struct TrialConfig {
     pub seed: u64,
     /// Worker threads (1 = inline).
     pub threads: usize,
+    /// The per-step contact-sampling backend each worker builds.
+    /// [`SamplerMode::Scalar`] (the default) is bit-identical to the
+    /// pre-sampler engine; [`SamplerMode::Batched`] serves ball draws
+    /// from 64-lane MS-BFS row caches — same distributions, different RNG
+    /// consumption.
+    pub sampler: SamplerMode,
 }
 
 impl Default for TrialConfig {
@@ -32,6 +39,7 @@ impl Default for TrialConfig {
             trials_per_pair: 64,
             seed: 0x5eed,
             threads: nav_par::default_threads(),
+            sampler: SamplerMode::Scalar,
         }
     }
 }
@@ -116,22 +124,100 @@ pub fn aggregate_pair<S: AugmentationScheme + ?Sized>(
     trials: usize,
     cap: u32,
 ) -> PairStats {
+    let mut sampler = crate::sampler::ScalarSampler::new(scheme);
+    aggregate_pair_with(router, &mut sampler, s, rng, trials, cap)
+}
+
+/// [`aggregate_pair`] over a caller-owned [`ContactSampler`] — the
+/// sampler's cached state (ball rows) persists across the pair's trials,
+/// which is where the batched backends earn their amortisation.
+///
+/// Samplers that ask for it ([`ContactSampler::wants_lockstep`]) get the
+/// pair's trials run as **lockstep rounds**: every trial's walk advances
+/// one hop per round, and all the walks' current nodes are announced to
+/// [`ContactSampler::prepare`] first — so the round's cache misses batch
+/// into bit-parallel MS-BFS passes with no speculative lanes. Each walk
+/// still makes exactly the draws it would make sequentially (round order
+/// only reassigns which RNG values land in which trial, which no
+/// per-trial statistic can see); the scalar backend keeps the sequential
+/// order and with it bit-identity to the pre-sampler engine.
+pub fn aggregate_pair_with<C: ContactSampler + ?Sized>(
+    router: &GreedyRouter<'_>,
+    sampler: &mut C,
+    s: NodeId,
+    rng: &mut dyn RngCore,
+    trials: usize,
+    cap: u32,
+) -> PairStats {
     let mut sum = 0.0f64;
     let mut sum_sq = 0.0f64;
     let mut max_steps = 0u32;
     let mut long_links = 0.0f64;
     let mut failures = 0usize;
-    for _ in 0..trials {
-        let out = router.route(scheme, s, rng, cap, false);
-        if !out.reached {
+    let mut record = |steps: u32, reached: bool, long: u32| {
+        if !reached {
             failures += 1;
-            continue;
+            return;
         }
-        let st = out.steps as f64;
+        let st = steps as f64;
         sum += st;
         sum_sq += st * st;
-        max_steps = max_steps.max(out.steps);
-        long_links += out.long_links_used as f64;
+        max_steps = max_steps.max(steps);
+        long_links += long as f64;
+    };
+    if sampler.wants_lockstep() {
+        let g = router.graph();
+        let target = router.target();
+        #[derive(Clone)]
+        struct Walk {
+            u: NodeId,
+            steps: u32,
+            long: u32,
+            running: bool,
+        }
+        let mut walks = vec![
+            Walk {
+                u: s,
+                steps: 0,
+                long: 0,
+                running: true,
+            };
+            trials
+        ];
+        let mut announce: Vec<NodeId> = Vec::new();
+        loop {
+            announce.clear();
+            for w in walks.iter_mut().filter(|w| w.running) {
+                // The same stop conditions as `GreedyRouter::route_with`.
+                if w.u == target || w.steps >= cap || router.dist_to_target(w.u) == INFINITY {
+                    w.running = false;
+                } else {
+                    announce.push(w.u);
+                }
+            }
+            if announce.is_empty() {
+                break;
+            }
+            sampler.prepare(g, &announce);
+            for w in walks.iter_mut().filter(|w| w.running) {
+                let contact = sampler.sample(g, w.u, rng);
+                let Some((next, long)) = router.step(w.u, contact) else {
+                    w.running = false;
+                    continue;
+                };
+                w.long += long as u32;
+                w.u = next;
+                w.steps += 1;
+            }
+        }
+        for w in walks {
+            record(w.steps, w.u == target, w.long);
+        }
+    } else {
+        for _ in 0..trials {
+            let out = router.route_with(sampler, s, rng, cap, false);
+            record(out.steps, out.reached, out.long_links_used);
+        }
     }
     let ok = (trials - failures).max(1) as f64;
     let mean = sum / ok;
@@ -201,7 +287,15 @@ pub fn run_trials<S: AugmentationScheme + ?Sized>(
             let oracle = oracles[w].as_ref().expect("built above");
             let router = oracle.router(t).expect("target cached above");
             let mut rng = task_rng(cfg.seed, idx as u64);
-            aggregate_pair(&router, scheme, s, &mut rng, cfg.trials_per_pair, cap)
+            let mut sampler = sampler_for(scheme, g, cfg.sampler, usize::MAX);
+            aggregate_pair_with(
+                &router,
+                sampler.as_mut(),
+                s,
+                &mut rng,
+                cfg.trials_per_pair,
+                cap,
+            )
         });
         for (j, ps) in wave_stats.into_iter().enumerate() {
             stats[items[j].1] = ps;
@@ -271,6 +365,7 @@ mod tests {
             trials_per_pair: 5,
             seed: 1,
             threads: 1,
+            ..TrialConfig::default()
         };
         let r = run_trials(&g, &NoAugmentation, &[(0, 29), (5, 10)], &cfg).unwrap();
         assert_eq!(r.pairs[0].mean_steps, 29.0);
@@ -290,6 +385,7 @@ mod tests {
             trials_per_pair: 20,
             seed: 77,
             threads: 1,
+            ..TrialConfig::default()
         };
         let par = TrialConfig {
             threads: 8,
@@ -310,6 +406,7 @@ mod tests {
             trials_per_pair: 40,
             seed: 3,
             threads: 2,
+            ..TrialConfig::default()
         };
         let r = run_trials(&g, &UniformScheme, &[(0, 399)], &cfg).unwrap();
         // E[steps] = O(√n·polylog-ish constant); must clearly beat 399.
@@ -342,6 +439,7 @@ mod tests {
             trials_per_pair: 16,
             seed: 41,
             threads: 1,
+            ..TrialConfig::default()
         };
         let cached = run_trials(&g, &UniformScheme, &pairs, &cfg).unwrap();
         let cap = default_step_cap(&g);
@@ -379,6 +477,7 @@ mod tests {
             trials_per_pair: 8,
             seed: 9,
             threads: 2,
+            ..TrialConfig::default()
         };
         let r = run_standard(&g, &UniformScheme, 4, &cfg).unwrap();
         assert_eq!(r.pairs.len(), 6);

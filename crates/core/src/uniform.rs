@@ -56,7 +56,7 @@ impl ExplicitScheme for NoAugmentation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::assert_sampling_matches;
+    use crate::conformance::{check_scheme, ConformanceConfig};
     use nav_graph::GraphBuilder;
     use nav_par::rng::seeded_rng;
 
@@ -77,8 +77,8 @@ mod tests {
     #[test]
     fn uniform_sampling_matches_distribution() {
         let g = path(8);
-        let mut rng = seeded_rng(42);
-        assert_sampling_matches(&UniformScheme, &g, 0, 40_000, 0.02, &mut rng);
+        let cfg = ConformanceConfig::with_samples(40_000);
+        check_scheme(&g, &UniformScheme, &[0], &cfg);
     }
 
     #[test]

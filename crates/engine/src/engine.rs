@@ -4,8 +4,9 @@ use crate::batch::{BatchResult, QueryBatch};
 use crate::cache::{CacheStats, RowCache};
 use crate::metrics::EngineMetrics;
 use nav_core::routing::{default_step_cap, GreedyRouter};
+use nav_core::sampler::{sampler_for, SamplerMode, SamplerStats};
 use nav_core::scheme::AugmentationScheme;
-use nav_core::trial::{aggregate_pair, PairStats};
+use nav_core::trial::{aggregate_pair_with, PairStats};
 use nav_graph::distance::DistRowBuf;
 use nav_graph::{Graph, GraphError, NodeId};
 use nav_par::rng::task_rng;
@@ -22,8 +23,23 @@ pub struct EngineConfig {
     /// Worker threads for row computation and trial execution
     /// (`1` = inline). Never changes answers.
     pub threads: usize,
-    /// Row-cache capacity in bytes (`0` = recompute every batch).
+    /// Row-cache capacity in bytes (`0` = recompute every batch). The
+    /// same byte knob caps each in-flight query's transient ball-row
+    /// cache under [`SamplerMode::Batched`].
     pub cache_bytes: usize,
+    /// Per-step contact-sampling backend the trial workers build.
+    /// [`SamplerMode::Scalar`] keeps the engine bit-identical to
+    /// [`nav_core::trial::run_trials`] under its default config;
+    /// [`SamplerMode::Batched`] serves ball draws from 64-lane MS-BFS
+    /// row caches — same distributions, and bit-identical to
+    /// `run_trials` run in the same mode **as long as `cache_bytes`
+    /// leaves room for the ball rows** (it comfortably does under the
+    /// default). A binding budget only moves draws onto the scalar
+    /// fallback — different RNG consumption, identical distributions —
+    /// so `cache_bytes` joins the set of answer-determining inputs in
+    /// batched mode, while answers stay a pure function of the full
+    /// config either way.
+    pub sampler: SamplerMode,
 }
 
 impl Default for EngineConfig {
@@ -34,6 +50,7 @@ impl Default for EngineConfig {
             // Room for ~16k compact rows at n = 4096 — a generous default
             // that still fits comfortably in commodity RAM.
             cache_bytes: 128 << 20,
+            sampler: SamplerMode::Scalar,
         }
     }
 }
@@ -128,8 +145,13 @@ impl Engine {
     ///
     /// Answers are a pure function of `(graph, scheme, seed, query
     /// sequence)`: thread count, cache capacity and batch splits never
-    /// change a bit. Errors on an out-of-range endpoint; the engine state
-    /// is unchanged in that case.
+    /// change a bit. (One carve-out: under [`SamplerMode::Batched`] a
+    /// `cache_bytes` budget small enough to evict ball rows changes
+    /// *when RNG values are consumed* — answers are then a pure function
+    /// of the config *including* `cache_bytes`, with unchanged
+    /// distributions; see [`EngineConfig::sampler`].) Errors on an
+    /// out-of-range endpoint; the engine state is unchanged in that
+    /// case.
     pub fn serve(&mut self, batch: &QueryBatch) -> Result<BatchResult, GraphError> {
         let t0 = Instant::now();
         // --- admission -----------------------------------------------
@@ -164,27 +186,44 @@ impl Engine {
         }
         // --- execute: trials -------------------------------------------
         let base = self.served;
-        let answers: Vec<PairStats> = nav_par::parallel_map(batch.len(), self.cfg.threads, |i| {
-            let q = &batch.queries[i];
-            let row = rows.get(&q.t).expect("row staged above");
-            let router = GreedyRouter::from_row_view(&self.g, q.t, row.view())
-                .expect("endpoints validated at admission");
-            let mut rng = task_rng(self.cfg.seed, base + i as u64);
-            aggregate_pair(
-                &router,
-                self.scheme.as_ref(),
-                q.s,
-                &mut rng,
-                q.trials,
-                self.cap,
-            )
-        });
+        let outcomes: Vec<(PairStats, SamplerStats)> =
+            nav_par::parallel_map(batch.len(), self.cfg.threads, |i| {
+                let q = &batch.queries[i];
+                let row = rows.get(&q.t).expect("row staged above");
+                let router = GreedyRouter::from_row_view(&self.g, q.t, row.view())
+                    .expect("endpoints validated at admission");
+                let mut rng = task_rng(self.cfg.seed, base + i as u64);
+                // Per-query transient sampler state, byte-capped by the
+                // engine's one memory knob; freed when the query answers.
+                let mut sampler = sampler_for(
+                    self.scheme.as_ref(),
+                    &self.g,
+                    self.cfg.sampler,
+                    self.cfg.cache_bytes,
+                );
+                let stats = aggregate_pair_with(
+                    &router,
+                    sampler.as_mut(),
+                    q.s,
+                    &mut rng,
+                    q.trials,
+                    self.cap,
+                );
+                (stats, sampler.stats())
+            });
+        let mut answers = Vec::with_capacity(outcomes.len());
+        let mut sampler_stats = SamplerStats::default();
+        for (ps, ss) in outcomes {
+            answers.push(ps);
+            sampler_stats.merge(&ss);
+        }
         self.served += batch.len() as u64;
         let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
         let warm = targets.len() - cold.len();
         let trials: u64 = batch.queries.iter().map(|q| q.trials as u64).sum();
         self.metrics
             .record_batch(batch.len(), trials, warm, cold.len(), elapsed_ms);
+        self.metrics.record_sampler(&sampler_stats);
         Ok(BatchResult {
             answers,
             warm_targets: warm,
@@ -218,6 +257,7 @@ mod tests {
             seed: 41,
             threads: 2,
             cache_bytes: 1 << 20,
+            ..EngineConfig::default()
         };
         let mut engine = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
         let got = engine.serve(&QueryBatch::from_pairs(&pairs, 16)).unwrap();
@@ -229,6 +269,7 @@ mod tests {
                 trials_per_pair: 16,
                 seed: 41,
                 threads: 1,
+                ..TrialConfig::default()
             },
         )
         .unwrap();
@@ -243,6 +284,7 @@ mod tests {
             seed: 5,
             threads: 1,
             cache_bytes: 1 << 16,
+            ..EngineConfig::default()
         };
         let mut one = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
         let whole = one.serve(&QueryBatch::from_pairs(&pairs, 6)).unwrap();
@@ -270,6 +312,7 @@ mod tests {
                 seed: 99,
                 threads: 2,
                 cache_bytes,
+                ..EngineConfig::default()
             };
             let mut e = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
             let mut got = Vec::new();
@@ -289,6 +332,7 @@ mod tests {
             seed: 1,
             threads: 1,
             cache_bytes: 1 << 20,
+            ..EngineConfig::default()
         };
         let mut e = Engine::new(g, Box::new(NoAugmentation), cfg);
         let batch = QueryBatch::from_pairs(&[(0, 49), (3, 49), (7, 20)], 2);
@@ -318,6 +362,7 @@ mod tests {
             seed: 2,
             threads: 1,
             cache_bytes: 0,
+            ..EngineConfig::default()
         };
         let mut e = Engine::new(g, Box::new(NoAugmentation), cfg);
         let batch = QueryBatch {
@@ -338,6 +383,87 @@ mod tests {
         assert_eq!(r.answers[0].mean_steps, 29.0);
         assert_eq!(r.answers[1].mean_steps, 24.0);
         assert_eq!(e.metrics().trials, 10);
+    }
+
+    #[test]
+    fn batched_ball_serving_matches_run_trials_in_batched_mode() {
+        // The batched sampler consumes RNG differently from the scalar
+        // path, but an engine in batched mode must still reproduce
+        // `run_trials` *run in the same mode* bit for bit.
+        use nav_core::ball::BallScheme;
+        let g = path(72);
+        let scheme = BallScheme::new(&g);
+        let pairs: Vec<(NodeId, NodeId)> = (0..10).map(|i| (i * 7 % 72, 71 - i)).collect();
+        let cfg = EngineConfig {
+            seed: 77,
+            threads: 2,
+            cache_bytes: 1 << 20,
+            sampler: SamplerMode::Batched,
+        };
+        let mut engine = Engine::new(g.clone(), Box::new(scheme), cfg);
+        let got = engine.serve(&QueryBatch::from_pairs(&pairs, 6)).unwrap();
+        let want = run_trials(
+            &g,
+            &scheme,
+            &pairs,
+            &TrialConfig {
+                trials_per_pair: 6,
+                seed: 77,
+                threads: 1,
+                sampler: SamplerMode::Batched,
+            },
+        )
+        .unwrap();
+        assert!(identical(&got.answers, &want.pairs));
+        let stats = engine.metrics().sampler;
+        assert!(stats.rows > 0, "{stats:?}");
+        assert!(stats.hits > 0, "{stats:?}");
+        assert_eq!(stats.fallbacks, 0);
+        assert!(stats.row_bytes > 0);
+    }
+
+    #[test]
+    fn binding_ball_row_budget_stays_correct_and_deterministic() {
+        // cache_bytes = 0 starves the ball-row cache: every draw takes
+        // the scalar fallback. Answers are then *not* the unbounded
+        // batched stream — but they stay failure-free and a pure
+        // function of the config (thread count still invisible).
+        use nav_core::ball::BallScheme;
+        let g = path(60);
+        let scheme = BallScheme::new(&g);
+        let pairs: Vec<(NodeId, NodeId)> = (0..6).map(|i| (i * 9, 59 - i)).collect();
+        let serve = |threads: usize| {
+            let mut e = Engine::new(
+                g.clone(),
+                Box::new(scheme),
+                EngineConfig {
+                    seed: 3,
+                    threads,
+                    cache_bytes: 0,
+                    sampler: SamplerMode::Batched,
+                },
+            );
+            let r = e.serve(&QueryBatch::from_pairs(&pairs, 5)).unwrap();
+            (r, e.metrics().sampler)
+        };
+        let (r1, s1) = serve(1);
+        let (r4, s4) = serve(4);
+        assert!(identical(&r1.answers, &r4.answers));
+        assert_eq!(s1, s4);
+        assert!(s1.fallbacks > 0, "{s1:?}");
+        assert_eq!(s1.rows, 0);
+        assert_eq!(r1.answers.iter().map(|a| a.failures).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn scalar_mode_keeps_sampler_counters_at_zero() {
+        let g = path(20);
+        let mut e = Engine::new(g, Box::new(UniformScheme), EngineConfig::default());
+        e.serve(&QueryBatch::from_pairs(&[(0, 19)], 4)).unwrap();
+        assert_eq!(
+            e.metrics().sampler,
+            nav_core::sampler::SamplerStats::default()
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Lifetime service metrics of an [`crate::Engine`].
 
 use nav_analysis::latency::LatencySummary;
+use nav_core::sampler::SamplerStats;
 
 /// Counters and latency samples accumulated across every batch an engine
 /// has served.
@@ -18,6 +19,11 @@ pub struct EngineMetrics {
     pub cold_targets: u64,
     /// Total service wall-clock, milliseconds.
     pub total_ms: f64,
+    /// Per-step sampler counters summed over every query's worker (all
+    /// zero under the scalar backend). `row_bytes` is the total transient
+    /// ball-row payload the workers allocated — each individual worker
+    /// stayed under the engine's byte budget.
+    pub sampler: SamplerStats,
     /// One wall-clock sample per served batch, milliseconds.
     batch_ms: Vec<f64>,
 }
@@ -39,6 +45,12 @@ impl EngineMetrics {
         self.cold_targets += cold as u64;
         self.total_ms += elapsed_ms;
         self.batch_ms.push(elapsed_ms);
+    }
+
+    /// Folds one batch's summed sampler counters into the lifetime
+    /// totals.
+    pub fn record_sampler(&mut self, stats: &SamplerStats) {
+        self.sampler.merge(stats);
     }
 
     /// The per-batch latency samples, in service order (milliseconds).

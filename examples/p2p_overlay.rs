@@ -24,6 +24,7 @@ fn main() {
         trials_per_pair: 48,
         seed: 0xD47,
         threads: 1,
+        ..TrialConfig::default()
     };
 
     println!("P2P overlay: ring + one finger per peer, greedy lookups\n");

@@ -47,6 +47,7 @@ fn main() {
             seed: 0x5eed,
             threads: 4,
             cache_bytes: 32 << 20,
+            ..EngineConfig::default()
         },
     );
     for (i, chunk) in queries.chunks(512).enumerate() {

@@ -34,6 +34,7 @@ fn main() {
             trials_per_pair: 32,
             seed: 7,
             threads: 1,
+            ..TrialConfig::default()
         },
         random_pairs: 6,
     };

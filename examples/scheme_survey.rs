@@ -20,6 +20,7 @@ fn main() {
         trials_per_pair: 32,
         seed: 99,
         threads: 1,
+        ..TrialConfig::default()
     };
 
     let families = [

@@ -9,6 +9,7 @@ fn cfg(seed: u64, threads: usize) -> TrialConfig {
         trials_per_pair: 16,
         seed,
         threads,
+        ..TrialConfig::default()
     }
 }
 

@@ -50,6 +50,7 @@ fn engine_answers(
             seed,
             threads,
             cache_bytes,
+            ..EngineConfig::default()
         },
     );
     let mut answers = Vec::new();
@@ -88,7 +89,7 @@ proptest! {
             &g,
             &UniformScheme,
             &pairs,
-            &TrialConfig { trials_per_pair: trials, seed, threads: 1 },
+            &TrialConfig { trials_per_pair: trials, seed, threads: 1, ..TrialConfig::default() },
         )
         .expect("valid pairs");
         // A tiny capacity that forces evictions mid-stream: one row plus
@@ -128,10 +129,54 @@ proptest! {
             &g,
             &UniformScheme,
             &rotated,
-            &TrialConfig { trials_per_pair: 3, seed, threads: 1 },
+            &TrialConfig { trials_per_pair: 3, seed, threads: 1, ..TrialConfig::default() },
         )
         .expect("valid pairs");
         let got = engine_answers(&g, &rotated, 3, seed, 2, 1 << 20, 5);
         prop_assert!(identical(&got, &reference.pairs));
+    }
+
+    #[test]
+    fn ball_sampler_backends_match_run_trials(
+        g in connected_graph(40),
+        seed in 0u64..500,
+        batch_size in 1usize..8,
+    ) {
+        // The two batched ball backends keep the engine's determinism
+        // contract: (b) an engine with the ball-row-cache sampler is
+        // bit-identical to run_trials in the same mode; (c) an engine
+        // serving a pre-realized contact table (`--sampler ball-realized`)
+        // is bit-identical to run_trials over that realization.
+        use navigability::core::sampler::SamplerMode;
+        let n = g.num_nodes() as NodeId;
+        let pairs: Vec<(NodeId, NodeId)> = (0..10u32).map(|i| (i % n, (i * 5 + 2) % n)).collect();
+        let ball = BallScheme::new(&g);
+        for (scheme, mode) in [
+            (Box::new(ball) as Box<dyn navigability::core::AugmentationScheme + Send>, SamplerMode::Batched),
+            (Box::new(ball.realize_batched(&g, seed ^ 0xba11, 2)), SamplerMode::Scalar),
+        ] {
+            let reference = run_trials(
+                &g,
+                scheme.as_ref(),
+                &pairs,
+                &TrialConfig { trials_per_pair: 3, seed, threads: 1, sampler: mode },
+            )
+            .expect("valid pairs");
+            let mut engine = Engine::new(
+                g.clone(),
+                scheme,
+                EngineConfig { seed, threads: 2, cache_bytes: 1 << 20, sampler: mode },
+            );
+            let mut answers = Vec::new();
+            for chunk in pairs.chunks(batch_size.max(1)) {
+                answers.extend(
+                    engine
+                        .serve(&QueryBatch::from_pairs(chunk, 3))
+                        .expect("valid pairs")
+                        .answers,
+                );
+            }
+            prop_assert!(identical(&answers, &reference.pairs), "mode {:?}", mode);
+        }
     }
 }

@@ -11,6 +11,7 @@ fn trial_cfg(seed: u64) -> TrialConfig {
         trials_per_pair: 12,
         seed,
         threads: 2,
+        ..TrialConfig::default()
     }
 }
 

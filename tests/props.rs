@@ -176,4 +176,82 @@ proptest! {
         let total: f64 = ball.contact_distribution(&g, u).iter().map(|&(_, p)| p).sum();
         prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
     }
+
+    #[test]
+    fn ball_row_cache_equals_scalar_ball_structure(g in arbitrary_graph(60), seed in 0u64..1000) {
+        // The batched sampler draws "uniform scale k, uniform member of
+        // B(u, 2^k)" from its cached row — the same distribution as the
+        // scalar reservoir draw iff the cached dyadic balls are *exactly*
+        // the BFS balls. Check that structural equality on random
+        // (possibly disconnected) graphs, for every node at once.
+        use navigability::core::sampler::ContactSampler;
+        use navigability::core::BallRowSampler;
+        use navigability::graph::bfs::Bfs;
+        use navigability::graph::INFINITY;
+        let scheme = BallScheme::new(&g);
+        let n = g.num_nodes();
+        let mut sampler = BallRowSampler::new(scheme, usize::MAX);
+        let nodes: Vec<u32> = (0..n as u32).collect();
+        sampler.prepare(&g, &nodes);
+        let mut bfs = Bfs::new(n);
+        let probe = seed as usize % n;
+        for u in [0, probe, n - 1] {
+            let dist = bfs.distances(&g, u as u32);
+            let row = sampler.row(u as u32).expect("prepared");
+            for k in 1..=scheme.scales() {
+                let radius = if k >= 31 { u32::MAX } else { 1u32 << k };
+                let mut expect: Vec<u32> = (0..n as u32)
+                    .filter(|&v| dist[v as usize] != INFINITY && dist[v as usize] <= radius)
+                    .collect();
+                let mut got = row.ball_members(k).to_vec();
+                expect.sort_unstable();
+                got.sort_unstable();
+                prop_assert_eq!(&got, &expect, "u={} k={}", u, k);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_mode_is_thread_invariant_and_safe(g in connected_graph(48), seed in 0u64..1000) {
+        // run_trials under the batched sampler: a pure function of
+        // (seed, pair index) — bit-identical across thread counts — and
+        // every walk still reaches its target within the step cap.
+        use navigability::core::sampler::SamplerMode;
+        let n = g.num_nodes() as u32;
+        let pairs: Vec<(u32, u32)> = (0..6u32).map(|i| (i % n, (i * 11 + 3) % n)).collect();
+        let cfg1 = TrialConfig {
+            trials_per_pair: 5, seed, threads: 1, sampler: SamplerMode::Batched,
+        };
+        let cfg4 = TrialConfig { threads: 4, ..cfg1.clone() };
+        let ball = BallScheme::new(&g);
+        let r1 = run_trials(&g, &ball, &pairs, &cfg1).unwrap();
+        let r4 = run_trials(&g, &ball, &pairs, &cfg4).unwrap();
+        for (a, b) in r1.pairs.iter().zip(&r4.pairs) {
+            prop_assert!(a.bits_eq(b));
+            prop_assert_eq!(a.failures, 0);
+            prop_assert!(a.max_steps <= n);
+            prop_assert!(a.mean_steps >= 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_mode_falls_back_bit_identically_for_plain_schemes(
+        g in connected_graph(40),
+        seed in 0u64..1000,
+    ) {
+        // Schemes without a batched backend must be untouched by the
+        // sampler knob: batched mode ≡ scalar mode bit for bit.
+        use navigability::core::sampler::SamplerMode;
+        let n = g.num_nodes() as u32;
+        let pairs = [(0u32, n - 1), (n / 2, 0)];
+        let scalar = TrialConfig {
+            trials_per_pair: 4, seed, threads: 2, sampler: SamplerMode::Scalar,
+        };
+        let batched = TrialConfig { sampler: SamplerMode::Batched, ..scalar.clone() };
+        let a = run_trials(&g, &UniformScheme, &pairs, &scalar).unwrap();
+        let b = run_trials(&g, &UniformScheme, &pairs, &batched).unwrap();
+        for (x, y) in a.pairs.iter().zip(&b.pairs) {
+            prop_assert!(x.bits_eq(y));
+        }
+    }
 }

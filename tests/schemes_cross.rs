@@ -1,18 +1,32 @@
-//! Cross-scheme contract tests: every explicit scheme's sampler matches
-//! its declared distribution, and Monte-Carlo matches the exact evaluator.
+//! Cross-scheme contract tests, driven by the reusable conformance
+//! harness (`nav_core::conformance`): every explicit scheme's sampler
+//! matches its declared distribution under a pooled chi-squared test, is
+//! deterministic under a fixed seed, never emits an undeclared
+//! self-contact — and Monte-Carlo matches the exact evaluator.
+//!
+//! Run with `--nocapture` to see the per-node chi-squared summaries (CI
+//! does, so a failing table prints in full).
 
 use nav_par::rng::task_rng;
+use navigability::core::conformance::{check_sampler, check_scheme, ConformanceConfig};
 use navigability::core::exact::exact_expected_steps;
+use navigability::core::matrix::{AugmentationMatrix, MatrixScheme};
+use navigability::core::realization::Realization;
 use navigability::core::routing::{default_step_cap, GreedyRouter};
-use navigability::core::scheme::{assert_sampling_matches, ExplicitScheme};
+use navigability::core::scheme::ExplicitScheme;
 use navigability::core::theorem3::RestrictedLabelScheme;
 use navigability::core::uniform::NoAugmentation;
+use navigability::core::BallRowSampler;
 use navigability::gen::{classic, grid};
 use navigability::prelude::*;
 
+/// Every `AugmentationScheme` impl with an explicit distribution — the
+/// matrix, hierarchy (theorem 2/3), ball, baseline, and realization
+/// backends all face the same harness.
 fn schemes_for(g: &navigability::graph::Graph) -> Vec<Box<dyn ExplicitScheme>> {
     let n = g.num_nodes();
     let pd = navigability::decomp::best_path_decomposition(g, &Default::default()).pd;
+    let mut rng = seeded_rng(0xF1A7);
     vec![
         Box::new(NoAugmentation),
         Box::new(UniformScheme),
@@ -21,27 +35,69 @@ fn schemes_for(g: &navigability::graph::Graph) -> Vec<Box<dyn ExplicitScheme>> {
         Box::new(KleinbergScheme::new(2.0)),
         Box::new(Theorem2Scheme::new(g, &pd)),
         Box::new(RestrictedLabelScheme::new(g, &pd, (n / 4).max(1))),
+        Box::new(MatrixScheme::name_independent(
+            "matrix-ancestor",
+            AugmentationMatrix::ancestor(n),
+            n,
+        )),
+        Box::new(MatrixScheme::name_independent(
+            "matrix-harmonic",
+            AugmentationMatrix::label_harmonic(n),
+            n,
+        )),
+        Box::new(Realization::sample(g, &UniformScheme, &mut rng)),
     ]
 }
 
 #[test]
-fn samplers_match_distributions_on_path() {
+fn every_scheme_conforms_on_path() {
     let g = classic::path(15).expect("path");
-    let mut rng = seeded_rng(1);
+    let cfg = ConformanceConfig::with_samples(30_000);
     for scheme in schemes_for(&g) {
-        for u in [0u32, 7, 14] {
-            assert_sampling_matches(scheme.as_ref(), &g, u, 30_000, 0.02, &mut rng);
-        }
+        check_scheme(&g, scheme.as_ref(), &[0, 7, 14], &cfg);
     }
 }
 
 #[test]
-fn samplers_match_distributions_on_grid() {
+fn every_scheme_conforms_on_grid() {
     let g = grid::grid2d(4, 4).expect("grid");
-    let mut rng = seeded_rng(2);
+    let cfg = ConformanceConfig::with_samples(30_000);
     for scheme in schemes_for(&g) {
-        assert_sampling_matches(scheme.as_ref(), &g, 5, 30_000, 0.02, &mut rng);
+        check_scheme(&g, scheme.as_ref(), &[5], &cfg);
     }
+}
+
+#[test]
+fn ball_row_sampler_conforms_to_ball_distribution() {
+    // Backend (b) of the sampler layer faces the same chi-squared gate as
+    // the scalar sampler: cached rows must not bend any φ_u.
+    for g in [
+        classic::path(15).expect("path"),
+        grid::grid2d(4, 4).expect("grid"),
+        classic::cycle(21).expect("cycle"),
+    ] {
+        let scheme = BallScheme::new(&g);
+        let mut sampler = BallRowSampler::new(scheme, usize::MAX);
+        let nodes: Vec<NodeId> = vec![0, (g.num_nodes() / 2) as NodeId];
+        check_sampler(
+            &g,
+            &scheme,
+            &mut sampler,
+            &nodes,
+            &ConformanceConfig::with_samples(30_000),
+        );
+    }
+}
+
+#[test]
+fn realized_ball_scheme_conforms_as_point_masses() {
+    // Backend (c): a batched realization is itself an explicit scheme
+    // (point mass per node) and must pass the same harness.
+    let g = classic::path(33).expect("path");
+    let real = BallScheme::new(&g).realize_batched(&g, 11, 2);
+    // Point masses need no resolution.
+    let cfg = ConformanceConfig::with_samples(2_000);
+    check_scheme(&g, &real, &[0, 16, 32], &cfg);
 }
 
 #[test]

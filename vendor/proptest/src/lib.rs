@@ -208,6 +208,20 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             Config { cases }
         }
+
+        /// The case count actually run: the `PROPTEST_CASES` environment
+        /// variable overrides the configured value (mirroring upstream
+        /// proptest), so CI can pin the property suite's runtime without
+        /// touching test sources.
+        pub fn effective_cases(&self) -> u32 {
+            resolve_cases(std::env::var("PROPTEST_CASES").ok().as_deref(), self.cases)
+        }
+    }
+
+    /// `PROPTEST_CASES` parsing with fallback (split out for testing —
+    /// mutating the real environment races across test threads).
+    pub(crate) fn resolve_cases(env: Option<&str>, fallback: u32) -> u32 {
+        env.and_then(|v| v.trim().parse().ok()).unwrap_or(fallback)
     }
 
     /// Deterministic RNG for one case of one property.
@@ -285,15 +299,15 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::Config = $config;
-            for case in 0..config.cases {
+            let cases = config.effective_cases();
+            for case in 0..cases {
                 let mut case_rng = $crate::test_runner::rng_for_case(stringify!($name), case);
                 $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut case_rng);)+
                 let run = move || $body;
                 if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
                     eprintln!(
-                        "proptest: property `{}` failed at case {case}/{} (deterministic; re-run reproduces it)",
+                        "proptest: property `{}` failed at case {case}/{cases} (deterministic; re-run reproduces it)",
                         stringify!($name),
-                        config.cases,
                     );
                     std::panic::resume_unwind(payload);
                 }
@@ -306,6 +320,19 @@ macro_rules! __proptest_impl {
 mod tests {
     use crate::prelude::*;
     use crate::strategy::Strategy;
+
+    #[test]
+    fn proptest_cases_env_overrides_configured_count() {
+        use crate::test_runner::{resolve_cases, Config};
+        assert_eq!(resolve_cases(Some("16"), 48), 16);
+        assert_eq!(resolve_cases(Some(" 200 "), 48), 200);
+        assert_eq!(resolve_cases(Some("not a number"), 48), 48);
+        assert_eq!(resolve_cases(None, 48), 48);
+        // Without the env var set, effective == configured.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(Config::with_cases(7).effective_cases(), 7);
+        }
+    }
 
     #[test]
     fn ranges_and_tuples_generate_in_bounds() {
