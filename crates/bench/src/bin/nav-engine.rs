@@ -13,8 +13,17 @@
 //!
 //! # emit the BENCH_serve.json cold-vs-warm baseline
 //! cargo run -p nav-bench --release --bin nav-engine -- --bench-json [PATH] [--quick] [--threads N] [--seed S]
+//!
+//! # serve a workload's graph over TCP, then replay the workload against it
+//! cargo run -p nav-bench --release --bin nav-engine -- serve-tcp FILE --addr 127.0.0.1:4777 \
+//!     [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--admission lru|segmented] [--workers W]
+//! cargo run -p nav-bench --release --bin nav-engine -- bench-tcp FILE --addr 127.0.0.1:4777 [--json PATH]
+//!
+//! # emit the BENCH_net.json loopback wire baseline (self-hosted)
+//! cargo run -p nav-bench --release --bin nav-engine -- bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]
 //! ```
 
+use nav_bench::netjson::render_net_bench;
 use nav_bench::servejson::render_serve_bench;
 use nav_bench::workloads::Workload;
 use nav_bench::ExpConfig;
@@ -22,9 +31,10 @@ use nav_core::ball::BallScheme;
 use nav_core::sampler::SamplerMode;
 use nav_core::scheme::AugmentationScheme;
 use nav_core::uniform::{NoAugmentation, UniformScheme};
-use nav_engine::workload::{parse_workload, render_workload, GraphSpec, ZipfSpec};
-use nav_engine::{Engine, EngineConfig};
+use nav_engine::workload::{parse_workload, render_workload, GraphSpec, WorkloadSpec, ZipfSpec};
+use nav_engine::{AdmissionPolicy, Engine, EngineConfig};
 use nav_graph::Graph;
+use nav_net::{MetricsSnapshot, NetClient, NetConfig, NetServer};
 
 fn family_graph(spec: &GraphSpec) -> Graph {
     let family = match spec.family.as_str() {
@@ -83,6 +93,18 @@ fn expect_num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, fla
     })
 }
 
+/// Parses `--admission lru|segmented`.
+fn expect_admission(args: &mut impl Iterator<Item = String>) -> AdmissionPolicy {
+    let value = args.next().unwrap_or_else(|| {
+        eprintln!("--admission needs lru|segmented");
+        std::process::exit(2);
+    });
+    AdmissionPolicy::parse(&value).unwrap_or_else(|| {
+        eprintln!("unknown admission policy `{value}` (lru|segmented)");
+        std::process::exit(2);
+    })
+}
+
 fn serve(mut args: impl Iterator<Item = String>) {
     let mut file: Option<String> = None;
     let mut threads = nav_par::default_threads();
@@ -91,11 +113,13 @@ fn serve(mut args: impl Iterator<Item = String>) {
     let mut scheme_name = "uniform".to_string();
     let mut sampler_flag: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut admission = AdmissionPolicy::Lru;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => threads = expect_num(&mut args, "--threads"),
             "--seed" => seed = expect_num(&mut args, "--seed"),
             "--cache-mb" => cache_mb = expect_num(&mut args, "--cache-mb"),
+            "--admission" => admission = expect_admission(&mut args),
             "--scheme" => {
                 scheme_name = args.next().unwrap_or_else(|| {
                     eprintln!("--scheme needs a value");
@@ -143,30 +167,11 @@ fn serve(mut args: impl Iterator<Item = String>) {
             std::process::exit(2);
         }),
     };
-    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
-        eprintln!("reading {file}: {e}");
-        std::process::exit(2);
-    });
-    let spec = parse_workload(&text).unwrap_or_else(|e| {
-        eprintln!("{file}: {e}");
-        std::process::exit(2);
-    });
-    let g = family_graph(&spec.graph);
     // Workload endpoints were validated against the file's node count at
-    // parse time; families build *approximate* sizes, so the two must
-    // agree exactly or out-of-range endpoints would abort mid-replay.
-    // (`gen` pins the file to the built size, so its files always pass.)
-    if g.num_nodes() != spec.graph.n {
-        eprintln!(
-            "{file}: graph {} builds {} nodes, but the workload declares n={} — regenerate with `gen --family {} --n {}`",
-            spec.graph.family,
-            g.num_nodes(),
-            spec.graph.n,
-            spec.graph.family,
-            g.num_nodes()
-        );
-        std::process::exit(2);
-    }
+    // parse time; families build *approximate* sizes, so `load_workload`
+    // insists the two agree exactly or out-of-range endpoints would abort
+    // mid-replay. (`gen` pins the file to the built size.)
+    let (spec, g) = load_workload(&file);
     eprintln!(
         "[nav-engine] graph {} n={} m={} | {} queries ({} distinct targets), batch {}, scheme {}, sampler {}, cache {} MiB, threads {}",
         spec.graph.family,
@@ -189,6 +194,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
             threads,
             cache_bytes: cache_mb << 20,
             sampler,
+            admission,
         },
     );
     let t0 = std::time::Instant::now();
@@ -215,7 +221,8 @@ fn serve(mut args: impl Iterator<Item = String>) {
     println!("throughput        {:.0} queries/s", m.throughput_qps());
     println!("batch latency     {latency}");
     println!(
-        "cache             {} rows resident ({} KiB), {} hits / {} misses (rate {:.3}), {} evictions",
+        "cache [{}]        {} rows resident ({} KiB), {} hits / {} misses (rate {:.3}), {} evictions",
+        admission.label(),
         cache.resident_rows,
         cache.resident_bytes / 1024,
         cache.hits,
@@ -240,7 +247,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
     }
     if let Some(path) = json_path {
         let json = format!(
-            "{{\n  \"schema\": \"nav-engine-serve/v1\",\n  \"workload\": \"{}\",\n  \"scheme\": \"{}\",\n  \"sampler\": \"{}\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"host\": {},\n  \"queries\": {},\n  \"batches\": {},\n  \"trials\": {},\n  \"failures\": {failures},\n  \"elapsed_ms\": {elapsed_ms:.3},\n  \"qps\": {:.3},\n  \"batch_latency_ms\": {latency},\n  \"cache\": {{\"capacity_bytes\": {}, \"resident_rows\": {}, \"resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.3}}},\n  \"ball_rows\": {{\"rows\": {}, \"passes\": {}, \"hits\": {}, \"misses\": {}, \"fallbacks\": {}, \"row_bytes\": {}}}\n}}\n",
+            "{{\n  \"schema\": \"nav-engine-serve/v1\",\n  \"workload\": \"{}\",\n  \"scheme\": \"{}\",\n  \"sampler\": \"{}\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"host\": {},\n  \"queries\": {},\n  \"batches\": {},\n  \"trials\": {},\n  \"failures\": {failures},\n  \"elapsed_ms\": {elapsed_ms:.3},\n  \"qps\": {:.3},\n  \"batch_latency_ms\": {latency},\n  \"cache\": {{\"policy\": \"{}\", \"capacity_bytes\": {}, \"resident_rows\": {}, \"resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.3}}},\n  \"ball_rows\": {{\"rows\": {}, \"passes\": {}, \"hits\": {}, \"misses\": {}, \"fallbacks\": {}, \"row_bytes\": {}}}\n}}\n",
             json_escape(&file),
             json_escape(&engine.scheme_name()),
             sampler.label(),
@@ -249,6 +256,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
             m.batches,
             m.trials,
             m.throughput_qps(),
+            admission.label(),
             cache.capacity_bytes,
             cache.resident_rows,
             cache.resident_bytes,
@@ -346,6 +354,224 @@ fn gen(mut args: impl Iterator<Item = String>) {
     );
 }
 
+/// Reads and parses a workload file, building its graph (exiting with a
+/// message on any failure) — the shared front of `serve`-family commands.
+fn load_workload(file: &str) -> (WorkloadSpec, Graph) {
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("reading {file}: {e}");
+        std::process::exit(2);
+    });
+    let spec = parse_workload(&text).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        std::process::exit(2);
+    });
+    let g = family_graph(&spec.graph);
+    if g.num_nodes() != spec.graph.n {
+        eprintln!(
+            "{file}: graph {} builds {} nodes, but the workload declares n={} — regenerate with `gen --family {} --n {}`",
+            spec.graph.family,
+            g.num_nodes(),
+            spec.graph.n,
+            spec.graph.family,
+            g.num_nodes()
+        );
+        std::process::exit(2);
+    }
+    (spec, g)
+}
+
+fn serve_tcp(mut args: impl Iterator<Item = String>) {
+    let mut file: Option<String> = None;
+    let mut addr = "127.0.0.1:4777".to_string();
+    let mut threads = nav_par::default_threads();
+    let mut seed = 0x5eedu64;
+    let mut cache_mb = 128usize;
+    let mut scheme_name = "uniform".to_string();
+    let mut admission = AdmissionPolicy::Lru;
+    let mut net = NetConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = args.next().unwrap_or_else(|| {
+                    eprintln!("--addr needs HOST:PORT");
+                    std::process::exit(2);
+                })
+            }
+            "--threads" => threads = expect_num(&mut args, "--threads"),
+            "--seed" => seed = expect_num(&mut args, "--seed"),
+            "--cache-mb" => cache_mb = expect_num(&mut args, "--cache-mb"),
+            "--admission" => admission = expect_admission(&mut args),
+            "--workers" => net.workers = expect_num(&mut args, "--workers"),
+            "--max-queries" => net.max_batch_queries = expect_num(&mut args, "--max-queries"),
+            "--scheme" => {
+                scheme_name = args.next().unwrap_or_else(|| {
+                    eprintln!("--scheme needs a value");
+                    std::process::exit(2);
+                })
+            }
+            other if file.is_none() && !other.starts_with("--") => file = Some(other.to_string()),
+            other => {
+                eprintln!("unknown serve-tcp argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let file = file.unwrap_or_else(|| {
+        eprintln!("serve-tcp needs a workload file for its graph spec (try `gen` first)");
+        std::process::exit(2);
+    });
+    let (spec, g) = load_workload(&file);
+    let scheme = scheme_for(&scheme_name, &g, seed, threads);
+    let engine = Engine::new(
+        g,
+        scheme,
+        EngineConfig {
+            seed,
+            threads,
+            cache_bytes: cache_mb << 20,
+            sampler: SamplerMode::Scalar,
+            admission,
+        },
+    );
+    let server = NetServer::bind(engine, net, addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("binding {addr}: {e}");
+        std::process::exit(1);
+    });
+    let bound = server.local_addr().expect("bound address");
+    eprintln!(
+        "[nav-engine] serving graph {} n={} (scheme {}, seed {seed}, cache {cache_mb} MiB [{}], {} workers × {threads} threads)",
+        spec.graph.family,
+        spec.graph.n,
+        scheme_name,
+        admission.label(),
+        net.workers
+    );
+    // The one stdout line scripts wait for before starting clients.
+    println!("listening on {bound}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run().unwrap_or_else(|e| {
+        eprintln!("server failed: {e}");
+        std::process::exit(1);
+    });
+}
+
+/// Replays the workload's query stream over one client connection,
+/// returning (elapsed ms, last metrics snapshot, failures).
+fn replay_over_tcp(client: &mut NetClient, spec: &WorkloadSpec) -> (f64, MetricsSnapshot, usize) {
+    let t0 = std::time::Instant::now();
+    let mut metrics = MetricsSnapshot::default();
+    let mut failures = 0usize;
+    for batch in spec.batches() {
+        let (answers, m) = client
+            .serve(0, SamplerMode::Scalar, &batch)
+            .unwrap_or_else(|e| {
+                eprintln!("bench-tcp replay failed: {e}");
+                std::process::exit(1);
+            });
+        failures += answers.iter().map(|a| a.failures).sum::<usize>();
+        metrics = m;
+    }
+    (t0.elapsed().as_secs_f64() * 1e3, metrics, failures)
+}
+
+fn bench_tcp(mut args: impl Iterator<Item = String>) {
+    // Two forms share the parser: `bench-tcp FILE --addr HOST:PORT`
+    // replays against a running serve-tcp; `bench-tcp --bench-json
+    // [PATH]` self-hosts a loopback server and emits BENCH_net.json (the
+    // positional doubles as the output path there).
+    let mut file: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut bench_mode = false;
+    let mut cfg = ExpConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--json" => json_path = args.next(),
+            "--bench-json" => bench_mode = true,
+            "--quick" => cfg.quick = true,
+            "--threads" => cfg.threads = expect_num(&mut args, "--threads"),
+            "--seed" => cfg.seed = expect_num(&mut args, "--seed"),
+            other if file.is_none() && !other.starts_with("--") => file = Some(other.to_string()),
+            other => {
+                eprintln!("unknown bench-tcp argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if bench_mode {
+        let path = file.unwrap_or_else(|| "BENCH_net.json".to_string());
+        return emit_net_bench(&cfg, &path);
+    }
+    let (Some(file), Some(addr)) = (file, addr) else {
+        eprintln!(
+            "bench-tcp needs either `FILE --addr HOST:PORT` (replay against a running serve-tcp) or `--bench-json [PATH]` (self-hosted BENCH_net.json)"
+        );
+        std::process::exit(2);
+    };
+    let (spec, _g) = load_workload(&file);
+    let mut client = NetClient::connect(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("connecting {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[nav-engine] bench-tcp: {} queries × 2 passes against {addr}",
+        spec.queries.len()
+    );
+    let (cold_ms, _, cold_failures) = replay_over_tcp(&mut client, &spec);
+    let (warm_ms, m, warm_failures) = replay_over_tcp(&mut client, &spec);
+    let qps = |ms: f64| spec.queries.len() as f64 / (ms / 1e3);
+    let hit_rate = m.cache_hits as f64 / (m.cache_hits + m.cache_misses).max(1) as f64;
+    println!(
+        "pass1 (cold)      {cold_ms:.1} ms ({:.0} queries/s)",
+        qps(cold_ms)
+    );
+    println!(
+        "pass2 (warm)      {warm_ms:.1} ms ({:.0} queries/s)",
+        qps(warm_ms)
+    );
+    println!("failures          {}", cold_failures + warm_failures);
+    println!(
+        "server cache      {} hits / {} misses (rate {hit_rate:.3}), {} rows resident",
+        m.cache_hits, m.cache_misses, m.cache_resident_rows
+    );
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"schema\": \"nav-net-replay/v1\",\n  \"workload\": \"{}\",\n  \"addr\": \"{}\",\n  \"queries_per_pass\": {},\n  \"failures\": {},\n  \"pass1\": {{\"elapsed_ms\": {cold_ms:.3}, \"qps\": {:.3}}},\n  \"pass2\": {{\"elapsed_ms\": {warm_ms:.3}, \"qps\": {:.3}}},\n  \"server_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {hit_rate:.3}, \"resident_rows\": {}, \"evictions\": {}}}\n}}\n",
+            json_escape(&file),
+            json_escape(&addr),
+            spec.queries.len(),
+            cold_failures + warm_failures,
+            qps(cold_ms),
+            qps(warm_ms),
+            m.cache_hits,
+            m.cache_misses,
+            m.cache_resident_rows,
+            m.cache_evictions,
+        );
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[nav-engine] replay summary -> {path}");
+    }
+}
+
+fn emit_net_bench(cfg: &ExpConfig, path: &str) {
+    eprintln!(
+        "[nav-engine] bench-tcp --bench-json mode={} seed={} threads={}",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.seed,
+        cfg.threads
+    );
+    let start = std::time::Instant::now();
+    let json = render_net_bench(cfg);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    print!("{json}");
+    eprintln!(
+        "[nav-engine] bench-tcp json -> {path} in {:.1?}",
+        start.elapsed()
+    );
+}
+
 fn bench_json(mut args: impl Iterator<Item = String>) {
     let mut cfg = ExpConfig::default();
     let mut path = "BENCH_serve.json".to_string();
@@ -383,7 +609,7 @@ fn bench_json(mut args: impl Iterator<Item = String>) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--sampler scalar|batched|ball-realized] [--json PATH]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
+        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--sampler scalar|batched|ball-realized] [--admission lru|segmented] [--json PATH]\n       nav-engine serve-tcp FILE [--addr HOST:PORT] [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--admission lru|segmented] [--workers W] [--max-queries Q]\n       nav-engine bench-tcp FILE --addr HOST:PORT [--json PATH]\n       nav-engine bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -392,6 +618,8 @@ fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("serve") => serve(args),
+        Some("serve-tcp") => serve_tcp(args),
+        Some("bench-tcp") => bench_tcp(args),
         Some("gen") => gen(args),
         Some("--bench-json") => bench_json(args),
         Some("--help") | Some("-h") | None => usage(),

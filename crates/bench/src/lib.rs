@@ -12,7 +12,9 @@
 //! replays workload files through a persistent [`nav_engine::Engine`]
 //! (mapping workload graph specs onto [`workloads::Workload`] builders)
 //! and its `--bench-json` mode ([`servejson`]) emits the
-//! `BENCH_serve.json` cold-vs-warm-cache baseline.
+//! `BENCH_serve.json` cold-vs-warm-cache baseline. The `serve-tcp` /
+//! `bench-tcp` pair puts the same engine behind a `nav-net` TCP socket;
+//! [`netjson`] emits the `BENCH_net.json` wire baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +22,7 @@
 pub mod benchjson;
 pub mod experiments;
 pub mod measure;
+pub mod netjson;
 pub mod servejson;
 pub mod workloads;
 

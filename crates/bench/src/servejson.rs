@@ -201,6 +201,7 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
                 threads: cfg.threads,
                 cache_bytes,
                 sampler: mode,
+                ..EngineConfig::default()
             },
         );
         let t = Instant::now();
@@ -232,6 +233,7 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
             threads: cfg.threads,
             cache_bytes,
             sampler: SamplerMode::Scalar,
+            ..EngineConfig::default()
         },
     );
     let t = Instant::now();

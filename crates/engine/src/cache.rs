@@ -1,26 +1,73 @@
-//! The cross-batch distance-row cache.
+//! The cross-batch distance-row cache and its admission policies.
 //!
 //! One distance row per routing target is the engine's whole marginal
 //! cost: a row is `Θ(n)` bytes and `Θ(m)` BFS work to produce, while the
 //! trials that consume it are comparatively cheap. Real query streams are
 //! heavily skewed toward hot targets, so rows computed for one batch are
-//! exactly what the next batch wants. [`RowCache`] keeps them: a strict
-//! LRU over [`DistRowBuf`] rows (compact `u16` storage whenever the
-//! graph's eccentricities fit, halving resident bytes), bounded by a
-//! **byte** capacity rather than a row count so one knob survives graphs
-//! of any size.
+//! exactly what the next batch wants. [`RowCache`] keeps them, bounded by
+//! a **byte** capacity rather than a row count so one knob survives graphs
+//! of any size, under one of two [`AdmissionPolicy`] replacement schemes:
+//!
+//! * [`AdmissionPolicy::Lru`] — a strict LRU over [`DistRowBuf`] rows
+//!   (compact `u16` storage whenever the graph's eccentricities fit,
+//!   halving resident bytes);
+//! * [`AdmissionPolicy::Segmented`] — a segmented LRU (SLRU) tuned for
+//!   zipfian target skew: new rows enter a small **probation** tier and
+//!   only a *re-referenced* row graduates to the **protected** tier, so a
+//!   long scan of one-shot targets can no longer flush the hot head of the
+//!   distribution the way it does under strict LRU.
 //!
 //! Rows are handed out as [`Arc`]s: eviction drops the cache's reference,
 //! never a row a batch is still routing on. Distances are exact, so cache
-//! state can never change an answer — only its latency.
+//! state — including the policy choice — can never change an answer, only
+//! its latency. `tests/engine.rs` property-tests that invariance.
 
 use nav_graph::distance::DistRowBuf;
 use nav_graph::NodeId;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Sentinel for "no slot" in the intrusive LRU list.
+/// Sentinel for "no slot" in the intrusive recency lists.
 const NIL: usize = usize::MAX;
+
+/// Fraction of the byte capacity reserved for the protected tier under
+/// [`AdmissionPolicy::Segmented`], as a percentage. The classic SLRU
+/// split: most of the budget shields re-referenced rows, a thin probation
+/// tier absorbs the one-shot tail.
+const PROTECTED_PCT: usize = 80;
+
+/// Replacement scheme of a [`RowCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Strict least-recently-used over one recency list.
+    #[default]
+    Lru,
+    /// Segmented LRU: insertions land in a probation tier (20% of the
+    /// byte budget); a hit promotes the row to the protected tier (80%),
+    /// whose overflow demotes back to probation rather than evicting.
+    /// Eviction always drains probation first, so scan traffic cannot
+    /// displace the protected working set.
+    Segmented,
+}
+
+impl AdmissionPolicy {
+    /// Parses a CLI flag value (`lru` | `segmented`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lru" => Some(AdmissionPolicy::Lru),
+            "segmented" => Some(AdmissionPolicy::Segmented),
+            _ => None,
+        }
+    }
+
+    /// The CLI/JSON label of the policy.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Lru => "lru",
+            AdmissionPolicy::Segmented => "segmented",
+        }
+    }
+}
 
 /// Counter snapshot of a [`RowCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -41,6 +88,10 @@ pub struct CacheStats {
     pub resident_bytes: usize,
     /// Configured capacity in bytes.
     pub capacity_bytes: usize,
+    /// Rows currently in the protected tier (0 under strict LRU).
+    pub protected_rows: usize,
+    /// Payload bytes currently in the protected tier (0 under strict LRU).
+    pub protected_bytes: usize,
 }
 
 impl CacheStats {
@@ -55,29 +106,59 @@ impl CacheStats {
     }
 }
 
+/// Which recency list a slot is threaded on. Strict LRU uses only
+/// [`Tier::Probation`]; the names only carry meaning under SLRU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Tier {
+    Probation,
+    Protected,
+}
+
 struct Slot {
     key: NodeId,
     row: Arc<DistRowBuf>,
     bytes: usize,
+    tier: Tier,
     prev: usize,
     next: usize,
 }
 
-/// A byte-bounded strict-LRU cache of target distance rows.
+/// One intrusive doubly-linked recency list over the shared slot slab
+/// (head = most recently used).
+#[derive(Clone, Copy)]
+struct RecencyList {
+    head: usize,
+    tail: usize,
+}
+
+impl RecencyList {
+    const fn new() -> Self {
+        RecencyList {
+            head: NIL,
+            tail: NIL,
+        }
+    }
+}
+
+/// A byte-bounded cache of target distance rows under a configurable
+/// [`AdmissionPolicy`].
 ///
-/// Implemented as a slot slab threaded with an intrusive doubly-linked
-/// recency list plus a `HashMap` index — `O(1)` get/insert/evict, no
-/// per-operation scans, no unsafe.
+/// Implemented as a slot slab threaded with intrusive doubly-linked
+/// recency lists (one per tier) plus a `HashMap` index — `O(1)`
+/// get/insert/evict/promote, no per-operation scans, no unsafe.
 pub struct RowCache {
     capacity_bytes: usize,
+    policy: AdmissionPolicy,
+    /// Protected-tier byte budget (0 under strict LRU).
+    protected_cap: usize,
     index: HashMap<NodeId, usize>,
     slots: Vec<Slot>,
     free: Vec<usize>,
-    /// Most recently used slot.
-    head: usize,
-    /// Least recently used slot.
-    tail: usize,
+    probation: RecencyList,
+    protected: RecencyList,
     resident_bytes: usize,
+    protected_bytes: usize,
+    protected_rows: usize,
     hits: u64,
     misses: u64,
     insertions: u64,
@@ -86,18 +167,31 @@ pub struct RowCache {
 }
 
 impl RowCache {
-    /// Creates a cache bounded at `capacity_bytes` of row payload.
-    /// Capacity 0 is legal and means "never retain anything" — the engine
-    /// degrades to per-batch recomputation but stays correct.
+    /// Creates a strict-LRU cache bounded at `capacity_bytes` of row
+    /// payload. Capacity 0 is legal and means "never retain anything" —
+    /// the engine degrades to per-batch recomputation but stays correct.
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_policy(capacity_bytes, AdmissionPolicy::Lru)
+    }
+
+    /// Creates a cache bounded at `capacity_bytes` under `policy`.
+    pub fn with_policy(capacity_bytes: usize, policy: AdmissionPolicy) -> Self {
+        let protected_cap = match policy {
+            AdmissionPolicy::Lru => 0,
+            AdmissionPolicy::Segmented => capacity_bytes / 100 * PROTECTED_PCT,
+        };
         RowCache {
             capacity_bytes,
+            policy,
+            protected_cap,
             index: HashMap::new(),
             slots: Vec::new(),
             free: Vec::new(),
-            head: NIL,
-            tail: NIL,
+            probation: RecencyList::new(),
+            protected: RecencyList::new(),
             resident_bytes: 0,
+            protected_bytes: 0,
+            protected_rows: 0,
             hits: 0,
             misses: 0,
             insertions: 0,
@@ -111,6 +205,11 @@ impl RowCache {
         self.capacity_bytes
     }
 
+    /// The configured replacement policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -122,17 +221,19 @@ impl RowCache {
             resident_rows: self.index.len(),
             resident_bytes: self.resident_bytes,
             capacity_bytes: self.capacity_bytes,
+            protected_rows: self.protected_rows,
+            protected_bytes: self.protected_bytes,
         }
     }
 
-    /// Looks up the row of target `t`, promoting it to most-recently-used
-    /// on a hit.
+    /// Looks up the row of target `t`. A hit promotes the row: to the
+    /// front of the single list under strict LRU, into the protected tier
+    /// under SLRU.
     pub fn get(&mut self, t: NodeId) -> Option<Arc<DistRowBuf>> {
         match self.index.get(&t).copied() {
             Some(slot) => {
                 self.hits += 1;
-                self.unlink(slot);
-                self.push_front(slot);
+                self.touch(slot);
                 Some(Arc::clone(&self.slots[slot].row))
             }
             None => {
@@ -142,47 +243,118 @@ impl RowCache {
         }
     }
 
-    /// Inserts the row of target `t`, evicting least-recently-used rows
-    /// until it fits. A row bigger than the whole capacity is rejected
-    /// (counted, not stored) — admission control, so one oversized row
-    /// cannot flush the entire working set. Re-inserting a resident key
-    /// replaces its row.
+    /// Inserts the row of target `t`, evicting rows until it fits. A row
+    /// bigger than the whole capacity is rejected (counted, not stored) —
+    /// admission control, so one oversized row cannot flush the entire
+    /// working set. Re-inserting a resident key replaces its row in place
+    /// (keeping its tier).
     pub fn insert(&mut self, t: NodeId, row: Arc<DistRowBuf>) {
         let bytes = row.bytes();
         if bytes > self.capacity_bytes {
             self.rejected += 1;
             return;
         }
-        if let Some(&slot) = self.index.get(&t) {
-            self.resident_bytes = self.resident_bytes - self.slots[slot].bytes + bytes;
-            self.slots[slot].row = row;
-            self.slots[slot].bytes = bytes;
-            self.unlink(slot);
-            self.push_front(slot);
-            // A bigger replacement can push the cache over budget; evict
-            // from the cold end until the bound holds again. The replaced
-            // slot itself is at the front, and `bytes <= capacity`, so the
-            // loop terminates before reaching it.
-            while self.resident_bytes > self.capacity_bytes {
-                self.evict_lru();
+        // Uniform path for both fresh inserts and replacements: detach the
+        // old slot (if any) first, so the eviction loop below can never
+        // land on the row being (re)inserted.
+        let tier = match self.index.get(&t).copied() {
+            Some(slot) => {
+                let tier = self.slots[slot].tier;
+                self.detach(slot);
+                self.index.remove(&t);
+                self.free.push(slot);
+                tier
             }
-        } else {
-            while self.resident_bytes + bytes > self.capacity_bytes {
-                self.evict_lru();
-            }
-            let slot = self.alloc_slot(t, row, bytes);
-            self.index.insert(t, slot);
-            self.resident_bytes += bytes;
-            self.push_front(slot);
+            None => Tier::Probation,
+        };
+        while self.resident_bytes + bytes > self.capacity_bytes {
+            self.evict_one();
         }
+        let slot = self.alloc_slot(t, row, bytes, tier);
+        self.index.insert(t, slot);
+        self.resident_bytes += bytes;
+        if tier == Tier::Protected {
+            self.protected_bytes += bytes;
+            self.protected_rows += 1;
+        }
+        self.push_front(slot);
         self.insertions += 1;
+        // A replacement that grew inside the protected tier can push that
+        // tier over its budget; demote from its cold end.
+        self.rebalance_protected();
     }
 
-    fn alloc_slot(&mut self, key: NodeId, row: Arc<DistRowBuf>, bytes: usize) -> usize {
+    /// Promotes a hit slot per the policy.
+    fn touch(&mut self, slot: usize) {
+        match self.policy {
+            AdmissionPolicy::Lru => {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            AdmissionPolicy::Segmented => {
+                self.unlink(slot);
+                if self.slots[slot].tier == Tier::Probation {
+                    self.slots[slot].tier = Tier::Protected;
+                    self.protected_bytes += self.slots[slot].bytes;
+                    self.protected_rows += 1;
+                }
+                self.push_front(slot);
+                self.rebalance_protected();
+            }
+        }
+    }
+
+    /// Demotes protected-tail slots to probation until the protected tier
+    /// fits its byte budget. Demotion keeps rows resident — only
+    /// [`Self::evict_one`] drops them — so the total byte bound is
+    /// unaffected.
+    fn rebalance_protected(&mut self) {
+        while self.protected_bytes > self.protected_cap {
+            let slot = self.protected.tail;
+            debug_assert_ne!(slot, NIL, "protected bytes without protected rows");
+            self.unlink(slot);
+            self.slots[slot].tier = Tier::Probation;
+            self.protected_bytes -= self.slots[slot].bytes;
+            self.protected_rows -= 1;
+            self.push_front(slot);
+        }
+    }
+
+    /// Evicts one row: the probation tail when the tier is non-empty (the
+    /// strict-LRU tail lives there too), otherwise the protected tail.
+    fn evict_one(&mut self) {
+        let slot = if self.probation.tail != NIL {
+            self.probation.tail
+        } else {
+            self.protected.tail
+        };
+        debug_assert_ne!(slot, NIL, "evict called on an empty cache");
+        self.detach(slot);
+        let key = self.slots[slot].key;
+        self.index.remove(&key);
+        self.free.push(slot);
+        self.evictions += 1;
+    }
+
+    /// Unlinks `slot` and releases its byte accounting (resident and, if
+    /// protected, tier bytes) plus its row Arc — in-flight borrowers keep
+    /// the row alive.
+    fn detach(&mut self, slot: usize) {
+        self.unlink(slot);
+        self.resident_bytes -= self.slots[slot].bytes;
+        if self.slots[slot].tier == Tier::Protected {
+            self.protected_bytes -= self.slots[slot].bytes;
+            self.protected_rows -= 1;
+        }
+        self.slots[slot].row = Arc::new(DistRowBuf::Wide(Vec::new()));
+    }
+
+    fn alloc_slot(&mut self, key: NodeId, row: Arc<DistRowBuf>, bytes: usize, tier: Tier) -> usize {
         let slot = Slot {
             key,
             row,
             bytes,
+            tier,
             prev: NIL,
             next: NIL,
         };
@@ -198,31 +370,30 @@ impl RowCache {
         }
     }
 
-    fn evict_lru(&mut self) {
-        let slot = self.tail;
-        debug_assert_ne!(slot, NIL, "evict called on an empty cache");
-        self.unlink(slot);
-        let key = self.slots[slot].key;
-        self.index.remove(&key);
-        self.resident_bytes -= self.slots[slot].bytes;
-        // Drop the cache's Arc; in-flight borrowers keep the row alive.
-        self.slots[slot].row = Arc::new(DistRowBuf::Wide(Vec::new()));
-        self.free.push(slot);
-        self.evictions += 1;
+    fn list_of(&mut self, tier: Tier) -> &mut RecencyList {
+        match tier {
+            Tier::Probation => &mut self.probation,
+            Tier::Protected => &mut self.protected,
+        }
     }
 
     fn unlink(&mut self, slot: usize) {
-        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        let (prev, next, tier) = {
+            let s = &self.slots[slot];
+            (s.prev, s.next, s.tier)
+        };
+        let list = self.list_of(tier);
         if prev == NIL {
-            if self.head == slot {
-                self.head = next;
+            if list.head == slot {
+                list.head = next;
             }
         } else {
             self.slots[prev].next = next;
         }
+        let list = self.list_of(tier);
         if next == NIL {
-            if self.tail == slot {
-                self.tail = prev;
+            if list.tail == slot {
+                list.tail = prev;
             }
         } else {
             self.slots[next].prev = prev;
@@ -232,14 +403,17 @@ impl RowCache {
     }
 
     fn push_front(&mut self, slot: usize) {
+        let tier = self.slots[slot].tier;
+        let head = self.list_of(tier).head;
         self.slots[slot].prev = NIL;
-        self.slots[slot].next = self.head;
-        if self.head != NIL {
-            self.slots[self.head].prev = slot;
+        self.slots[slot].next = head;
+        if head != NIL {
+            self.slots[head].prev = slot;
         }
-        self.head = slot;
-        if self.tail == NIL {
-            self.tail = slot;
+        let list = self.list_of(tier);
+        list.head = slot;
+        if list.tail == NIL {
+            list.tail = slot;
         }
     }
 }
@@ -267,7 +441,9 @@ mod tests {
         assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 2));
         assert_eq!(s.resident_rows, 2);
         assert_eq!(s.resident_bytes, 40);
+        assert_eq!((s.protected_rows, s.protected_bytes), (0, 0));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.policy(), AdmissionPolicy::Lru);
     }
 
     #[test]
@@ -363,5 +539,108 @@ mod tests {
         c.insert(2, row(100, false));
         assert_eq!(c.stats().resident_bytes, 200 + 400);
         assert_eq!(c.capacity_bytes(), 10_000);
+    }
+
+    #[test]
+    fn policy_parse_and_label_roundtrip() {
+        for p in [AdmissionPolicy::Lru, AdmissionPolicy::Segmented] {
+            assert_eq!(AdmissionPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(AdmissionPolicy::parse("arc"), None);
+    }
+
+    #[test]
+    fn segmented_hit_promotes_to_protected() {
+        let mut c = RowCache::with_policy(1000, AdmissionPolicy::Segmented);
+        c.insert(1, row(10, true)); // probation
+        assert_eq!(c.stats().protected_rows, 0);
+        assert!(c.get(1).is_some()); // promoted
+        let s = c.stats();
+        assert_eq!((s.protected_rows, s.protected_bytes), (1, 20));
+        assert_eq!(s.resident_rows, 1);
+        assert_eq!(c.policy(), AdmissionPolicy::Segmented);
+    }
+
+    #[test]
+    fn segmented_scan_does_not_flush_protected_rows() {
+        // A 100-byte SLRU (80 protected / 20 probation) holding two hot
+        // 20-byte protected rows survives a scan of 50 one-shot targets;
+        // under strict LRU the same scan flushes both.
+        let hot = [1u32, 2];
+        let scan = 100u32..150;
+        let mut slru = RowCache::with_policy(100, AdmissionPolicy::Segmented);
+        let mut lru = RowCache::with_policy(100, AdmissionPolicy::Lru);
+        for c in [&mut slru, &mut lru] {
+            for &t in &hot {
+                c.insert(t, row(10, true));
+                assert!(c.get(t).is_some()); // promote under SLRU
+            }
+            for t in scan.clone() {
+                c.insert(t, row(10, true));
+            }
+        }
+        for &t in &hot {
+            assert!(slru.get(t).is_some(), "SLRU must keep hot row {t}");
+            assert!(lru.get(t).is_none(), "strict LRU flushes hot row {t}");
+        }
+        assert!(slru.stats().resident_bytes <= 100);
+    }
+
+    #[test]
+    fn segmented_protected_overflow_demotes_not_evicts() {
+        // Protected budget is 80 of 100 bytes: promoting five 20-byte
+        // rows overflows it; the cold protected tail must fall back to
+        // probation (still resident), not be dropped.
+        let mut c = RowCache::with_policy(100, AdmissionPolicy::Segmented);
+        for t in 1..=5u32 {
+            c.insert(t, row(10, true));
+            assert!(c.get(t).is_some());
+        }
+        let s = c.stats();
+        assert_eq!(s.resident_rows, 5, "demotion keeps rows resident");
+        assert_eq!(s.evictions, 0);
+        assert!(s.protected_bytes <= 80, "{s:?}");
+        assert_eq!(s.protected_rows, 4); // one demoted back
+        assert!(c.get(1).is_some(), "demoted row is still served");
+    }
+
+    #[test]
+    fn segmented_replacement_keeps_tier_and_byte_bound() {
+        let mut c = RowCache::with_policy(100, AdmissionPolicy::Segmented);
+        c.insert(1, row(10, true)); // probation, 20 B
+        assert!(c.get(1).is_some()); // protected
+        c.insert(1, row(20, true)); // replacement grows to 40 B, stays protected
+        let s = c.stats();
+        assert_eq!(s.resident_rows, 1);
+        assert_eq!(s.resident_bytes, 40);
+        assert_eq!((s.protected_rows, s.protected_bytes), (1, 40));
+        assert!(s.resident_bytes <= s.capacity_bytes);
+    }
+
+    #[test]
+    fn segmented_eviction_drains_probation_before_protected() {
+        // 100-byte budget: one promoted 20-byte row + probation fill.
+        let mut c = RowCache::with_policy(100, AdmissionPolicy::Segmented);
+        c.insert(1, row(10, true));
+        assert!(c.get(1).is_some()); // protected
+        for t in 10..14u32 {
+            c.insert(t, row(10, true)); // probation now 80 B -> over budget
+        }
+        assert!(c.stats().resident_bytes <= 100);
+        assert!(c.get(1).is_some(), "protected row outlives probation churn");
+    }
+
+    #[test]
+    fn segmented_tiny_capacity_still_bounded() {
+        // Capacity smaller than one protected budget row: promotion
+        // demotes the row right back; the byte bound always holds.
+        let mut c = RowCache::with_policy(25, AdmissionPolicy::Segmented);
+        c.insert(1, row(10, true)); // 20 B in probation
+        assert!(c.get(1).is_some()); // promote: 20 > 25*0.8 -> demoted back
+        let s = c.stats();
+        assert_eq!(s.resident_rows, 1);
+        assert_eq!(s.protected_rows, 0);
+        assert!(c.get(1).is_some(), "row survives the demotion round-trip");
+        assert!(c.stats().resident_bytes <= 25);
     }
 }

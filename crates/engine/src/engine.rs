@@ -1,7 +1,7 @@
 //! The long-lived serving engine and its admission/cache/execute pipeline.
 
 use crate::batch::{BatchResult, QueryBatch};
-use crate::cache::{CacheStats, RowCache};
+use crate::cache::{AdmissionPolicy, CacheStats, RowCache};
 use crate::metrics::EngineMetrics;
 use nav_core::routing::{default_step_cap, GreedyRouter};
 use nav_core::sampler::{sampler_for, SamplerMode, SamplerStats};
@@ -40,6 +40,11 @@ pub struct EngineConfig {
     /// batched mode, while answers stay a pure function of the full
     /// config either way.
     pub sampler: SamplerMode,
+    /// Replacement policy of the cross-batch row cache. Distances are
+    /// exact, so the policy can never change an answer — only hit rates
+    /// and latency. [`AdmissionPolicy::Segmented`] shields hot zipfian
+    /// targets from one-shot scan traffic.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +56,7 @@ impl Default for EngineConfig {
             // that still fits comfortably in commodity RAM.
             cache_bytes: 128 << 20,
             sampler: SamplerMode::Scalar,
+            admission: AdmissionPolicy::Lru,
         }
     }
 }
@@ -91,7 +97,7 @@ impl Engine {
     pub fn new(g: Graph, scheme: Box<dyn AugmentationScheme + Send>, cfg: EngineConfig) -> Self {
         let cap = default_step_cap(&g);
         Engine {
-            cache: RowCache::new(cfg.cache_bytes),
+            cache: RowCache::with_policy(cfg.cache_bytes, cfg.admission),
             metrics: EngineMetrics::default(),
             served: 0,
             cap,
@@ -153,6 +159,27 @@ impl Engine {
     /// out-of-range endpoint; the engine state is unchanged in that
     /// case.
     pub fn serve(&mut self, batch: &QueryBatch) -> Result<BatchResult, GraphError> {
+        let result = self.serve_at(batch, self.served, self.cfg.sampler)?;
+        self.served += batch.len() as u64;
+        Ok(result)
+    }
+
+    /// [`Self::serve`] with the RNG addressing made explicit: query `i`
+    /// of the batch runs on the RNG derived from `(seed, base + i)`, and
+    /// the engine's lifetime counter is **not** advanced. This is the
+    /// network front's entry point — a client that stamps each request
+    /// with its own stream offset gets answers that are a pure function
+    /// of the request, independent of how requests from other connections
+    /// interleave with it. `sampler` selects the per-step backend for
+    /// this batch only (the same knob as [`EngineConfig::sampler`];
+    /// schemes without a batched sampler fall back to scalar, so any
+    /// value is safe on any scheme).
+    pub fn serve_at(
+        &mut self,
+        batch: &QueryBatch,
+        base: u64,
+        sampler: SamplerMode,
+    ) -> Result<BatchResult, GraphError> {
         let t0 = Instant::now();
         // --- admission -----------------------------------------------
         for q in &batch.queries {
@@ -185,7 +212,6 @@ impl Engine {
             }
         }
         // --- execute: trials -------------------------------------------
-        let base = self.served;
         let outcomes: Vec<(PairStats, SamplerStats)> =
             nav_par::parallel_map(batch.len(), self.cfg.threads, |i| {
                 let q = &batch.queries[i];
@@ -195,12 +221,8 @@ impl Engine {
                 let mut rng = task_rng(self.cfg.seed, base + i as u64);
                 // Per-query transient sampler state, byte-capped by the
                 // engine's one memory knob; freed when the query answers.
-                let mut sampler = sampler_for(
-                    self.scheme.as_ref(),
-                    &self.g,
-                    self.cfg.sampler,
-                    self.cfg.cache_bytes,
-                );
+                let mut sampler =
+                    sampler_for(self.scheme.as_ref(), &self.g, sampler, self.cfg.cache_bytes);
                 let stats = aggregate_pair_with(
                     &router,
                     sampler.as_mut(),
@@ -217,7 +239,6 @@ impl Engine {
             answers.push(ps);
             sampler_stats.merge(&ss);
         }
-        self.served += batch.len() as u64;
         let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
         let warm = targets.len() - cold.len();
         let trials: u64 = batch.queries.iter().map(|q| q.trials as u64).sum();
@@ -399,6 +420,7 @@ mod tests {
             threads: 2,
             cache_bytes: 1 << 20,
             sampler: SamplerMode::Batched,
+            admission: AdmissionPolicy::Lru,
         };
         let mut engine = Engine::new(g.clone(), Box::new(scheme), cfg);
         let got = engine.serve(&QueryBatch::from_pairs(&pairs, 6)).unwrap();
@@ -441,6 +463,7 @@ mod tests {
                     threads,
                     cache_bytes: 0,
                     sampler: SamplerMode::Batched,
+                    admission: AdmissionPolicy::Lru,
                 },
             );
             let r = e.serve(&QueryBatch::from_pairs(&pairs, 5)).unwrap();
@@ -463,6 +486,83 @@ mod tests {
         assert_eq!(
             e.metrics().sampler,
             nav_core::sampler::SamplerStats::default()
+        );
+    }
+
+    #[test]
+    fn serve_at_is_stateless_addressing() {
+        // serve_at(batch, base) answers exactly the slice [base, base+len)
+        // of the one long stream `serve` walks — and never advances the
+        // lifetime counter.
+        let g = path(40);
+        let pairs: Vec<(NodeId, NodeId)> = (0..8).map(|i| (i, 39 - i)).collect();
+        let cfg = EngineConfig {
+            seed: 11,
+            threads: 1,
+            cache_bytes: 1 << 20,
+            ..EngineConfig::default()
+        };
+        let mut sequential = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+        let mut want = Vec::new();
+        for chunk in pairs.chunks(3) {
+            want.extend(
+                sequential
+                    .serve(&QueryBatch::from_pairs(chunk, 4))
+                    .unwrap()
+                    .answers,
+            );
+        }
+        let mut explicit = Engine::new(g, Box::new(UniformScheme), cfg);
+        let mut got = Vec::new();
+        let mut base = 0u64;
+        for chunk in pairs.chunks(3) {
+            let batch = QueryBatch::from_pairs(chunk, 4);
+            got.extend(
+                explicit
+                    .serve_at(&batch, base, cfg.sampler)
+                    .unwrap()
+                    .answers,
+            );
+            base += batch.len() as u64;
+            assert_eq!(explicit.queries_served(), 0, "serve_at must not advance");
+        }
+        assert!(identical(&want, &got));
+        // Replaying an offset is reproducible: the same frame twice gives
+        // the same bits.
+        let batch = QueryBatch::from_pairs(&pairs[2..5], 4);
+        let a = explicit.serve_at(&batch, 2, cfg.sampler).unwrap().answers;
+        let b = explicit.serve_at(&batch, 2, cfg.sampler).unwrap().answers;
+        assert!(identical(&a, &b));
+    }
+
+    #[test]
+    fn admission_policy_never_changes_answers() {
+        use crate::cache::AdmissionPolicy;
+        let g = path(70);
+        let pairs: Vec<(NodeId, NodeId)> = (0..16).map(|i| (i * 2, 69 - (i % 5))).collect();
+        let mut per_policy = Vec::new();
+        for admission in [AdmissionPolicy::Lru, AdmissionPolicy::Segmented] {
+            // A capacity tight enough to force evictions, so the policies
+            // actually diverge in what they keep.
+            let cfg = EngineConfig {
+                seed: 8,
+                threads: 2,
+                cache_bytes: 3 * 70 * 2,
+                admission,
+                ..EngineConfig::default()
+            };
+            let mut e = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+            let mut got = Vec::new();
+            for chunk in pairs.chunks(4) {
+                got.extend(e.serve(&QueryBatch::from_pairs(chunk, 5)).unwrap().answers);
+            }
+            let stats = e.cache_stats();
+            assert!(stats.resident_bytes <= stats.capacity_bytes, "{stats:?}");
+            per_policy.push(got);
+        }
+        assert!(
+            identical(&per_policy[0], &per_policy[1]),
+            "cache policy leaked into answers"
         );
     }
 

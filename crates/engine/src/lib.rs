@@ -15,7 +15,9 @@
 //!   workers, then trials in parallel with `(seed, query-index)` RNGs);
 //! * [`RowCache`] — the cross-batch distance-row cache: capacity in
 //!   bytes, adaptive `u16`/`u32` row storage
-//!   ([`nav_graph::distance::DistRowBuf`]), hit/miss/eviction counters;
+//!   ([`nav_graph::distance::DistRowBuf`]), hit/miss/eviction counters,
+//!   and a choice of [`AdmissionPolicy`] (strict LRU, or a segmented
+//!   probation/protected LRU that survives one-shot scan traffic);
 //! * [`workload`] — a dependency-free workload-file format (graph spec +
 //!   query stream) with a zipfian-target generator, so hot-target skew
 //!   actually exercises the cache;
@@ -40,7 +42,7 @@ pub mod metrics;
 pub mod workload;
 
 pub use batch::{BatchResult, Query, QueryBatch};
-pub use cache::{CacheStats, RowCache};
+pub use cache::{AdmissionPolicy, CacheStats, RowCache};
 pub use engine::{Engine, EngineConfig};
 pub use metrics::EngineMetrics;
 pub use workload::{GraphSpec, WorkloadError, WorkloadSpec, ZipfSpec};

@@ -1,0 +1,129 @@
+//! The blocking client side of the protocol.
+
+use crate::frame::{
+    read_frame, write_frame, ErrorFrame, Frame, MetricsSnapshot, ReadError, Request,
+    DEFAULT_MAX_PAYLOAD,
+};
+use nav_core::sampler::SamplerMode;
+use nav_core::trial::PairStats;
+use nav_engine::QueryBatch;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (connect, read, write, or mid-frame EOF).
+    Io(io::Error),
+    /// The server's bytes did not decode as a frame.
+    Protocol(crate::frame::FrameError),
+    /// The server answered with a typed refusal.
+    Remote(ErrorFrame),
+    /// The server closed, or answered with a frame kind that is not an
+    /// answer.
+    UnexpectedReply(&'static str),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol: {e}"),
+            NetError::Remote(e) => write!(f, "server refused ({:?}): {}", e.code, e.message),
+            NetError::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<ReadError> for NetError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Io(e) => NetError::Io(e),
+            ReadError::Frame(e) => NetError::Protocol(e),
+        }
+    }
+}
+
+/// A blocking connection to a [`crate::NetServer`]. One request is in
+/// flight at a time (the protocol is strictly request/response per
+/// connection; open more connections for pipelining).
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame_bytes: usize,
+    /// Cumulative queries sent through [`NetClient::serve`] — the
+    /// automatic RNG stream offset, mirroring a local engine's lifetime
+    /// counter.
+    sent: u64,
+}
+
+impl NetClient {
+    /// Connects with the default frame bound.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Self::connect_with(addr, DEFAULT_MAX_PAYLOAD)
+    }
+
+    /// Connects with an explicit response-payload bound.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        max_frame_bytes: usize,
+    ) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(NetClient {
+            reader,
+            writer: BufWriter::new(stream),
+            max_frame_bytes,
+            sent: 0,
+        })
+    }
+
+    /// Queries sent through [`NetClient::serve`] so far (the next
+    /// automatic `rng_base`).
+    pub fn queries_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Sends one fully explicit request and waits for the answer.
+    pub fn request(&mut self, req: Request) -> Result<(Vec<PairStats>, MetricsSnapshot), NetError> {
+        write_frame(&mut self.writer, &Frame::Request(req))?;
+        match read_frame(&mut self.reader, self.max_frame_bytes)? {
+            Some(Frame::Response(resp)) => Ok((resp.answers, resp.metrics)),
+            Some(Frame::Error(e)) => Err(NetError::Remote(e)),
+            Some(Frame::Request(_)) => Err(NetError::UnexpectedReply("request frame")),
+            None => Err(NetError::UnexpectedReply("connection closed")),
+        }
+    }
+
+    /// Serves one batch the way a local [`nav_engine::Engine::serve`]
+    /// does: the client's cumulative query count is the RNG offset, so a
+    /// stream of `serve` calls over one client is bit-identical to the
+    /// same batches through one local engine — regardless of what other
+    /// clients do to the same server.
+    pub fn serve(
+        &mut self,
+        handle: u32,
+        sampler: SamplerMode,
+        batch: &QueryBatch,
+    ) -> Result<(Vec<PairStats>, MetricsSnapshot), NetError> {
+        let req = Request {
+            handle,
+            rng_base: self.sent,
+            sampler,
+            queries: batch.queries.clone(),
+        };
+        let out = self.request(req)?;
+        self.sent += batch.len() as u64;
+        Ok(out)
+    }
+}

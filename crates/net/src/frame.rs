@@ -1,0 +1,818 @@
+//! The length-prefixed binary wire format.
+//!
+//! Every message on a `nav-net` connection is one **frame**: a fixed
+//! 12-byte header followed by a bounded payload, all integers
+//! little-endian, floats as IEEE-754 bit patterns (so answers survive the
+//! wire bit-for-bit — the whole point of the engine's determinism
+//! contract):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "NAVF"
+//! 4       2     version (= 1)
+//! 6       1     kind    (1 = request, 2 = response, 3 = error)
+//! 7       1     reserved (= 0)
+//! 8       4     payload length in bytes
+//! 12      …     payload
+//! ```
+//!
+//! The decoder is **total**: any byte sequence either yields a frame or a
+//! typed [`FrameError`] — it never panics, and it never allocates more
+//! than the declared (and bounds-checked) payload, so a hostile peer
+//! cannot balloon server memory with a forged length field. Round-tripping
+//! is property-tested in `tests/net.rs`.
+
+use nav_core::sampler::SamplerMode;
+use nav_core::trial::PairStats;
+use nav_engine::Query;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"NAVF";
+/// Protocol version this build speaks.
+pub const VERSION: u16 = 1;
+/// Bytes in the fixed frame header.
+pub const HEADER_LEN: usize = 12;
+/// Default payload bound (16 MiB) — comfortably above any realistic
+/// batch, far below a memory-exhaustion vector.
+pub const DEFAULT_MAX_PAYLOAD: usize = 16 << 20;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_ERROR: u8 = 3;
+
+/// Wire encoding of one query: `s`, `t`, `trials`, 4 bytes each.
+const QUERY_WIRE: usize = 12;
+/// Wire encoding of one [`PairStats`]: four `u32`s, one `u64`, three
+/// `f64`s.
+const STATS_WIRE: usize = 48;
+/// Wire encoding of a [`MetricsSnapshot`]: eleven `u64`s.
+const METRICS_WIRE: usize = 88;
+
+/// Why a server refused a well-formed request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request named a graph/scheme handle this server does not own.
+    UnknownHandle,
+    /// The batch exceeded the server's per-request query admission limit.
+    TooManyQueries,
+    /// A query endpoint was out of range for the served graph.
+    InvalidEndpoint,
+    /// The peer sent a frame kind that makes no sense in its role (e.g. a
+    /// response to a server).
+    UnexpectedFrame,
+    /// The server failed internally; the message carries detail.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::UnknownHandle => 1,
+            ErrorCode::TooManyQueries => 2,
+            ErrorCode::InvalidEndpoint => 3,
+            ErrorCode::UnexpectedFrame => 4,
+            ErrorCode::Internal => 5,
+        }
+    }
+
+    fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            1 => Some(ErrorCode::UnknownHandle),
+            2 => Some(ErrorCode::TooManyQueries),
+            3 => Some(ErrorCode::InvalidEndpoint),
+            4 => Some(ErrorCode::UnexpectedFrame),
+            5 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One batch of routing queries addressed to a served engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Which graph/scheme the server should answer from (servers today
+    /// register one engine under one handle; the field exists so
+    /// multi-tenant serving is a server change, not a protocol bump).
+    pub handle: u32,
+    /// RNG stream offset: query `i` of the batch runs on the RNG derived
+    /// from `(engine seed, rng_base + i)` — see
+    /// [`nav_engine::Engine::serve_at`]. Stamping requests with the
+    /// client's own cumulative offset makes answers independent of how
+    /// connections interleave at the server.
+    pub rng_base: u64,
+    /// Per-step sampling backend for this batch.
+    pub sampler: SamplerMode,
+    /// The queries, in order; answers come back in the same order.
+    pub queries: Vec<Query>,
+}
+
+/// Cumulative service counters a response carries back — the engine's
+/// lifetime metrics and row-cache counters at the moment the batch
+/// finished, so clients can watch warm/cold behaviour without a second
+/// endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Queries answered over the engine's lifetime.
+    pub queries: u64,
+    /// Batches served.
+    pub batches: u64,
+    /// Routing trials executed.
+    pub trials: u64,
+    /// Distinct targets served warm (row already resident).
+    pub warm_targets: u64,
+    /// Distinct targets computed cold.
+    pub cold_targets: u64,
+    /// Row-cache hits.
+    pub cache_hits: u64,
+    /// Row-cache misses.
+    pub cache_misses: u64,
+    /// Row-cache evictions.
+    pub cache_evictions: u64,
+    /// Rows currently resident.
+    pub cache_resident_rows: u64,
+    /// Payload bytes currently resident.
+    pub cache_resident_bytes: u64,
+    /// Configured row-cache capacity in bytes.
+    pub cache_capacity_bytes: u64,
+}
+
+/// The server's answer to one [`Request`].
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Per-query statistics, in request order — bit-for-bit the
+    /// [`PairStats`] a local [`nav_engine::Engine`] produces.
+    pub answers: Vec<PairStats>,
+    /// Engine/cache counters after this batch.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A typed refusal. The connection stays usable after an error frame —
+/// only malformed *framing* tears it down.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// Why the request was refused.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// One protocol message.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// Client → server: a batch of queries.
+    Request(Request),
+    /// Server → client: the answers.
+    Response(Response),
+    /// Server → client: a typed refusal.
+    Error(ErrorFrame),
+}
+
+/// Why a byte sequence failed to decode as a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the header (or the declared payload) requires.
+    Truncated,
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// A version this build does not speak.
+    BadVersion(u16),
+    /// An unknown frame kind.
+    BadKind(u8),
+    /// The declared payload exceeds the decoder's bound — rejected
+    /// *before* any allocation.
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The decoder's configured bound.
+        max: usize,
+    },
+    /// The payload's internal structure is inconsistent (bad enum tag,
+    /// length mismatch, trailing bytes, non-UTF-8 message …).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "payload of {len} bytes exceeds the {max}-byte bound")
+            }
+            FrameError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reading a frame off a stream failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The transport failed (including an EOF *inside* a frame).
+    Io(io::Error),
+    /// The bytes arrived but are not a valid frame.
+    Frame(FrameError),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "transport: {e}"),
+            ReadError::Frame(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<FrameError> for ReadError {
+    fn from(e: FrameError) -> Self {
+        ReadError::Frame(e)
+    }
+}
+
+// --- encoding ----------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn sampler_byte(mode: SamplerMode) -> u8 {
+    match mode {
+        SamplerMode::Scalar => 0,
+        SamplerMode::Batched => 1,
+    }
+}
+
+fn put_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
+    for v in [
+        m.queries,
+        m.batches,
+        m.trials,
+        m.warm_targets,
+        m.cold_targets,
+        m.cache_hits,
+        m.cache_misses,
+        m.cache_evictions,
+        m.cache_resident_rows,
+        m.cache_resident_bytes,
+        m.cache_capacity_bytes,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Request(_) => KIND_REQUEST,
+            Frame::Response(_) => KIND_RESPONSE,
+            Frame::Error(_) => KIND_ERROR,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Request(req) => {
+                put_u32(out, req.handle);
+                put_u64(out, req.rng_base);
+                out.push(sampler_byte(req.sampler));
+                put_u32(out, req.queries.len() as u32);
+                for q in &req.queries {
+                    put_u32(out, q.s);
+                    put_u32(out, q.t);
+                    put_u32(out, q.trials.min(u32::MAX as usize) as u32);
+                }
+            }
+            Frame::Response(resp) => {
+                put_u32(out, resp.answers.len() as u32);
+                for a in &resp.answers {
+                    put_u32(out, a.s);
+                    put_u32(out, a.t);
+                    put_u32(out, a.dist);
+                    put_u32(out, a.max_steps);
+                    put_u64(out, a.failures as u64);
+                    put_f64(out, a.mean_steps);
+                    put_f64(out, a.std_steps);
+                    put_f64(out, a.mean_long_links);
+                }
+                put_metrics(out, &resp.metrics);
+            }
+            Frame::Error(err) => {
+                put_u16(out, err.code.to_u16());
+                put_u32(out, err.message.len() as u32);
+                out.extend_from_slice(err.message.as_bytes());
+            }
+        }
+    }
+
+    /// Serializes the frame: header plus payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + 64);
+        out.extend_from_slice(&MAGIC);
+        put_u16(&mut out, VERSION);
+        out.push(self.kind());
+        out.push(0); // reserved
+        put_u32(&mut out, 0); // payload length backpatched below
+        self.encode_payload(&mut out);
+        let len = (out.len() - HEADER_LEN) as u32;
+        out[8..12].copy_from_slice(&len.to_le_bytes());
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`, returning it and the
+    /// bytes consumed. Payloads longer than `max_payload` are refused
+    /// before any allocation.
+    pub fn decode(buf: &[u8], max_payload: usize) -> Result<(Frame, usize), FrameError> {
+        if buf.len() < HEADER_LEN {
+            return Err(FrameError::Truncated);
+        }
+        let (kind, len) = decode_header(&buf[..HEADER_LEN], max_payload)?;
+        let total = HEADER_LEN + len;
+        if buf.len() < total {
+            return Err(FrameError::Truncated);
+        }
+        let frame = decode_payload(kind, &buf[HEADER_LEN..total])?;
+        Ok((frame, total))
+    }
+}
+
+/// Validates a 12-byte header, returning `(kind, payload_len)`.
+fn decode_header(h: &[u8], max_payload: usize) -> Result<(u8, usize), FrameError> {
+    debug_assert_eq!(h.len(), HEADER_LEN);
+    let magic: [u8; 4] = h[0..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(h[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let kind = h[6];
+    if !(KIND_REQUEST..=KIND_ERROR).contains(&kind) {
+        return Err(FrameError::BadKind(kind));
+    }
+    let len = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes")) as usize;
+    if len > max_payload {
+        return Err(FrameError::Oversized {
+            len,
+            max: max_payload,
+        });
+    }
+    Ok((kind, len))
+}
+
+/// Bounds-checked little-endian payload cursor.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Malformed("payload shorter than its fields"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn done(&self) -> Result<(), FrameError> {
+        if self.remaining() != 0 {
+            return Err(FrameError::Malformed("trailing payload bytes"));
+        }
+        Ok(())
+    }
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+    let mut cur = Cur::new(payload);
+    match kind {
+        KIND_REQUEST => {
+            let handle = cur.u32()?;
+            let rng_base = cur.u64()?;
+            let sampler = match cur.u8()? {
+                0 => SamplerMode::Scalar,
+                1 => SamplerMode::Batched,
+                _ => return Err(FrameError::Malformed("unknown sampler mode")),
+            };
+            let count = cur.u32()? as usize;
+            // The count must be consistent with the bytes actually present
+            // *before* the answer vector is sized from it.
+            if cur.remaining() != count * QUERY_WIRE {
+                return Err(FrameError::Malformed("query count mismatches payload"));
+            }
+            let mut queries = Vec::with_capacity(count);
+            for _ in 0..count {
+                queries.push(Query {
+                    s: cur.u32()?,
+                    t: cur.u32()?,
+                    trials: cur.u32()? as usize,
+                });
+            }
+            cur.done()?;
+            Ok(Frame::Request(Request {
+                handle,
+                rng_base,
+                sampler,
+                queries,
+            }))
+        }
+        KIND_RESPONSE => {
+            let count = cur.u32()? as usize;
+            if cur.remaining() != count * STATS_WIRE + METRICS_WIRE {
+                return Err(FrameError::Malformed("answer count mismatches payload"));
+            }
+            let mut answers = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (s, t, dist, max_steps) = (cur.u32()?, cur.u32()?, cur.u32()?, cur.u32()?);
+                let failures = cur.u64()? as usize;
+                answers.push(PairStats {
+                    s,
+                    t,
+                    dist,
+                    max_steps,
+                    failures,
+                    mean_steps: cur.f64()?,
+                    std_steps: cur.f64()?,
+                    mean_long_links: cur.f64()?,
+                });
+            }
+            let metrics = MetricsSnapshot {
+                queries: cur.u64()?,
+                batches: cur.u64()?,
+                trials: cur.u64()?,
+                warm_targets: cur.u64()?,
+                cold_targets: cur.u64()?,
+                cache_hits: cur.u64()?,
+                cache_misses: cur.u64()?,
+                cache_evictions: cur.u64()?,
+                cache_resident_rows: cur.u64()?,
+                cache_resident_bytes: cur.u64()?,
+                cache_capacity_bytes: cur.u64()?,
+            };
+            cur.done()?;
+            Ok(Frame::Response(Response { answers, metrics }))
+        }
+        KIND_ERROR => {
+            let code = ErrorCode::from_u16(cur.u16()?)
+                .ok_or(FrameError::Malformed("unknown error code"))?;
+            let len = cur.u32()? as usize;
+            if cur.remaining() != len {
+                return Err(FrameError::Malformed("message length mismatches payload"));
+            }
+            let message = std::str::from_utf8(cur.take(len)?)
+                .map_err(|_| FrameError::Malformed("non-UTF-8 error message"))?
+                .to_string();
+            cur.done()?;
+            Ok(Frame::Error(ErrorFrame { code, message }))
+        }
+        other => Err(FrameError::BadKind(other)),
+    }
+}
+
+// --- stream I/O ---------------------------------------------------------
+
+/// Writes one frame to `w` (flushes, so a blocking peer sees it).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+/// `true` for the error kinds a read timeout surfaces as
+/// (`WouldBlock` on Unix, `TimedOut` on Windows).
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one frame from `r`. `Ok(None)` is a clean end of stream (the
+/// peer closed at a frame boundary); an EOF *inside* a frame is an
+/// [`io::ErrorKind::UnexpectedEof`] transport error. The payload buffer
+/// is only allocated after its declared length passes the `max_payload`
+/// bound.
+///
+/// Timeout contract (for streams with a read timeout set): a timeout
+/// **before any byte of a frame** is returned as its `Io` error, so a
+/// server can poll a shutdown flag between frames; a timeout *inside* a
+/// frame keeps waiting — the frame boundary stays trustworthy under
+/// slow-trickle writers.
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Option<Frame>, ReadError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ReadError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) && got > 0 => continue,
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    let (kind, len) = decode_header(&header, max_payload)?;
+    let mut payload = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(ReadError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted || is_timeout(&e) => continue,
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    Ok(Some(decode_payload(kind, &payload)?))
+}
+
+/// Bit-exact frame comparison (floats by bit pattern) — the test suites'
+/// round-trip oracle.
+pub fn frames_bits_eq(a: &Frame, b: &Frame) -> bool {
+    match (a, b) {
+        (Frame::Request(x), Frame::Request(y)) => x == y,
+        (Frame::Response(x), Frame::Response(y)) => {
+            x.metrics == y.metrics
+                && x.answers.len() == y.answers.len()
+                && x.answers.iter().zip(&y.answers).all(|(p, q)| p.bits_eq(q))
+        }
+        (Frame::Error(x), Frame::Error(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = frame.encode();
+        let (back, used) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).expect("decodes");
+        assert_eq!(used, bytes.len());
+        assert!(frames_bits_eq(&frame, &back), "{frame:?} vs {back:?}");
+        // And through the stream reader.
+        let mut cursor = std::io::Cursor::new(bytes);
+        let back = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD)
+            .expect("reads")
+            .expect("one frame");
+        assert!(frames_bits_eq(&frame, &back));
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        roundtrip(Frame::Request(Request {
+            handle: 7,
+            rng_base: u64::MAX - 3,
+            sampler: SamplerMode::Batched,
+            queries: vec![
+                Query {
+                    s: 0,
+                    t: 1,
+                    trials: 9,
+                },
+                Query {
+                    s: u32::MAX,
+                    t: 0,
+                    trials: 0,
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn empty_request_roundtrip() {
+        roundtrip(Frame::Request(Request {
+            handle: 0,
+            rng_base: 0,
+            sampler: SamplerMode::Scalar,
+            queries: Vec::new(),
+        }));
+    }
+
+    #[test]
+    fn response_roundtrip_preserves_float_bits() {
+        roundtrip(Frame::Response(Response {
+            answers: vec![PairStats {
+                s: 3,
+                t: 4,
+                dist: 17,
+                max_steps: 99,
+                failures: 2,
+                mean_steps: f64::from_bits(0x7ff8_0000_0000_0001), // a NaN payload
+                std_steps: -0.0,
+                mean_long_links: 1.5e-300,
+            }],
+            metrics: MetricsSnapshot {
+                queries: 1,
+                cache_capacity_bytes: u64::MAX,
+                ..MetricsSnapshot::default()
+            },
+        }));
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        roundtrip(Frame::Error(ErrorFrame {
+            code: ErrorCode::InvalidEndpoint,
+            message: "node 4096 out of range — π≈3.14159".into(),
+        }));
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_rejected_not_panicked() {
+        let bytes = Frame::Request(Request {
+            handle: 1,
+            rng_base: 2,
+            sampler: SamplerMode::Scalar,
+            queries: vec![Query {
+                s: 5,
+                t: 6,
+                trials: 7,
+            }],
+        })
+        .encode();
+        for cut in 0..bytes.len() {
+            let err = Frame::decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD).unwrap_err();
+            assert_eq!(err, FrameError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_kind() {
+        let good = Frame::Error(ErrorFrame {
+            code: ErrorCode::Internal,
+            message: String::new(),
+        })
+        .encode();
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::BadMagic(_))
+        ));
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert_eq!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+            FrameError::BadVersion(9)
+        );
+        let mut bad = good.clone();
+        bad[6] = 42;
+        assert_eq!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+            FrameError::BadKind(42)
+        );
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocation() {
+        // A header declaring a 3 GiB payload against a 1 KiB bound must be
+        // refused from the 12 header bytes alone.
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.push(KIND_REQUEST);
+        header.push(0);
+        header.extend_from_slice(&(3u32 << 30).to_le_bytes());
+        assert_eq!(
+            Frame::decode(&header, 1024).unwrap_err(),
+            FrameError::Oversized {
+                len: 3 << 30,
+                max: 1024
+            }
+        );
+        let mut cursor = std::io::Cursor::new(header);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(ReadError::Frame(FrameError::Oversized { .. }))
+        ));
+    }
+
+    #[test]
+    fn forged_count_cannot_overallocate() {
+        // A request declaring 2^31 queries in a 17-byte payload must fail
+        // the count/length consistency check, not size a Vec from it.
+        let mut frame = Frame::Request(Request {
+            handle: 0,
+            rng_base: 0,
+            sampler: SamplerMode::Scalar,
+            queries: Vec::new(),
+        })
+        .encode();
+        let count_at = HEADER_LEN + 4 + 8 + 1;
+        frame[count_at..count_at + 4].copy_from_slice(&(1u32 << 31).to_le_bytes());
+        assert_eq!(
+            Frame::decode(&frame, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+            FrameError::Malformed("query count mismatches payload")
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_midframe_eof_is_error() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut empty, 1024).expect("clean").is_none());
+        let bytes = Frame::Error(ErrorFrame {
+            code: ErrorCode::Internal,
+            message: "x".into(),
+        })
+        .encode();
+        for cut in 1..bytes.len() {
+            let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
+            assert!(
+                matches!(read_frame(&mut cursor, 1024), Err(ReadError::Io(_))),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Frame::Request(Request {
+            handle: 0,
+            rng_base: 0,
+            sampler: SamplerMode::Scalar,
+            queries: Vec::new(),
+        })
+        .encode();
+        bytes.push(0xAA);
+        let len = (bytes.len() - HEADER_LEN) as u32;
+        bytes[8..12].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn error_display_strings() {
+        assert!(FrameError::BadVersion(3).to_string().contains("version 3"));
+        assert!(FrameError::Oversized { len: 10, max: 5 }
+            .to_string()
+            .contains("bound"));
+        assert!(ReadError::Frame(FrameError::Truncated)
+            .to_string()
+            .contains("protocol"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # nav-net — the TCP serving front for `nav-engine`
+//!
+//! PR 3 made the reproduction a *service shape* (a persistent engine
+//! answering query batches); this crate makes it an actual **server**.
+//! The batch API was transport-agnostic by design, and this is the
+//! transport: a versioned, length-prefixed binary protocol over TCP,
+//! small enough to have no dependencies and total enough to face a
+//! hostile peer.
+//!
+//! * [`frame`] — the wire format: a 12-byte header (magic, version,
+//!   kind, payload length) framing request / response / typed-error
+//!   payloads. Floats travel as IEEE-754 bit patterns, so the engine's
+//!   bit-identical determinism contract extends across the wire. The
+//!   decoder never panics and never allocates beyond its configured
+//!   bound (property-tested in `tests/net.rs`).
+//! * [`server`] — [`NetServer`]: a multi-threaded blocking server
+//!   (accept loop + worker pool over a bounded connection queue, graceful
+//!   shutdown, byte/batch/in-flight admission limits via [`NetConfig`]).
+//!   Engine execution is serialized — the engine already fans each batch
+//!   out to its own compute workers — while socket I/O and codec work
+//!   overlap across connections.
+//! * [`client`] — [`NetClient`]: a blocking connection that stamps each
+//!   request with its cumulative RNG offset, making a client stream
+//!   bit-identical to the same batches through a local
+//!   [`nav_engine::Engine`] no matter what other connections interleave
+//!   with it (the [`nav_engine::Engine::serve_at`] contract).
+//!
+//! The `nav-engine serve-tcp` / `bench-tcp` CLI pair (in `nav-bench`)
+//! puts a workload file on one end of this protocol and a replaying
+//! client on the other; `BENCH_net.json` records what the wire costs.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{NetClient, NetError};
+pub use frame::{
+    frames_bits_eq, read_frame, write_frame, ErrorCode, ErrorFrame, Frame, FrameError,
+    MetricsSnapshot, ReadError, Request, Response,
+};
+pub use server::{NetConfig, NetServer, ServerHandle};

@@ -1,0 +1,363 @@
+//! The multi-threaded blocking TCP server.
+//!
+//! One [`NetServer`] owns one [`Engine`] behind one protocol handle. The
+//! accept loop hands connections to a fixed worker pool through a bounded
+//! queue (the in-flight admission limit); each worker runs a
+//! read → decode → execute → encode loop per connection. Engine execution
+//! is serialized behind a mutex — the engine parallelizes *internally*
+//! across `EngineConfig::threads` workers, so one batch already saturates
+//! the machine and interleaving two would only thrash the row cache —
+//! while decode/encode and socket I/O overlap freely across connections.
+//!
+//! Determinism over the wire: requests carry their own RNG stream offset
+//! ([`crate::frame::Request::rng_base`]) and execute via
+//! [`Engine::serve_at`], so a response is a pure function of the request
+//! and the engine's immutable config — never of how concurrent
+//! connections interleave. `tests/net.rs` drives N threads against one
+//! server and checks every byte against a local engine.
+
+use crate::frame::{
+    is_timeout, read_frame, write_frame, ErrorCode, ErrorFrame, Frame, FrameError, MetricsSnapshot,
+    ReadError, Request, Response, DEFAULT_MAX_PAYLOAD,
+};
+use nav_engine::{Engine, QueryBatch};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a worker's blocking read waits before it re-checks the stop
+/// flag. Bounds how far shutdown can lag behind an idle connection.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Serving-front knobs of a [`NetServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// The graph/scheme handle requests must name.
+    pub handle: u32,
+    /// Connection-handling worker threads (each engine batch additionally
+    /// fans out to `EngineConfig::threads` compute workers).
+    pub workers: usize,
+    /// Frame-payload admission bound in bytes; larger frames are refused
+    /// at the header, before any allocation.
+    pub max_frame_bytes: usize,
+    /// Per-request query admission limit; longer batches get a typed
+    /// [`ErrorCode::TooManyQueries`] refusal.
+    pub max_batch_queries: usize,
+    /// Accepted connections allowed to wait for a worker; a connection
+    /// arriving with the queue already this deep is **refused** (dropped
+    /// immediately — the client sees the connection close). The in-flight
+    /// admission limit: shed load early rather than queueing unboundedly.
+    pub max_pending: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            handle: 0,
+            workers: 2,
+            max_frame_bytes: DEFAULT_MAX_PAYLOAD,
+            max_batch_queries: 1 << 16,
+            max_pending: 64,
+        }
+    }
+}
+
+/// Queue of accepted connections, closed on shutdown.
+struct ConnQueue {
+    queue: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        ConnQueue {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a connection unless the queue is over `bound` (refused —
+    /// the stream drops, the client sees a reset) or closed.
+    fn push(&self, stream: TcpStream, bound: usize) {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        if !q.1 && q.0.len() < bound {
+            q.0.push_back(stream);
+            drop(q);
+            self.ready.notify_one();
+        }
+    }
+
+    /// Blocks for the next connection; `None` means the queue was closed
+    /// and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        loop {
+            if let Some(s) = q.0.pop_front() {
+                return Some(s);
+            }
+            if q.1 {
+                return None;
+            }
+            q = self.ready.wait(q).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.queue.lock().expect("queue poisoned").1 = true;
+        self.ready.notify_all();
+    }
+}
+
+struct Shared {
+    engine: Mutex<Engine>,
+    cfg: NetConfig,
+    conns: ConnQueue,
+    stop: AtomicBool,
+}
+
+/// A bound, not-yet-running server. [`NetServer::bind`] → inspect
+/// [`NetServer::local_addr`] → [`NetServer::spawn`] (background threads +
+/// a [`ServerHandle`]) or [`NetServer::run`] (block the caller).
+pub struct NetServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A running server: the bound address plus the shutdown/join handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) around
+    /// `engine`.
+    pub fn bind(engine: Engine, cfg: NetConfig, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(NetServer {
+            listener,
+            shared: Arc::new(Shared {
+                engine: Mutex::new(engine),
+                cfg,
+                conns: ConnQueue::new(),
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the caller's thread with `workers` pool
+    /// threads, until [`ServerHandle::shutdown`]-style wakeup (only
+    /// reachable via [`NetServer::spawn`]) — so for a CLI server this
+    /// simply never returns until the process is killed.
+    pub fn run(self) -> io::Result<()> {
+        let workers = spawn_workers(&self.shared);
+        accept_loop(&self.listener, &self.shared);
+        self.shared.conns.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Starts the accept loop and worker pool on background threads and
+    /// returns a handle for graceful shutdown.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let workers = spawn_workers(&self.shared);
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        let accept = std::thread::Builder::new()
+            .name("nav-net-accept".into())
+            .spawn(move || accept_loop(&listener, &shared))?;
+        Ok(ServerHandle {
+            addr,
+            shared: self.shared,
+            accept,
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued connections, join
+    /// every thread. A request already executing finishes and its
+    /// response is written; open connections are then closed at the next
+    /// frame boundary (idle peers within [`IDLE_POLL`]), so shutdown
+    /// cannot hang on a silent client.
+    pub fn shutdown(self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(2); a throwaway connection
+        // wakes it to observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept.join();
+        self.shared.conns.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn spawn_workers(shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
+    (0..shared.cfg.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("nav-net-worker-{i}"))
+                .spawn(move || {
+                    while let Some(stream) = shared.conns.pop() {
+                        serve_connection(&shared, stream);
+                    }
+                })
+                .expect("spawn worker")
+        })
+        .collect()
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared.conns.push(stream, shared.cfg.max_pending);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Accept errors are per-connection conditions (reset mid
+            // handshake, fd pressure); the listener itself stays sound.
+            // Back off briefly so persistent conditions like fd
+            // exhaustion don't turn this loop into a busy-spin on the
+            // very machine that is already resource-starved.
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// One connection's read → decode → execute → encode loop. Returns (and
+/// drops the stream) on clean close, transport error, a framing
+/// violation, or — between frames — server shutdown; protocol-level
+/// refusals are answered with typed error frames and the loop continues.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    // The read timeout is a shutdown poll, not a client deadline: an
+    // idle connection wakes the worker every IDLE_POLL to check the stop
+    // flag (read_frame only surfaces timeouts at frame boundaries), so
+    // ServerHandle::shutdown can never hang on a silent peer.
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let frame = match read_frame(&mut reader, shared.cfg.max_frame_bytes) {
+            Ok(Some(f)) => f,
+            Err(ReadError::Io(e)) if is_timeout(&e) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            // Clean close, or the client vanished mid-frame: either way
+            // this connection is done and the server keeps running.
+            Ok(None) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::Frame(e)) => {
+                // Tell the peer why before hanging up; framing is broken,
+                // so no further frame boundary can be trusted.
+                let _ = write_frame(&mut writer, &refusal_for(&e));
+                return;
+            }
+        };
+        let reply = match frame {
+            Frame::Request(req) => answer(shared, req),
+            Frame::Response(_) | Frame::Error(_) => Frame::Error(ErrorFrame {
+                code: ErrorCode::UnexpectedFrame,
+                message: "server accepts request frames only".into(),
+            }),
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// The typed refusal sent before closing a connection whose framing broke.
+fn refusal_for(e: &FrameError) -> Frame {
+    Frame::Error(ErrorFrame {
+        code: ErrorCode::UnexpectedFrame,
+        message: e.to_string(),
+    })
+}
+
+/// Executes one admitted request against the engine.
+fn answer(shared: &Shared, req: Request) -> Frame {
+    if req.handle != shared.cfg.handle {
+        return Frame::Error(ErrorFrame {
+            code: ErrorCode::UnknownHandle,
+            message: format!(
+                "handle {} not served here (this server owns handle {})",
+                req.handle, shared.cfg.handle
+            ),
+        });
+    }
+    if req.queries.len() > shared.cfg.max_batch_queries {
+        return Frame::Error(ErrorFrame {
+            code: ErrorCode::TooManyQueries,
+            message: format!(
+                "batch of {} exceeds the {}-query admission limit",
+                req.queries.len(),
+                shared.cfg.max_batch_queries
+            ),
+        });
+    }
+    let batch = QueryBatch {
+        queries: req.queries,
+    };
+    let mut engine = shared.engine.lock().expect("engine poisoned");
+    match engine.serve_at(&batch, req.rng_base, req.sampler) {
+        Ok(result) => {
+            let m = engine.metrics();
+            let c = engine.cache_stats();
+            Frame::Response(Response {
+                answers: result.answers,
+                metrics: MetricsSnapshot {
+                    queries: m.queries,
+                    batches: m.batches,
+                    trials: m.trials,
+                    warm_targets: m.warm_targets,
+                    cold_targets: m.cold_targets,
+                    cache_hits: c.hits,
+                    cache_misses: c.misses,
+                    cache_evictions: c.evictions,
+                    cache_resident_rows: c.resident_rows as u64,
+                    cache_resident_bytes: c.resident_bytes as u64,
+                    cache_capacity_bytes: c.capacity_bytes as u64,
+                },
+            })
+        }
+        Err(e) => Frame::Error(ErrorFrame {
+            code: ErrorCode::InvalidEndpoint,
+            message: e.to_string(),
+        }),
+    }
+}

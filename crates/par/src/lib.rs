@@ -37,3 +37,25 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
         .min(16)
 }
+
+/// The environment variable [`test_threads`] honours, mirroring the
+/// `PROPTEST_CASES` convention the vendored proptest follows: one knob,
+/// read at use, pinned in CI.
+pub const TEST_THREADS_ENV: &str = "NAV_TEST_THREADS";
+
+/// Worker-thread count for test suites: `NAV_TEST_THREADS` when set to a
+/// positive integer, otherwise [`default_threads`] clamped to `[2, 4]`.
+///
+/// Every multi-threaded code path in the workspace is answer-invariant in
+/// its thread count, so tests that sweep `[1, test_threads()]` prove the
+/// same contract everywhere — this knob only sizes the sweep so it is
+/// *reproducible*: pin `NAV_TEST_THREADS=2` on 1-core CI and the suite
+/// exercises the identical configurations a ≥8-core dev box does, instead
+/// of each host deriving its own ad-hoc counts.
+pub fn test_threads() -> usize {
+    std::env::var(TEST_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| default_threads().clamp(2, 4))
+}

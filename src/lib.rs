@@ -11,6 +11,7 @@
 //! * [`decomp`] — tree/path decompositions and the pathshape parameter;
 //! * [`core`] — the paper's augmentation schemes and greedy routing;
 //! * [`engine`] — the persistent batched query-serving subsystem;
+//! * [`net`] — the length-prefixed TCP serving front for [`engine`];
 //! * [`par`] — deterministic parallel substrate;
 //! * [`analysis`] — statistics, exponent fits, table output.
 //!
@@ -38,6 +39,7 @@ pub use nav_decomp as decomp;
 pub use nav_engine as engine;
 pub use nav_gen as gen;
 pub use nav_graph as graph;
+pub use nav_net as net;
 pub use nav_par as par;
 
 /// The most common imports in one place.

@@ -1,12 +1,18 @@
 //! The serving engine's determinism contract, property-tested: batch
 //! answers are bit-identical to a direct [`run_trials`] over the same
 //! query sequence — across cache capacities (including 0), thread counts,
-//! and batch orderings.
+//! batch orderings, and cache admission policies.
+//!
+//! Thread counts come from the centralized `NAV_TEST_THREADS` knob
+//! ([`nav_par::test_threads`]) and case counts from `PROPTEST_CASES`, so
+//! the suite runs the same configurations on 1-core CI and many-core dev
+//! boxes.
 
 use navigability::core::trial::{run_trials, PairStats, TrialConfig};
 use navigability::core::uniform::UniformScheme;
-use navigability::engine::{Engine, EngineConfig, QueryBatch};
+use navigability::engine::{AdmissionPolicy, Engine, EngineConfig, QueryBatch};
 use navigability::graph::components::connect_components;
+use navigability::par::test_threads;
 use navigability::prelude::*;
 use proptest::prelude::*;
 
@@ -96,7 +102,7 @@ proptest! {
         // change (rows are 2·n bytes compact).
         let tiny = 3 * g.num_nodes();
         for cache_bytes in [0usize, tiny, 1 << 22] {
-            for threads in [1usize, 4] {
+            for threads in [1usize, test_threads()] {
                 let got = engine_answers(&g, &pairs, trials, seed, threads, cache_bytes, batch_size);
                 prop_assert!(
                     identical(&got, &reference.pairs),
@@ -137,6 +143,64 @@ proptest! {
     }
 
     #[test]
+    fn admission_policy_is_invisible_in_answers(
+        g in connected_graph(48),
+        seed in 0u64..1000,
+        num_pairs in 1usize..32,
+        batch_size in 1usize..10,
+        cache_rows in 0usize..6,
+    ) {
+        // The segmented-LRU soak: under a capacity tight enough to force
+        // evictions mid-stream (0..5 compact rows), both policies must
+        // produce bit-identical trial outcomes — only their hit/eviction
+        // counters may differ — and neither may ever exceed its byte
+        // budget.
+        let n = g.num_nodes() as NodeId;
+        let mut rng = seeded_rng(seed ^ 0x517e);
+        let pairs: Vec<(NodeId, NodeId)> = (0..num_pairs)
+            .map(|_| {
+                use rand::Rng;
+                (rng.gen_range(0..n), rng.gen_range(0..n))
+            })
+            .collect();
+        let cache_bytes = cache_rows * 2 * g.num_nodes();
+        let mut outcomes = Vec::new();
+        for admission in [AdmissionPolicy::Lru, AdmissionPolicy::Segmented] {
+            let mut engine = Engine::new(
+                g.clone(),
+                Box::new(UniformScheme),
+                EngineConfig {
+                    seed,
+                    threads: test_threads(),
+                    cache_bytes,
+                    admission,
+                    ..EngineConfig::default()
+                },
+            );
+            let mut answers = Vec::new();
+            for chunk in pairs.chunks(batch_size.max(1)) {
+                answers.extend(
+                    engine
+                        .serve(&QueryBatch::from_pairs(chunk, 3))
+                        .expect("valid pairs")
+                        .answers,
+                );
+                // Eviction accounting must hold after *every* batch, for
+                // both tiers.
+                let s = engine.cache_stats();
+                prop_assert!(s.resident_bytes <= s.capacity_bytes, "{admission:?}: {s:?}");
+                prop_assert!(s.protected_bytes <= s.resident_bytes, "{admission:?}: {s:?}");
+                prop_assert!(s.protected_rows <= s.resident_rows, "{admission:?}: {s:?}");
+            }
+            outcomes.push(answers);
+        }
+        prop_assert!(
+            identical(&outcomes[0], &outcomes[1]),
+            "admission policy changed routing outcomes"
+        );
+    }
+
+    #[test]
     fn ball_sampler_backends_match_run_trials(
         g in connected_graph(40),
         seed in 0u64..500,
@@ -165,7 +229,13 @@ proptest! {
             let mut engine = Engine::new(
                 g.clone(),
                 scheme,
-                EngineConfig { seed, threads: 2, cache_bytes: 1 << 20, sampler: mode },
+                EngineConfig {
+                    seed,
+                    threads: test_threads(),
+                    cache_bytes: 1 << 20,
+                    sampler: mode,
+                    ..EngineConfig::default()
+                },
             );
             let mut answers = Vec::new();
             for chunk in pairs.chunks(batch_size.max(1)) {
@@ -177,6 +247,89 @@ proptest! {
                 );
             }
             prop_assert!(identical(&answers, &reference.pairs), "mode {:?}", mode);
+        }
+    }
+}
+
+/// Direct soak of the cache's eviction accounting: a long random
+/// insert/get/replace sequence (row sizes varied, including same-key
+/// replacements that grow and shrink) must keep `resident_bytes` within
+/// `capacity_bytes` and exactly equal to the sum of resident row sizes —
+/// under both policies and several capacities.
+#[test]
+fn row_cache_accounting_soak() {
+    use navigability::engine::RowCache;
+    use navigability::graph::distance::DistRowBuf;
+    use rand::Rng;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    for policy in [AdmissionPolicy::Lru, AdmissionPolicy::Segmented] {
+        for capacity in [0usize, 64, 1000, 1 << 16] {
+            let mut cache = RowCache::with_policy(capacity, policy);
+            let mut rng = seeded_rng(capacity as u64 ^ 0xcac4e);
+            let mut sizes: HashMap<u32, usize> = HashMap::new();
+            for step in 0..4000 {
+                let key = rng.gen_range(0..64u32);
+                if rng.gen_range(0..3u32) == 0 {
+                    match cache.get(key) {
+                        // A hit must return the bytes of the last admitted
+                        // insert for that key.
+                        Some(row) => assert_eq!(
+                            sizes.get(&key),
+                            Some(&row.bytes()),
+                            "{policy:?} cap={capacity} step={step}: stale row served"
+                        ),
+                        // Misses sync the shadow map lazily (the key was
+                        // evicted, or never admitted).
+                        None => {
+                            sizes.remove(&key);
+                        }
+                    }
+                } else {
+                    let len = rng.gen_range(1..200usize);
+                    let row = Arc::new(DistRowBuf::Narrow(vec![1u16; len]));
+                    let bytes = row.bytes();
+                    cache.insert(key, row);
+                    if bytes <= capacity {
+                        sizes.insert(key, bytes);
+                    }
+                    // An oversized row is rejected and any previously
+                    // resident row for the key is retained — the shadow
+                    // entry stays as-is.
+                }
+                let s = cache.stats();
+                assert!(
+                    s.resident_bytes <= s.capacity_bytes,
+                    "{policy:?} cap={capacity} step={step}: over budget {s:?}"
+                );
+                assert!(s.protected_bytes <= s.resident_bytes, "{s:?}");
+                assert!(s.protected_rows <= s.resident_rows, "{s:?}");
+                // Keys evicted under byte pressure leave our shadow map
+                // lazily (on the next get/insert), so the cache can only
+                // hold a subset of it — never more bytes than it claims.
+                let shadow_total: usize = sizes.values().sum();
+                assert!(
+                    s.resident_bytes <= shadow_total,
+                    "{policy:?} cap={capacity} step={step}: cache retains more than ever admitted"
+                );
+                if let AdmissionPolicy::Lru = policy {
+                    assert_eq!(s.protected_rows, 0, "strict LRU must not use tiers");
+                }
+            }
+            // Drain check: everything still resident must be findable and
+            // its accounting must sum exactly.
+            let resident_before = cache.stats().resident_rows;
+            let mut found = 0usize;
+            let mut found_bytes = 0usize;
+            for key in 0..64u32 {
+                if let Some(row) = cache.get(key) {
+                    found += 1;
+                    found_bytes += row.bytes();
+                }
+            }
+            assert_eq!(found, resident_before);
+            assert_eq!(found_bytes, cache.stats().resident_bytes);
         }
     }
 }

@@ -1,0 +1,511 @@
+//! End-to-end and wire-protocol tests for the `nav-net` TCP front.
+//!
+//! Three layers, per the serving contract:
+//!
+//! 1. **Codec properties** — arbitrary request/response/error frames
+//!    round-trip the encoder/decoder bit-for-bit, and mutated byte
+//!    streams decode to typed errors, never panics or over-allocation
+//!    (the hand-written truncation/bad-magic/bad-version/oversized cases
+//!    live next to the codec, in `crates/net/src/frame.rs`).
+//! 2. **Loopback end-to-end** — an in-process server on an ephemeral
+//!    port, driven by N concurrent client threads, answers every stream
+//!    **bit-identically** to a direct [`run_trials`] / local engine over
+//!    the same seeds — under both admission policies, interleaved
+//!    connections, and mid-stream client disconnects.
+//! 3. **Typed refusals** — wrong handle, oversized batch, and bad
+//!    endpoints come back as error frames, and the connection (and
+//!    engine) keep working afterwards.
+//!
+//! Thread counts come from `NAV_TEST_THREADS` ([`nav_par::test_threads`]),
+//! case counts from `PROPTEST_CASES` — both pinned in CI.
+
+use navigability::core::sampler::SamplerMode;
+use navigability::core::trial::{run_trials, PairStats, TrialConfig};
+use navigability::core::uniform::UniformScheme;
+use navigability::engine::{AdmissionPolicy, Engine, EngineConfig, QueryBatch};
+use navigability::net::{
+    frames_bits_eq, ErrorCode, ErrorFrame, Frame, FrameError, MetricsSnapshot, NetClient,
+    NetConfig, NetError, NetServer, Request, Response, ServerHandle,
+};
+use navigability::par::test_threads;
+use navigability::prelude::*;
+use proptest::prelude::*;
+
+// --- 1. codec properties ------------------------------------------------
+
+fn arb_request() -> impl Strategy<Value = Frame> {
+    (
+        0u32..8,
+        0u64..u64::MAX,
+        0u8..2,
+        proptest::collection::vec((0u32..5000, 0u32..5000, 0u32..100), 0..48),
+    )
+        .prop_map(|(handle, rng_base, mode, qs)| {
+            Frame::Request(Request {
+                handle,
+                rng_base,
+                sampler: if mode == 0 {
+                    SamplerMode::Scalar
+                } else {
+                    SamplerMode::Batched
+                },
+                queries: qs
+                    .into_iter()
+                    .map(|(s, t, trials)| navigability::engine::Query {
+                        s,
+                        t,
+                        trials: trials as usize,
+                    })
+                    .collect(),
+            })
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Frame> {
+    let stats = (
+        (0u32..1000, 0u32..1000, 0u32..10000, 0u32..10000),
+        0u64..1000,
+        // Raw bit patterns: NaNs, infinities and subnormals must all
+        // survive the wire (floats travel as bits).
+        (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+    )
+        .prop_map(|((s, t, dist, max_steps), failures, (a, b, c))| PairStats {
+            s,
+            t,
+            dist,
+            max_steps,
+            failures: failures as usize,
+            mean_steps: f64::from_bits(a),
+            std_steps: f64::from_bits(b),
+            mean_long_links: f64::from_bits(c),
+        });
+    (
+        proptest::collection::vec(stats, 0..32),
+        proptest::collection::vec(0u64..u64::MAX, 11..12),
+    )
+        .prop_map(|(answers, m)| {
+            Frame::Response(Response {
+                answers,
+                metrics: MetricsSnapshot {
+                    queries: m[0],
+                    batches: m[1],
+                    trials: m[2],
+                    warm_targets: m[3],
+                    cold_targets: m[4],
+                    cache_hits: m[5],
+                    cache_misses: m[6],
+                    cache_evictions: m[7],
+                    cache_resident_rows: m[8],
+                    cache_resident_bytes: m[9],
+                    cache_capacity_bytes: m[10],
+                },
+            })
+        })
+}
+
+fn arb_error() -> impl Strategy<Value = Frame> {
+    (1u16..6, proptest::collection::vec(32u8..127, 0..80)).prop_map(|(code, msg)| {
+        Frame::Error(ErrorFrame {
+            code: match code {
+                1 => ErrorCode::UnknownHandle,
+                2 => ErrorCode::TooManyQueries,
+                3 => ErrorCode::InvalidEndpoint,
+                4 => ErrorCode::UnexpectedFrame,
+                _ => ErrorCode::Internal,
+            },
+            message: String::from_utf8(msg).expect("ascii"),
+        })
+    })
+}
+
+fn roundtrips(frame: &Frame) {
+    let bytes = frame.encode();
+    let (back, used) = Frame::decode(&bytes, bytes.len()).expect("own encoding decodes");
+    assert_eq!(used, bytes.len());
+    assert!(frames_bits_eq(frame, &back), "{frame:?} != {back:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_frames_roundtrip(frame in arb_request()) {
+        roundtrips(&frame);
+    }
+
+    #[test]
+    fn response_frames_roundtrip(frame in arb_response()) {
+        roundtrips(&frame);
+    }
+
+    #[test]
+    fn error_frames_roundtrip(frame in arb_error()) {
+        roundtrips(&frame);
+    }
+
+    #[test]
+    fn mutated_frames_never_panic_or_overallocate(
+        frame in arb_request(),
+        pos_seed in 0usize..10_000,
+        byte in 0u8..=255,
+    ) {
+        // Single-byte corruption anywhere in a valid frame must yield
+        // Ok(decoded) or a typed error — decode is total. The 1 KiB bound
+        // also caps what a corrupted length field can make us allocate.
+        let mut bytes = frame.encode();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] = byte;
+        match Frame::decode(&bytes, 1024) {
+            Ok((_, used)) => prop_assert!(used <= bytes.len()),
+            Err(
+                FrameError::Truncated
+                | FrameError::BadMagic(_)
+                | FrameError::BadVersion(_)
+                | FrameError::BadKind(_)
+                | FrameError::Oversized { .. }
+                | FrameError::Malformed(_),
+            ) => {}
+        }
+    }
+
+    #[test]
+    fn truncated_frames_always_rejected(frame in arb_request(), cut_seed in 0usize..10_000) {
+        let bytes = frame.encode();
+        let cut = cut_seed % bytes.len();
+        prop_assert_eq!(
+            Frame::decode(&bytes[..cut], bytes.len()).unwrap_err(),
+            FrameError::Truncated
+        );
+    }
+}
+
+// --- 2. loopback end-to-end ----------------------------------------------
+
+/// A small connected world to serve: G(n, p) with components bridged.
+fn world(n: usize, seed: u64) -> Graph {
+    let mut rng = seeded_rng(seed);
+    let g = navigability::gen::random::gnp(n, 6.0 / n as f64, &mut rng).expect("gnp");
+    navigability::graph::components::connect_components(&g).0
+}
+
+fn spawn_server(g: &Graph, seed: u64, admission: AdmissionPolicy, net: NetConfig) -> ServerHandle {
+    let engine = Engine::new(
+        g.clone(),
+        Box::new(UniformScheme),
+        EngineConfig {
+            seed,
+            threads: 1,
+            cache_bytes: 1 << 20,
+            admission,
+            ..EngineConfig::default()
+        },
+    );
+    NetServer::bind(engine, net, "127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+fn identical(a: &[PairStats], b: &[PairStats]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bits_eq(y))
+}
+
+/// The pair stream client `c` replays (distinct per client).
+fn client_pairs(g: &Graph, c: u64, len: usize) -> Vec<(NodeId, NodeId)> {
+    let n = g.num_nodes() as NodeId;
+    (0..len as u64)
+        .map(|i| {
+            (
+                ((c * 31 + i * 7) % n as u64) as NodeId,
+                ((c * 17 + i * 13 + 1) % n as u64) as NodeId,
+            )
+        })
+        .collect()
+}
+
+/// Replays `pairs` in batches of `batch` over a fresh connection,
+/// asserting every answer against the local reference.
+fn replay_and_check(addr: std::net::SocketAddr, g: &Graph, seed: u64, c: u64, batch: usize) {
+    let pairs = client_pairs(g, c, 24);
+    let reference = run_trials(
+        g,
+        &UniformScheme,
+        &pairs,
+        &TrialConfig {
+            trials_per_pair: 3,
+            seed,
+            threads: 1,
+            ..TrialConfig::default()
+        },
+    )
+    .expect("valid pairs");
+    let mut client = NetClient::connect(addr).expect("connect");
+    let mut answers = Vec::new();
+    for chunk in pairs.chunks(batch) {
+        let (a, _) = client
+            .serve(0, SamplerMode::Scalar, &QueryBatch::from_pairs(chunk, 3))
+            .expect("serve");
+        answers.extend(a);
+    }
+    assert!(
+        identical(&answers, &reference.pairs),
+        "client {c} diverged from run_trials"
+    );
+}
+
+#[test]
+fn loopback_single_client_matches_run_trials_under_both_policies() {
+    let g = world(96, 5);
+    for admission in [AdmissionPolicy::Lru, AdmissionPolicy::Segmented] {
+        let server = spawn_server(&g, 42, admission, NetConfig::default());
+        let addr = server.addr();
+        replay_and_check(addr, &g, 42, 0, 5);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn concurrent_clients_each_match_run_trials() {
+    // N threads share one server; each stamps its own rng_base stream, so
+    // each stream must reproduce its local reference regardless of how
+    // the server interleaves them — at two different client thread
+    // counts and under both admission policies.
+    let g = world(80, 9);
+    for admission in [AdmissionPolicy::Lru, AdmissionPolicy::Segmented] {
+        for clients in [2usize, 2 * test_threads()] {
+            let server = spawn_server(
+                &g,
+                7,
+                admission,
+                NetConfig {
+                    workers: clients,
+                    ..NetConfig::default()
+                },
+            );
+            let addr = server.addr();
+            std::thread::scope(|scope| {
+                for c in 0..clients {
+                    let g = &g;
+                    scope.spawn(move || replay_and_check(addr, g, 7, c as u64, 4));
+                }
+            });
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn midstream_disconnects_do_not_poison_the_server() {
+    use std::io::Write;
+    let g = world(64, 3);
+    let server = spawn_server(
+        &g,
+        13,
+        AdmissionPolicy::Segmented,
+        NetConfig {
+            workers: 4,
+            ..NetConfig::default()
+        },
+    );
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        // Saboteurs: partial headers, truncated payloads, raw garbage —
+        // then vanish.
+        for k in 0..6u8 {
+            scope.spawn(move || {
+                let mut s = std::net::TcpStream::connect(addr).expect("connect");
+                match k % 3 {
+                    0 => {
+                        // Half a header.
+                        let _ = s.write_all(
+                            &Frame::encode(&Frame::Request(Request {
+                                handle: 0,
+                                rng_base: 0,
+                                sampler: SamplerMode::Scalar,
+                                queries: vec![],
+                            }))[..7],
+                        );
+                    }
+                    1 => {
+                        // A valid header whose payload never arrives.
+                        let full = Frame::Request(Request {
+                            handle: 0,
+                            rng_base: 0,
+                            sampler: SamplerMode::Scalar,
+                            queries: vec![navigability::engine::Query {
+                                s: 0,
+                                t: 1,
+                                trials: 1,
+                            }],
+                        })
+                        .encode();
+                        let _ = s.write_all(&full[..14]);
+                    }
+                    _ => {
+                        // Garbage magic: the server answers a typed error
+                        // and hangs up.
+                        let _ = s.write_all(b"GETS / HTTP/1.1\r\n\r\n");
+                    }
+                }
+                // Drop the stream mid-conversation.
+            });
+        }
+        // Honest clients interleaved with the chaos still get exact
+        // answers.
+        for c in 0..3 {
+            let g = &g;
+            scope.spawn(move || replay_and_check(addr, g, 13, c, 3));
+        }
+    });
+    // And the server still serves a fresh connection afterwards.
+    replay_and_check(addr, &g, 13, 99, 6);
+    server.shutdown();
+}
+
+#[test]
+fn tcp_stream_is_bit_identical_to_local_engine_across_batch_splits() {
+    // One client stream split one way must equal a *local* engine serving
+    // the same queries split another way — the serve/serve_at
+    // equivalence surviving the wire.
+    let g = world(72, 21);
+    let pairs = client_pairs(&g, 5, 30);
+    let mut local = Engine::new(
+        g.clone(),
+        Box::new(UniformScheme),
+        EngineConfig {
+            seed: 77,
+            threads: 1,
+            cache_bytes: 1 << 20,
+            ..EngineConfig::default()
+        },
+    );
+    let mut want = Vec::new();
+    for chunk in pairs.chunks(11) {
+        want.extend(
+            local
+                .serve(&QueryBatch::from_pairs(chunk, 2))
+                .expect("local")
+                .answers,
+        );
+    }
+    let server = spawn_server(&g, 77, AdmissionPolicy::Lru, NetConfig::default());
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    let mut got = Vec::new();
+    for chunk in pairs.chunks(4) {
+        let (a, _) = client
+            .serve(0, SamplerMode::Scalar, &QueryBatch::from_pairs(chunk, 2))
+            .expect("serve");
+        got.extend(a);
+    }
+    assert_eq!(client.queries_sent(), 30);
+    drop(client);
+    server.shutdown();
+    assert!(identical(&want, &got));
+}
+
+#[test]
+fn shutdown_completes_despite_idle_connections() {
+    // A client that connects, gets served once, and then goes silent
+    // must not be able to hang shutdown: workers poll the stop flag at
+    // frame boundaries (IDLE_POLL read timeouts).
+    let g = world(48, 11);
+    let server = spawn_server(&g, 19, AdmissionPolicy::Lru, NetConfig::default());
+    let addr = server.addr();
+    let mut idle = NetClient::connect(addr).expect("connect");
+    let (answers, _) = idle
+        .serve(
+            0,
+            SamplerMode::Scalar,
+            &QueryBatch::from_pairs(&[(0, 1)], 1),
+        )
+        .expect("served once");
+    assert_eq!(answers.len(), 1);
+    // `idle` stays open and silent; a second never sends anything at all.
+    let _silent = std::net::TcpStream::connect(addr).expect("connect");
+    let done = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        server.shutdown();
+        done.0.send(()).ok();
+    });
+    done.1
+        .recv_timeout(std::time::Duration::from_secs(10))
+        .expect("shutdown hung on idle connections");
+    handle.join().expect("shutdown thread");
+}
+
+// --- 3. typed refusals ----------------------------------------------------
+
+#[test]
+fn refusals_are_typed_and_non_poisoning() {
+    let g = world(32, 1);
+    let server = spawn_server(
+        &g,
+        3,
+        AdmissionPolicy::Lru,
+        NetConfig {
+            max_batch_queries: 8,
+            ..NetConfig::default()
+        },
+    );
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+
+    // Unknown handle.
+    let err = client
+        .request(Request {
+            handle: 9,
+            rng_base: 0,
+            sampler: SamplerMode::Scalar,
+            queries: vec![],
+        })
+        .unwrap_err();
+    assert!(
+        matches!(&err, NetError::Remote(e) if e.code == ErrorCode::UnknownHandle),
+        "{err}"
+    );
+
+    // Batch over the admission limit.
+    let big = QueryBatch::from_pairs(&[(0u32, 1u32); 9], 1);
+    let err = client.serve(0, SamplerMode::Scalar, &big).unwrap_err();
+    assert!(
+        matches!(&err, NetError::Remote(e) if e.code == ErrorCode::TooManyQueries),
+        "{err}"
+    );
+
+    // Endpoint out of range for the served graph.
+    let bad = QueryBatch::from_pairs(&[(0u32, 32u32)], 1);
+    let err = client.serve(0, SamplerMode::Scalar, &bad).unwrap_err();
+    assert!(
+        matches!(&err, NetError::Remote(e) if e.code == ErrorCode::InvalidEndpoint),
+        "{err}"
+    );
+
+    // The same connection — and the engine behind it — still answers
+    // exactly after three refusals.
+    let pairs = client_pairs(&g, 2, 6);
+    let reference = run_trials(
+        &g,
+        &UniformScheme,
+        &pairs,
+        &TrialConfig {
+            trials_per_pair: 2,
+            seed: 3,
+            threads: 1,
+            ..TrialConfig::default()
+        },
+    )
+    .expect("valid");
+    let (answers, metrics) = client
+        .request(Request {
+            handle: 0,
+            rng_base: 0,
+            sampler: SamplerMode::Scalar,
+            queries: QueryBatch::from_pairs(&pairs, 2).queries,
+        })
+        .expect("healthy after refusals");
+    assert!(identical(&answers, &reference.pairs));
+    // Refused batches never reached the engine.
+    assert_eq!(metrics.batches, 1);
+    assert_eq!(metrics.queries, 6);
+    drop(client);
+    server.shutdown();
+}
