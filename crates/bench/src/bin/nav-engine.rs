@@ -21,9 +21,19 @@
 //!
 //! # emit the BENCH_net.json loopback wire baseline (self-hosted)
 //! cargo run -p nav-bench --release --bin nav-engine -- bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]
+//!
+//! # emit the BENCH_scale.json exact-vs-landmark / single-vs-sharded
+//! # baseline (n = 10^6; --quick is the CI-sized n = 10^5 smoke)
+//! cargo run -p nav-bench --release --bin nav-engine -- scale-bench [PATH] [--quick] [--threads N] [--seed S]
 //! ```
+//!
+//! `serve`, `serve-tcp`, and `gen` all take `--shards K` (1..=255): `gen`
+//! stamps the workload file, the serving commands partition the target
+//! space across `K` engine shards behind one front (answers stay
+//! bit-identical to a single engine).
 
 use nav_bench::netjson::render_net_bench;
+use nav_bench::scalejson::render_scale_bench;
 use nav_bench::servejson::render_serve_bench;
 use nav_bench::workloads::Workload;
 use nav_bench::ExpConfig;
@@ -31,8 +41,10 @@ use nav_core::ball::BallScheme;
 use nav_core::sampler::SamplerMode;
 use nav_core::scheme::AugmentationScheme;
 use nav_core::uniform::{NoAugmentation, UniformScheme};
-use nav_engine::workload::{parse_workload, render_workload, GraphSpec, WorkloadSpec, ZipfSpec};
-use nav_engine::{AdmissionPolicy, Engine, EngineConfig};
+use nav_engine::workload::{
+    parse_workload, render_workload_with_shards, GraphSpec, WorkloadSpec, ZipfSpec,
+};
+use nav_engine::{AdmissionPolicy, EngineConfig, ShardedEngine};
 use nav_graph::Graph;
 use nav_net::{MetricsSnapshot, NetClient, NetConfig, NetServer};
 
@@ -72,6 +84,24 @@ fn scheme_for(
     }
 }
 
+/// A `ShardedEngine` over `shards` clones of the named scheme — the
+/// shared construction of `serve` and `serve-tcp` (`shards == 1` is the
+/// plain single-engine shape behind a 1-shard front).
+fn sharded_engine(g: Graph, scheme_name: &str, cfg: EngineConfig, shards: usize) -> ShardedEngine {
+    // Identical schemes per shard keep the front bit-identical to a
+    // single engine (sampling is driven by per-query RNG streams).
+    let schemes: Vec<_> = (0..shards.max(1))
+        .map(|_| scheme_for(scheme_name, &g, cfg.seed, cfg.threads))
+        .collect();
+    let mut schemes = schemes.into_iter();
+    ShardedEngine::new(
+        g,
+        move || schemes.next().expect("one scheme per shard"),
+        cfg,
+        shards,
+    )
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -91,6 +121,17 @@ fn expect_num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, fla
         eprintln!("{flag} needs a number");
         std::process::exit(2);
     })
+}
+
+/// Parses `--shards K` (bounded by the one-byte shard selector of the
+/// wire protocol's handle, like the workload-file directive).
+fn expect_shards(args: &mut impl Iterator<Item = String>) -> usize {
+    let shards: usize = expect_num(args, "--shards");
+    if shards == 0 || shards > 255 {
+        eprintln!("--shards must be in 1..=255, got {shards}");
+        std::process::exit(2);
+    }
+    shards
 }
 
 /// Parses `--admission lru|segmented`.
@@ -114,12 +155,14 @@ fn serve(mut args: impl Iterator<Item = String>) {
     let mut sampler_flag: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut admission = AdmissionPolicy::Lru;
+    let mut shards_flag: Option<usize> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => threads = expect_num(&mut args, "--threads"),
             "--seed" => seed = expect_num(&mut args, "--seed"),
             "--cache-mb" => cache_mb = expect_num(&mut args, "--cache-mb"),
             "--admission" => admission = expect_admission(&mut args),
+            "--shards" => shards_flag = Some(expect_shards(&mut args)),
             "--scheme" => {
                 scheme_name = args.next().unwrap_or_else(|| {
                     eprintln!("--scheme needs a value");
@@ -172,8 +215,9 @@ fn serve(mut args: impl Iterator<Item = String>) {
     // insists the two agree exactly or out-of-range endpoints would abort
     // mid-replay. (`gen` pins the file to the built size.)
     let (spec, g) = load_workload(&file);
+    let shards = shards_flag.unwrap_or(spec.shards);
     eprintln!(
-        "[nav-engine] graph {} n={} m={} | {} queries ({} distinct targets), batch {}, scheme {}, sampler {}, cache {} MiB, threads {}",
+        "[nav-engine] graph {} n={} m={} | {} queries ({} distinct targets), batch {}, scheme {}, sampler {}, cache {} MiB, threads {}, shards {}",
         spec.graph.family,
         g.num_nodes(),
         g.num_edges(),
@@ -183,12 +227,12 @@ fn serve(mut args: impl Iterator<Item = String>) {
         scheme_name,
         sampler.label(),
         cache_mb,
-        threads
+        threads,
+        shards
     );
-    let scheme = scheme_for(&scheme_name, &g, seed, threads);
-    let mut engine = Engine::new(
+    let mut engine = sharded_engine(
         g,
-        scheme,
+        &scheme_name,
         EngineConfig {
             seed,
             threads,
@@ -196,6 +240,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
             sampler,
             admission,
         },
+        shards,
     );
     let t0 = std::time::Instant::now();
     let mut failures = 0usize;
@@ -247,7 +292,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
     }
     if let Some(path) = json_path {
         let json = format!(
-            "{{\n  \"schema\": \"nav-engine-serve/v1\",\n  \"workload\": \"{}\",\n  \"scheme\": \"{}\",\n  \"sampler\": \"{}\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"host\": {},\n  \"queries\": {},\n  \"batches\": {},\n  \"trials\": {},\n  \"failures\": {failures},\n  \"elapsed_ms\": {elapsed_ms:.3},\n  \"qps\": {:.3},\n  \"batch_latency_ms\": {latency},\n  \"cache\": {{\"policy\": \"{}\", \"capacity_bytes\": {}, \"resident_rows\": {}, \"resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.3}}},\n  \"ball_rows\": {{\"rows\": {}, \"passes\": {}, \"hits\": {}, \"misses\": {}, \"fallbacks\": {}, \"row_bytes\": {}}}\n}}\n",
+            "{{\n  \"schema\": \"nav-engine-serve/v1\",\n  \"workload\": \"{}\",\n  \"scheme\": \"{}\",\n  \"sampler\": \"{}\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"shards\": {shards},\n  \"host\": {},\n  \"queries\": {},\n  \"batches\": {},\n  \"trials\": {},\n  \"failures\": {failures},\n  \"elapsed_ms\": {elapsed_ms:.3},\n  \"qps\": {:.3},\n  \"batch_latency_ms\": {latency},\n  \"cache\": {{\"policy\": \"{}\", \"capacity_bytes\": {}, \"resident_rows\": {}, \"resident_bytes\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.3}}},\n  \"ball_rows\": {{\"rows\": {}, \"passes\": {}, \"hits\": {}, \"misses\": {}, \"fallbacks\": {}, \"row_bytes\": {}}}\n}}\n",
             json_escape(&file),
             json_escape(&engine.scheme_name()),
             sampler.label(),
@@ -287,8 +332,10 @@ fn gen(mut args: impl Iterator<Item = String>) {
     let mut zipf_seed = 7u64;
     let mut trials = 8usize;
     let mut batch = 512usize;
+    let mut shards = 1usize;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--shards" => shards = expect_shards(&mut args),
             "--family" => {
                 family = args.next().unwrap_or_else(|| {
                     eprintln!("--family needs a value");
@@ -344,13 +391,14 @@ fn gen(mut args: impl Iterator<Item = String>) {
         seed: zipf_seed,
         hot: hot.min(built_n),
     };
-    let text = render_workload(&spec, trials, batch, &zipf);
+    let text = render_workload_with_shards(&spec, trials, batch, shards, &zipf);
     // Validate what we are about to hand to `serve`.
     parse_workload(&text).unwrap_or_else(|e| panic!("generated workload invalid: {e}"));
     std::fs::write(&file, &text).unwrap_or_else(|e| panic!("writing {file}: {e}"));
     eprintln!(
-        "[nav-engine] workload ({queries} queries over {} hot targets) -> {file}",
-        zipf.hot
+        "[nav-engine] workload ({queries} queries over {} hot targets, {shards} shard{}) -> {file}",
+        zipf.hot,
+        if shards == 1 { "" } else { "s" }
     );
 }
 
@@ -389,8 +437,10 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
     let mut scheme_name = "uniform".to_string();
     let mut admission = AdmissionPolicy::Lru;
     let mut net = NetConfig::default();
+    let mut shards_flag: Option<usize> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--shards" => shards_flag = Some(expect_shards(&mut args)),
             "--addr" => {
                 addr = args.next().unwrap_or_else(|| {
                     eprintln!("--addr needs HOST:PORT");
@@ -421,10 +471,10 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
         std::process::exit(2);
     });
     let (spec, g) = load_workload(&file);
-    let scheme = scheme_for(&scheme_name, &g, seed, threads);
-    let engine = Engine::new(
+    let shards = shards_flag.unwrap_or(spec.shards);
+    let engine = sharded_engine(
         g,
-        scheme,
+        &scheme_name,
         EngineConfig {
             seed,
             threads,
@@ -432,18 +482,20 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
             sampler: SamplerMode::Scalar,
             admission,
         },
+        shards,
     );
-    let server = NetServer::bind(engine, net, addr.as_str()).unwrap_or_else(|e| {
+    let server = NetServer::bind_sharded(engine, net, addr.as_str()).unwrap_or_else(|e| {
         eprintln!("binding {addr}: {e}");
         std::process::exit(1);
     });
     let bound = server.local_addr().expect("bound address");
     eprintln!(
-        "[nav-engine] serving graph {} n={} (scheme {}, seed {seed}, cache {cache_mb} MiB [{}], {} workers × {threads} threads)",
+        "[nav-engine] serving graph {} n={} (scheme {}, seed {seed}, cache {cache_mb} MiB [{}], {} shards, {} workers × {threads} threads)",
         spec.graph.family,
         spec.graph.n,
         scheme_name,
         admission.label(),
+        shards,
         net.workers
     );
     // The one stdout line scripts wait for before starting clients.
@@ -607,9 +659,44 @@ fn bench_json(mut args: impl Iterator<Item = String>) {
     );
 }
 
+fn scale_bench(mut args: impl Iterator<Item = String>) {
+    let mut cfg = ExpConfig::default();
+    let mut path = "BENCH_scale.json".to_string();
+    let mut path_set = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--threads" => cfg.threads = expect_num(&mut args, "--threads"),
+            "--seed" => cfg.seed = expect_num(&mut args, "--seed"),
+            other if !path_set && !other.starts_with("--") => {
+                path = other.to_string();
+                path_set = true;
+            }
+            other => {
+                eprintln!("unknown scale-bench argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "[nav-engine] scale-bench mode={} seed={} threads={}",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.seed,
+        cfg.threads
+    );
+    let start = std::time::Instant::now();
+    let json = render_scale_bench(&cfg);
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    print!("{json}");
+    eprintln!(
+        "[nav-engine] scale-bench -> {path} in {:.1?}",
+        start.elapsed()
+    );
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--sampler scalar|batched|ball-realized] [--admission lru|segmented] [--json PATH]\n       nav-engine serve-tcp FILE [--addr HOST:PORT] [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--admission lru|segmented] [--workers W] [--max-queries Q]\n       nav-engine bench-tcp FILE --addr HOST:PORT [--json PATH]\n       nav-engine bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
+        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--sampler scalar|batched|ball-realized] [--admission lru|segmented] [--shards K] [--json PATH]\n       nav-engine serve-tcp FILE [--addr HOST:PORT] [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--admission lru|segmented] [--shards K] [--workers W] [--max-queries Q]\n       nav-engine bench-tcp FILE --addr HOST:PORT [--json PATH]\n       nav-engine bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B] [--shards K]\n       nav-engine scale-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -621,6 +708,7 @@ fn main() {
         Some("serve-tcp") => serve_tcp(args),
         Some("bench-tcp") => bench_tcp(args),
         Some("gen") => gen(args),
+        Some("scale-bench") => scale_bench(args),
         Some("--bench-json") => bench_json(args),
         Some("--help") | Some("-h") | None => usage(),
         Some(other) => {

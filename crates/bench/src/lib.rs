@@ -14,7 +14,9 @@
 //! and its `--bench-json` mode ([`servejson`]) emits the
 //! `BENCH_serve.json` cold-vs-warm-cache baseline. The `serve-tcp` /
 //! `bench-tcp` pair puts the same engine behind a `nav-net` TCP socket;
-//! [`netjson`] emits the `BENCH_net.json` wire baseline.
+//! [`netjson`] emits the `BENCH_net.json` wire baseline, and
+//! [`scalejson`] (`nav-engine scale-bench`) emits the `BENCH_scale.json`
+//! exact-vs-landmark / single-vs-sharded baseline at `n = 10^6`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod benchjson;
 pub mod experiments;
 pub mod measure;
 pub mod netjson;
+pub mod scalejson;
 pub mod servejson;
 pub mod workloads;
 

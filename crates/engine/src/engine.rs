@@ -180,6 +180,27 @@ impl Engine {
         base: u64,
         sampler: SamplerMode,
     ) -> Result<BatchResult, GraphError> {
+        let bases: Vec<u64> = (0..batch.len() as u64).map(|i| base + i).collect();
+        self.serve_indexed(batch, &bases, sampler)
+    }
+
+    /// [`Self::serve_at`] with *every* query's RNG index explicit: query
+    /// `i` runs on the RNG derived from `(seed, bases[i])`. This is what
+    /// lets a sharded front tear one batch into per-shard sub-batches and
+    /// still answer bit-identically to a single engine: each query keeps
+    /// the RNG index it had in the original stream, no matter which shard
+    /// executes it or in what grouping. The lifetime counter is not
+    /// advanced.
+    ///
+    /// # Panics
+    /// Panics if `bases.len() != batch.len()`.
+    pub fn serve_indexed(
+        &mut self,
+        batch: &QueryBatch,
+        bases: &[u64],
+        sampler: SamplerMode,
+    ) -> Result<BatchResult, GraphError> {
+        assert_eq!(bases.len(), batch.len(), "one RNG index per query required");
         let t0 = Instant::now();
         // --- admission -----------------------------------------------
         for q in &batch.queries {
@@ -218,7 +239,7 @@ impl Engine {
                 let row = rows.get(&q.t).expect("row staged above");
                 let router = GreedyRouter::from_row_view(&self.g, q.t, row.view())
                     .expect("endpoints validated at admission");
-                let mut rng = task_rng(self.cfg.seed, base + i as u64);
+                let mut rng = task_rng(self.cfg.seed, bases[i]);
                 // Per-query transient sampler state, byte-capped by the
                 // engine's one memory knob; freed when the query answers.
                 let mut sampler =

@@ -18,6 +18,11 @@
 //!   ([`nav_graph::distance::DistRowBuf`]), hit/miss/eviction counters,
 //!   and a choice of [`AdmissionPolicy`] (strict LRU, or a segmented
 //!   probation/protected LRU that survives one-shot scan traffic);
+//! * [`ShardedEngine`] — a target-sharded front over `k` engines (shard
+//!   `s` owns targets `t % k == s`), answering bit-identically to a
+//!   single engine via explicit per-query RNG indexing
+//!   ([`Engine::serve_indexed`]) — the scale-out shape behind the
+//!   `nav-net` shard-routing handle byte;
 //! * [`workload`] — a dependency-free workload-file format (graph spec +
 //!   query stream) with a zipfian-target generator, so hot-target skew
 //!   actually exercises the cache;
@@ -39,10 +44,12 @@ pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod metrics;
+pub mod shard;
 pub mod workload;
 
 pub use batch::{BatchResult, Query, QueryBatch};
 pub use cache::{AdmissionPolicy, CacheStats, RowCache};
 pub use engine::{Engine, EngineConfig};
 pub use metrics::EngineMetrics;
+pub use shard::ShardedEngine;
 pub use workload::{GraphSpec, WorkloadError, WorkloadSpec, ZipfSpec};

@@ -1,0 +1,369 @@
+//! Target-sharded serving: one front over `k` independent [`Engine`]s.
+//!
+//! At large `n` a single engine's row cache is the scaling wall: every
+//! resident target costs `O(n)` bytes, and one mutex serializes every
+//! batch. Sharding partitions the *target space* — shard `s` owns every
+//! target `t` with `t % k == s` — so each shard's cache only ever holds
+//! its own targets and shards can be deployed behind separate handles
+//! (the `nav-net` handle byte routes to them directly).
+//!
+//! The contract that makes sharding safe to adopt is **bit-identity**:
+//! under the exact oracle, a [`ShardedEngine`] answers every query stream
+//! with exactly the bytes a single [`Engine`] would produce. The
+//! mechanism is RNG indexing — the front stamps each query with the RNG
+//! index it had in the original stream (its lifetime position) and hands
+//! per-shard sub-batches to [`Engine::serve_indexed`], so the grouping
+//! of queries into shards is invisible to every trial's RNG. Shards
+//! execute sequentially (each batch already fans out to
+//! `EngineConfig::threads` compute workers), keeping wall-clock
+//! contention out of the picture without touching determinism.
+
+use crate::batch::{BatchResult, QueryBatch};
+use crate::cache::CacheStats;
+use crate::engine::{Engine, EngineConfig};
+use crate::metrics::EngineMetrics;
+use nav_core::sampler::SamplerMode;
+use nav_core::scheme::AugmentationScheme;
+use nav_graph::{Graph, GraphError, NodeId};
+use std::time::Instant;
+
+/// A front over `k` target-sharded [`Engine`]s, answering batches
+/// bit-identically to a single engine (see the module docs).
+///
+/// ```
+/// use nav_engine::{Engine, EngineConfig, QueryBatch, ShardedEngine};
+/// use nav_core::uniform::UniformScheme;
+/// use nav_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::from_edges(64, (0..63u32).map(|u| (u, u + 1))).unwrap();
+/// let cfg = EngineConfig::default();
+/// let mut sharded = ShardedEngine::new(g.clone(), || Box::new(UniformScheme), cfg, 4);
+/// let mut single = Engine::new(g, Box::new(UniformScheme), cfg);
+/// let batch = QueryBatch::from_pairs(&[(0, 63), (5, 62), (9, 63)], 8);
+/// let a = sharded.serve(&batch).unwrap();
+/// let b = single.serve(&batch).unwrap();
+/// assert!(a
+///     .answers
+///     .iter()
+///     .zip(&b.answers)
+///     .all(|(x, y)| x.bits_eq(y)));
+/// ```
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+    /// Lifetime query counter of the *front* — the per-shard counters
+    /// stay untouched, because every routed query carries its own index.
+    served: u64,
+}
+
+impl ShardedEngine {
+    /// Builds `shards` engines (clamped to at least 1) over clones of
+    /// `g`, each owning a scheme from `scheme_factory`. For bit-identity
+    /// with a single engine the factory must produce identical schemes —
+    /// sampling is driven entirely by per-query RNG streams, so equal
+    /// schemes make shard placement invisible.
+    pub fn new(
+        g: Graph,
+        mut scheme_factory: impl FnMut() -> Box<dyn AugmentationScheme + Send>,
+        cfg: EngineConfig,
+        shards: usize,
+    ) -> Self {
+        let shards = shards.max(1);
+        let engines = (0..shards)
+            .map(|_| Engine::new(g.clone(), scheme_factory(), cfg))
+            .collect();
+        ShardedEngine {
+            shards: engines,
+            served: 0,
+        }
+    }
+
+    /// Wraps an existing engine as a 1-shard front (what single-engine
+    /// callers upgrade through).
+    pub fn from_engine(engine: Engine) -> Self {
+        ShardedEngine {
+            shards: vec![engine],
+            served: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning target `t`.
+    #[inline]
+    pub fn shard_of(&self, t: NodeId) -> usize {
+        t as usize % self.shards.len()
+    }
+
+    /// The shard engines, in shard order.
+    pub fn shards(&self) -> &[Engine] {
+        &self.shards
+    }
+
+    /// The served graph (every shard holds an identical clone).
+    pub fn graph(&self) -> &Graph {
+        self.shards[0].graph()
+    }
+
+    /// The augmentation scheme's display name.
+    pub fn scheme_name(&self) -> String {
+        self.shards[0].scheme_name()
+    }
+
+    /// The engine configuration (identical across shards).
+    pub fn config(&self) -> &EngineConfig {
+        self.shards[0].config()
+    }
+
+    /// Queries answered through the front over its lifetime.
+    pub fn queries_served(&self) -> u64 {
+        self.served
+    }
+
+    /// Row-cache counters summed over every shard.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            let c = s.cache_stats();
+            total.hits += c.hits;
+            total.misses += c.misses;
+            total.insertions += c.insertions;
+            total.evictions += c.evictions;
+            total.rejected += c.rejected;
+            total.resident_rows += c.resident_rows;
+            total.resident_bytes += c.resident_bytes;
+            total.capacity_bytes += c.capacity_bytes;
+        }
+        total
+    }
+
+    /// Lifetime counters summed over every shard. Per-batch latency
+    /// samples are per-shard state and are not merged — read them off
+    /// [`ShardedEngine::shards`] when a tail digest is needed.
+    pub fn metrics(&self) -> EngineMetrics {
+        let mut total = EngineMetrics::default();
+        for s in &self.shards {
+            let m = s.metrics();
+            total.queries += m.queries;
+            total.batches += m.batches;
+            total.trials += m.trials;
+            total.warm_targets += m.warm_targets;
+            total.cold_targets += m.cold_targets;
+            total.total_ms += m.total_ms;
+            total.sampler.merge(&m.sampler);
+        }
+        total
+    }
+
+    /// Serves one batch through the front, advancing the lifetime
+    /// counter — the sharded counterpart of [`Engine::serve`].
+    pub fn serve(&mut self, batch: &QueryBatch) -> Result<BatchResult, GraphError> {
+        let sampler = self.config().sampler;
+        let result = self.serve_at(batch, self.served, sampler)?;
+        self.served += batch.len() as u64;
+        Ok(result)
+    }
+
+    /// [`Self::serve`] with explicit RNG addressing (the network front's
+    /// entry point; the lifetime counter is not advanced): query `i` of
+    /// the batch routes to the shard owning its target and runs on the
+    /// RNG derived from `(seed, base + i)` — bit-identical to
+    /// [`Engine::serve_at`] on a single engine with the same arguments.
+    /// Errors on an out-of-range endpoint before any shard executes, so
+    /// a refused batch leaves no shard state behind.
+    pub fn serve_at(
+        &mut self,
+        batch: &QueryBatch,
+        base: u64,
+        sampler: SamplerMode,
+    ) -> Result<BatchResult, GraphError> {
+        let t0 = Instant::now();
+        let g = self.shards[0].graph();
+        for q in &batch.queries {
+            g.check_node(q.s)?;
+            g.check_node(q.t)?;
+        }
+        // Partition the batch by target shard, remembering each query's
+        // position so answers scatter back in request order and RNG
+        // indices survive the regrouping.
+        let k = self.shards.len();
+        let mut routed: Vec<(QueryBatch, Vec<u64>, Vec<usize>)> = (0..k)
+            .map(|_| (QueryBatch::default(), Vec::new(), Vec::new()))
+            .collect();
+        for (i, q) in batch.queries.iter().enumerate() {
+            let s = self.shard_of(q.t);
+            routed[s].0.queries.push(*q);
+            routed[s].1.push(base + i as u64);
+            routed[s].2.push(i);
+        }
+        let mut answers = vec![None; batch.len()];
+        let mut warm_targets = 0usize;
+        let mut cold_targets = 0usize;
+        for (s, (sub, bases, positions)) in routed.iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let result = self.shards[s]
+                .serve_indexed(sub, bases, sampler)
+                .expect("endpoints validated at the front");
+            warm_targets += result.warm_targets;
+            cold_targets += result.cold_targets;
+            for (&pos, answer) in positions.iter().zip(result.answers) {
+                answers[pos] = Some(answer);
+            }
+        }
+        Ok(BatchResult {
+            answers: answers
+                .into_iter()
+                .map(|a| a.expect("every query routed to exactly one shard"))
+                .collect(),
+            warm_targets,
+            cold_targets,
+            elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+
+    /// Serves a batch directly on shard `shard` with contiguous RNG
+    /// indices `base..` — the path behind a direct shard handle on the
+    /// wire, where the client addresses one shard's stream explicitly.
+    /// The caller is responsible for only sending targets the shard owns
+    /// (check with [`ShardedEngine::shard_of`]); the engine itself only
+    /// validates graph membership.
+    pub fn serve_on(
+        &mut self,
+        shard: usize,
+        batch: &QueryBatch,
+        base: u64,
+        sampler: SamplerMode,
+    ) -> Result<BatchResult, GraphError> {
+        self.shards[shard].serve_at(batch, base, sampler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nav_core::trial::PairStats;
+    use nav_core::uniform::UniformScheme;
+    use nav_graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges(n, (0..n as NodeId - 1).map(|u| (u, u + 1))).unwrap()
+    }
+
+    fn identical(a: &[PairStats], b: &[PairStats]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bits_eq(y))
+    }
+
+    fn pairs() -> Vec<(NodeId, NodeId)> {
+        (0..24u32).map(|i| (i * 3 % 90, 89 - (i % 11))).collect()
+    }
+
+    #[test]
+    fn sharded_matches_single_engine_bit_for_bit() {
+        let g = path(90);
+        let cfg = EngineConfig {
+            seed: 17,
+            threads: 2,
+            cache_bytes: 1 << 20,
+            ..EngineConfig::default()
+        };
+        let mut single = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+        let want = single.serve(&QueryBatch::from_pairs(&pairs(), 7)).unwrap();
+        for k in [1usize, 2, 3, 5, 8] {
+            let mut sharded = ShardedEngine::new(g.clone(), || Box::new(UniformScheme), cfg, k);
+            assert_eq!(sharded.num_shards(), k);
+            let got = sharded.serve(&QueryBatch::from_pairs(&pairs(), 7)).unwrap();
+            assert!(identical(&got.answers, &want.answers), "k={k}");
+            // Target dedup is per shard, but a target lives in exactly
+            // one shard — totals match the single engine.
+            assert_eq!(
+                got.warm_targets + got.cold_targets,
+                want.warm_targets + want.cold_targets,
+                "k={k}"
+            );
+            assert_eq!(sharded.queries_served(), 24);
+        }
+    }
+
+    #[test]
+    fn batch_splits_and_shard_counts_commute() {
+        let g = path(90);
+        let cfg = EngineConfig {
+            seed: 23,
+            threads: 1,
+            cache_bytes: 1 << 18,
+            ..EngineConfig::default()
+        };
+        let mut whole = ShardedEngine::new(g.clone(), || Box::new(UniformScheme), cfg, 4);
+        let want = whole.serve(&QueryBatch::from_pairs(&pairs(), 5)).unwrap();
+        let mut split = ShardedEngine::new(g, || Box::new(UniformScheme), cfg, 2);
+        let mut got = Vec::new();
+        for chunk in pairs().chunks(7) {
+            got.extend(
+                split
+                    .serve(&QueryBatch::from_pairs(chunk, 5))
+                    .unwrap()
+                    .answers,
+            );
+        }
+        assert!(identical(&want.answers, &got));
+    }
+
+    #[test]
+    fn front_rejects_before_any_shard_executes() {
+        let g = path(10);
+        let cfg = EngineConfig::default();
+        let mut sharded = ShardedEngine::new(g, || Box::new(UniformScheme), cfg, 3);
+        let bad = QueryBatch::from_pairs(&[(0, 4), (0, 10)], 2);
+        assert!(sharded.serve(&bad).is_err());
+        assert_eq!(sharded.queries_served(), 0);
+        assert_eq!(sharded.metrics().batches, 0);
+        assert_eq!(sharded.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn merged_counters_and_direct_shard_serving() {
+        let g = path(60);
+        let cfg = EngineConfig {
+            seed: 5,
+            threads: 1,
+            cache_bytes: 1 << 20,
+            ..EngineConfig::default()
+        };
+        let mut sharded = ShardedEngine::new(g.clone(), || Box::new(UniformScheme), cfg, 2);
+        let batch = QueryBatch::from_pairs(&[(0, 58), (1, 59), (2, 58)], 3);
+        sharded.serve(&batch).unwrap();
+        let m = sharded.metrics();
+        assert_eq!(m.queries, 3);
+        assert_eq!(m.trials, 9);
+        assert_eq!(m.batches, 2); // one sub-batch per touched shard
+        assert_eq!(sharded.cache_stats().resident_rows, 2);
+        assert_eq!(sharded.scheme_name(), "uniform");
+        assert_eq!(sharded.graph().num_nodes(), 60);
+        assert_eq!(sharded.shards().len(), 2);
+        assert_eq!((sharded.shard_of(58), sharded.shard_of(59)), (0, 1));
+        // Direct shard serving equals the owning engine's stream.
+        let mut reference = Engine::new(g, Box::new(UniformScheme), cfg);
+        let own = QueryBatch::from_pairs(&[(3, 58)], 4);
+        let want = reference.serve_at(&own, 11, cfg.sampler).unwrap();
+        let got = sharded.serve_on(0, &own, 11, cfg.sampler).unwrap();
+        assert!(identical(&got.answers, &want.answers));
+    }
+
+    #[test]
+    fn from_engine_wraps_as_one_shard() {
+        let g = path(30);
+        let cfg = EngineConfig::default();
+        let engine = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+        let mut front = ShardedEngine::from_engine(engine);
+        assert_eq!(front.num_shards(), 1);
+        let mut single = Engine::new(g, Box::new(UniformScheme), cfg);
+        let batch = QueryBatch::from_pairs(&[(0, 29), (4, 20)], 6);
+        let a = front.serve(&batch).unwrap();
+        let b = single.serve(&batch).unwrap();
+        assert!(identical(&a.answers, &b.answers));
+    }
+}

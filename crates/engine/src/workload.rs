@@ -10,6 +10,7 @@
 //! graph gnp 4096 42        # family, approx node count, build seed
 //! trials 8                 # default trials per query
 //! batch 512                # queries per service batch
+//! shards 4                 # target shards for the serving front (default 1)
 //! query 17 999             # explicit query (optional trailing trials)
 //! query 3 999 32
 //! zipf 100000 1.1 7 1024   # count theta seed hot-targets
@@ -68,6 +69,11 @@ pub struct WorkloadSpec {
     pub default_trials: usize,
     /// Queries per service batch when replaying.
     pub batch_size: usize,
+    /// Target shards the serving front should run (`1` = a single
+    /// engine; see [`crate::ShardedEngine`]). Answers are bit-identical
+    /// either way — this is a deployment knob the file carries so scale
+    /// benches replay the same topology.
+    pub shards: usize,
     /// The query stream, in order.
     pub queries: Vec<Query>,
     /// The zipf directives encountered (reporting only).
@@ -151,6 +157,7 @@ pub fn parse_workload(text: &str) -> Result<WorkloadSpec, WorkloadError> {
     let mut graph: Option<GraphSpec> = None;
     let mut default_trials = 8usize;
     let mut batch_size = 256usize;
+    let mut shards = 1usize;
     let mut queries: Vec<Query> = Vec::new();
     let mut zipf: Vec<ZipfSpec> = Vec::new();
     for (ln, line) in lines {
@@ -171,6 +178,12 @@ pub fn parse_workload(text: &str) -> Result<WorkloadSpec, WorkloadError> {
                 batch_size = parse_num(tok.next(), ln, "batch size")?;
                 if batch_size == 0 {
                     return Err(bad(ln, "batch size must be positive"));
+                }
+            }
+            "shards" => {
+                shards = parse_num(tok.next(), ln, "shard count")?;
+                if shards == 0 || shards > 255 {
+                    return Err(bad(ln, "shard count must be in 1..=255"));
                 }
             }
             "query" => {
@@ -211,6 +224,7 @@ pub fn parse_workload(text: &str) -> Result<WorkloadSpec, WorkloadError> {
         graph,
         default_trials,
         batch_size,
+        shards,
         queries,
         zipf,
     })
@@ -225,8 +239,26 @@ pub fn render_workload(
     batch_size: usize,
     zipf: &ZipfSpec,
 ) -> String {
+    render_workload_with_shards(graph, default_trials, batch_size, 1, zipf)
+}
+
+/// [`render_workload`] with an explicit shard count. A `shards` line is
+/// only emitted when `shards > 1`, so single-engine files keep their
+/// historical bytes (pinned in `tests/workload_gen.rs`).
+pub fn render_workload_with_shards(
+    graph: &GraphSpec,
+    default_trials: usize,
+    batch_size: usize,
+    shards: usize,
+    zipf: &ZipfSpec,
+) -> String {
+    let shard_line = if shards > 1 {
+        format!("shards {shards}\n")
+    } else {
+        String::new()
+    };
     format!(
-        "{HEADER}\ngraph {} {} {}\ntrials {default_trials}\nbatch {batch_size}\nzipf {} {} {} {}\n",
+        "{HEADER}\ngraph {} {} {}\ntrials {default_trials}\nbatch {batch_size}\n{shard_line}zipf {} {} {} {}\n",
         graph.family, graph.n, graph.seed, zipf.count, zipf.theta, zipf.seed, zipf.hot
     )
 }
@@ -400,6 +432,41 @@ zipf 100 1.1 3 8
         assert!(e.to_string().contains("positive"));
         let e = parse_workload("nav-workload v1\ngraph path 10 1\nquery 0 1 2 3").unwrap_err();
         assert!(e.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn shards_directive_parses_and_renders() {
+        let w = parse_workload("nav-workload v1\ngraph path 8 1\nshards 4\nquery 0 7\n").unwrap();
+        assert_eq!(w.shards, 4);
+        // Default is a single engine.
+        assert_eq!(parse_workload(SAMPLE).unwrap().shards, 1);
+        // Out-of-range shard counts are located errors (the handle byte
+        // caps direct addressing at 255 shards).
+        for bad_line in ["shards 0", "shards 256"] {
+            let e = parse_workload(&format!("nav-workload v1\ngraph path 8 1\n{bad_line}\n"))
+                .unwrap_err();
+            assert!(e.to_string().contains("1..=255"), "{e}");
+        }
+        // Rendering with shards > 1 emits the directive and round-trips;
+        // shards == 1 keeps the historical bytes.
+        let g = GraphSpec {
+            family: "gnp".into(),
+            n: 128,
+            seed: 3,
+        };
+        let z = ZipfSpec {
+            count: 10,
+            theta: 1.0,
+            seed: 2,
+            hot: 4,
+        };
+        let text = render_workload_with_shards(&g, 4, 32, 6, &z);
+        assert!(text.contains("\nshards 6\n"));
+        assert_eq!(parse_workload(&text).unwrap().shards, 6);
+        assert_eq!(
+            render_workload_with_shards(&g, 4, 32, 1, &z),
+            render_workload(&g, 4, 32, &z)
+        );
     }
 
     #[test]

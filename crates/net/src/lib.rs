@@ -41,4 +41,6 @@ pub use frame::{
     frames_bits_eq, read_frame, write_frame, ErrorCode, ErrorFrame, Frame, FrameError,
     MetricsSnapshot, ReadError, Request, Response,
 };
-pub use server::{NetConfig, NetServer, ServerHandle};
+pub use server::{
+    compose_handle, split_handle, NetConfig, NetServer, ServerHandle, TENANT_BITS, TENANT_MASK,
+};

@@ -20,7 +20,7 @@ use crate::frame::{
     is_timeout, read_frame, write_frame, ErrorCode, ErrorFrame, Frame, FrameError, MetricsSnapshot,
     ReadError, Request, Response, DEFAULT_MAX_PAYLOAD,
 };
-use nav_engine::{Engine, QueryBatch};
+use nav_engine::{Engine, QueryBatch, ShardedEngine};
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -33,10 +33,46 @@ use std::time::Duration;
 /// flag. Bounds how far shutdown can lag behind an idle connection.
 const IDLE_POLL: Duration = Duration::from_millis(100);
 
+/// How many low bits of a request handle name the tenant; the remaining
+/// top byte selects a shard (see [`compose_handle`]).
+pub const TENANT_BITS: u32 = 24;
+
+/// Mask extracting the tenant from a request handle.
+pub const TENANT_MASK: u32 = (1 << TENANT_BITS) - 1;
+
+/// Composes a wire handle from a tenant id and an optional shard: the
+/// low 24 bits carry the tenant, the top byte carries `shard + 1`
+/// (`0` = let the front route by target). The inverse is
+/// [`split_handle`].
+///
+/// ```
+/// use nav_net::{compose_handle, split_handle};
+/// assert_eq!(split_handle(compose_handle(7, None)), (7, None));
+/// assert_eq!(split_handle(compose_handle(7, Some(3))), (7, Some(3)));
+/// ```
+pub fn compose_handle(tenant: u32, shard: Option<usize>) -> u32 {
+    debug_assert!(tenant <= TENANT_MASK, "tenant must fit 24 bits");
+    let sel = shard.map_or(0u32, |s| s as u32 + 1);
+    debug_assert!(sel <= 0xFF, "shard selector must fit one byte");
+    (sel << TENANT_BITS) | (tenant & TENANT_MASK)
+}
+
+/// Splits a wire handle into `(tenant, shard)` — `shard == None` means
+/// front routing by target.
+pub fn split_handle(handle: u32) -> (u32, Option<usize>) {
+    let sel = handle >> TENANT_BITS;
+    (handle & TENANT_MASK, (sel > 0).then(|| sel as usize - 1))
+}
+
 /// Serving-front knobs of a [`NetServer`].
 #[derive(Clone, Copy, Debug)]
 pub struct NetConfig {
-    /// The graph/scheme handle requests must name.
+    /// The tenant id requests must name in the low [`TENANT_BITS`] bits
+    /// of their handle (must itself fit 24 bits). The top handle byte is
+    /// *routing*, not identity: `0` lets the front route each query to
+    /// the shard owning its target, `s > 0` addresses shard `s − 1`
+    /// directly and refuses queries whose targets that shard does not
+    /// own.
     pub handle: u32,
     /// Connection-handling worker threads (each engine batch additionally
     /// fans out to `EngineConfig::threads` compute workers).
@@ -113,7 +149,7 @@ impl ConnQueue {
 }
 
 struct Shared {
-    engine: Mutex<Engine>,
+    engine: Mutex<ShardedEngine>,
     cfg: NetConfig,
     conns: ConnQueue,
     stop: AtomicBool,
@@ -137,8 +173,19 @@ pub struct ServerHandle {
 
 impl NetServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) around
-    /// `engine`.
+    /// `engine`, served as a single shard.
     pub fn bind(engine: Engine, cfg: NetConfig, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::bind_sharded(ShardedEngine::from_engine(engine), cfg, addr)
+    }
+
+    /// [`NetServer::bind`] around an already-sharded front: the handle's
+    /// top byte then selects a shard (`0` = route by target; see
+    /// [`compose_handle`]).
+    pub fn bind_sharded(
+        engine: ShardedEngine,
+        cfg: NetConfig,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         Ok(NetServer {
             listener,
@@ -198,7 +245,7 @@ impl ServerHandle {
     /// Graceful shutdown: stop accepting, drain queued connections, join
     /// every thread. A request already executing finishes and its
     /// response is written; open connections are then closed at the next
-    /// frame boundary (idle peers within [`IDLE_POLL`]), so shutdown
+    /// frame boundary (idle peers within `IDLE_POLL`), so shutdown
     /// cannot hang on a silent client.
     pub fn shutdown(self) {
         self.shared.stop.store(true, Ordering::SeqCst);
@@ -309,14 +356,21 @@ fn refusal_for(e: &FrameError) -> Frame {
     })
 }
 
-/// Executes one admitted request against the engine.
+/// Executes one admitted request against the engine. The handle's low 24
+/// bits must name this server's tenant; the top byte routes — `0` lets
+/// the front place each query on the shard owning its target, `s > 0`
+/// addresses shard `s − 1` directly (refusing targets it does not own,
+/// so a misrouted client learns immediately instead of silently shifting
+/// another shard's stream).
 fn answer(shared: &Shared, req: Request) -> Frame {
-    if req.handle != shared.cfg.handle {
+    let (tenant, shard) = split_handle(req.handle);
+    if tenant != shared.cfg.handle & TENANT_MASK {
         return Frame::Error(ErrorFrame {
             code: ErrorCode::UnknownHandle,
             message: format!(
                 "handle {} not served here (this server owns handle {})",
-                req.handle, shared.cfg.handle
+                tenant,
+                shared.cfg.handle & TENANT_MASK
             ),
         });
     }
@@ -334,7 +388,37 @@ fn answer(shared: &Shared, req: Request) -> Frame {
         queries: req.queries,
     };
     let mut engine = shared.engine.lock().expect("engine poisoned");
-    match engine.serve_at(&batch, req.rng_base, req.sampler) {
+    if let Some(s) = shard {
+        if s >= engine.num_shards() {
+            return Frame::Error(ErrorFrame {
+                code: ErrorCode::UnknownHandle,
+                message: format!(
+                    "shard {} not served here (this server runs {} shard(s))",
+                    s,
+                    engine.num_shards()
+                ),
+            });
+        }
+        if let Some(q) = batch
+            .queries
+            .iter()
+            .find(|q| (q.t as usize) < engine.graph().num_nodes() && engine.shard_of(q.t) != s)
+        {
+            return Frame::Error(ErrorFrame {
+                code: ErrorCode::InvalidEndpoint,
+                message: format!(
+                    "target {} is owned by shard {}, not shard {s}",
+                    q.t,
+                    engine.shard_of(q.t)
+                ),
+            });
+        }
+    }
+    let result = match shard {
+        Some(s) => engine.serve_on(s, &batch, req.rng_base, req.sampler),
+        None => engine.serve_at(&batch, req.rng_base, req.sampler),
+    };
+    match result {
         Ok(result) => {
             let m = engine.metrics();
             let c = engine.cache_stats();

@@ -201,6 +201,69 @@ proptest! {
     }
 
     #[test]
+    fn sharded_engine_matches_single_engine_bit_for_bit(
+        g in connected_graph(48),
+        seed in 0u64..1000,
+        num_pairs in 1usize..24,
+        trials in 1usize..5,
+        batch_size in 1usize..10,
+    ) {
+        // The scale-out contract: a k-sharded front (shard s owns targets
+        // t % k == s) answers every stream bit-identically to a single
+        // engine — across shard counts, batch splits, and thread counts.
+        // Targets land on different shards mid-batch, so this exercises
+        // the partition/scatter path and the explicit per-query RNG
+        // indexing (`serve_indexed`) that makes placement invisible.
+        use navigability::engine::ShardedEngine;
+        let n = g.num_nodes() as NodeId;
+        let mut rng = seeded_rng(seed ^ 0x54a8d);
+        let pairs: Vec<(NodeId, NodeId)> = (0..num_pairs)
+            .map(|_| {
+                use rand::Rng;
+                (rng.gen_range(0..n), rng.gen_range(0..n))
+            })
+            .collect();
+        let reference = run_trials(
+            &g,
+            &UniformScheme,
+            &pairs,
+            &TrialConfig { trials_per_pair: trials, seed, threads: 1, ..TrialConfig::default() },
+        )
+        .expect("valid pairs");
+        for shards in [1usize, 2, 5] {
+            for threads in [1usize, test_threads()] {
+                let mut engine = ShardedEngine::new(
+                    g.clone(),
+                    || Box::new(UniformScheme),
+                    EngineConfig {
+                        seed,
+                        threads,
+                        cache_bytes: 1 << 20,
+                        ..EngineConfig::default()
+                    },
+                    shards,
+                );
+                let mut answers = Vec::new();
+                for chunk in pairs.chunks(batch_size.max(1)) {
+                    answers.extend(
+                        engine
+                            .serve(&QueryBatch::from_pairs(chunk, trials))
+                            .expect("valid pairs")
+                            .answers,
+                    );
+                }
+                prop_assert!(
+                    identical(&answers, &reference.pairs),
+                    "sharded front diverged at shards={shards} threads={threads} batch={batch_size}"
+                );
+                // Every query was routed somewhere, and each target's rows
+                // live in exactly one shard — totals match a single cache.
+                prop_assert_eq!(engine.queries_served(), pairs.len() as u64);
+            }
+        }
+    }
+
+    #[test]
     fn ball_sampler_backends_match_run_trials(
         g in connected_graph(40),
         seed in 0u64..500,
@@ -249,6 +312,72 @@ proptest! {
             prop_assert!(identical(&answers, &reference.pairs), "mode {:?}", mode);
         }
     }
+}
+
+/// The adaptive row storage's u16→u32 fallback, exercised by an *actual*
+/// graph whose eccentricity overflows `u16`: a 70,000-node path, where
+/// the distance row of target 0 peaks at 69,999 > 65,535. Synthetic unit
+/// tests poke `DistRowBuf::from_wide` with hand-built slices; this drives
+/// the fallback end-to-end through the serving engine — the cached row
+/// must be stored wide (4 bytes/node, visible in `resident_bytes`), and
+/// the answers must stay bit-identical to [`run_trials`].
+#[test]
+fn wide_row_fallback_on_real_geometry() {
+    use navigability::core::oracle::TargetDistanceCache;
+    use navigability::graph::distance::DistRowBuf;
+
+    const N: usize = 70_000;
+    let g = GraphBuilder::from_edges(N, (0..N as NodeId - 1).map(|u| (u, u + 1))).expect("path");
+
+    // The oracle layer: the compacted row refuses the narrow width.
+    let cache = TargetDistanceCache::build(&g, [0u32], 1).expect("in range");
+    let row = cache.row(0).expect("built target");
+    assert_eq!(row[N - 1], (N - 1) as u32, "path eccentricity");
+    let compact = DistRowBuf::from_wide(row);
+    assert!(
+        !compact.is_narrow(),
+        "a 69,999-step row must fall back to u32 storage"
+    );
+    assert_eq!(compact.bytes(), N * 4);
+    assert_eq!(compact.get(N - 1), (N - 1) as u32);
+
+    // The serving layer: one warm target far beyond u16 range.
+    let pairs: Vec<(NodeId, NodeId)> = vec![(1_000, 0), ((N - 1) as NodeId, 0), (500, 0)];
+    let seed = 0x81d5eed;
+    let reference = run_trials(
+        &g,
+        &UniformScheme,
+        &pairs,
+        &TrialConfig {
+            trials_per_pair: 1,
+            seed,
+            threads: 1,
+            ..TrialConfig::default()
+        },
+    )
+    .expect("valid pairs");
+    let mut engine = Engine::new(
+        g.clone(),
+        Box::new(UniformScheme),
+        EngineConfig {
+            seed,
+            threads: 1,
+            cache_bytes: 1 << 20,
+            ..EngineConfig::default()
+        },
+    );
+    let answers = engine
+        .serve(&QueryBatch::from_pairs(&pairs, 1))
+        .expect("valid pairs")
+        .answers;
+    assert!(identical(&answers, &reference.pairs));
+    let stats = engine.cache_stats();
+    assert_eq!(stats.resident_rows, 1, "one distinct target");
+    assert_eq!(
+        stats.resident_bytes,
+        N * 4,
+        "the resident row must be charged at the wide (u32) width"
+    );
 }
 
 /// Direct soak of the cache's eviction accounting: a long random

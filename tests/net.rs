@@ -509,3 +509,109 @@ fn refusals_are_typed_and_non_poisoning() {
     drop(client);
     server.shutdown();
 }
+
+// --- 4. shard routing via the handle byte --------------------------------
+
+#[test]
+fn sharded_server_routes_by_handle_byte_and_stays_bit_identical() {
+    use navigability::engine::ShardedEngine;
+    use navigability::net::{compose_handle, split_handle};
+    let g = world(72, 4);
+    let seed = 29u64;
+    let cfg = EngineConfig {
+        seed,
+        threads: 1,
+        cache_bytes: 1 << 20,
+        ..EngineConfig::default()
+    };
+    let sharded = ShardedEngine::new(g.clone(), || Box::new(UniformScheme), cfg, 3);
+    let server = NetServer::bind_sharded(sharded, NetConfig::default(), "127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+
+    // Front routing (shard byte 0): bit-identical to run_trials.
+    let pairs = client_pairs(&g, 1, 18);
+    let reference = run_trials(
+        &g,
+        &UniformScheme,
+        &pairs,
+        &TrialConfig {
+            trials_per_pair: 3,
+            seed,
+            threads: 1,
+            ..TrialConfig::default()
+        },
+    )
+    .expect("valid");
+    let (answers, _) = client
+        .serve(
+            compose_handle(0, None),
+            SamplerMode::Scalar,
+            &QueryBatch::from_pairs(&pairs, 3),
+        )
+        .expect("front routing");
+    assert!(identical(&answers, &reference.pairs));
+
+    // Direct shard handle: a batch of targets shard 1 owns (t % 3 == 1)
+    // equals the owning engine's own stream at the same rng_base.
+    let owned: Vec<(NodeId, NodeId)> = vec![(0, 1), (5, 4), (9, 7)];
+    let mut local = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+    let want = local
+        .serve_at(&QueryBatch::from_pairs(&owned, 2), 0, SamplerMode::Scalar)
+        .expect("local");
+    let mut direct = NetClient::connect(server.addr()).expect("connect");
+    let (got, _) = direct
+        .serve(
+            compose_handle(0, Some(1)),
+            SamplerMode::Scalar,
+            &QueryBatch::from_pairs(&owned, 2),
+        )
+        .expect("direct shard");
+    assert!(identical(&got, &want.answers));
+
+    // A target the shard does not own is refused, typed.
+    let err = direct
+        .serve(
+            compose_handle(0, Some(1)),
+            SamplerMode::Scalar,
+            &QueryBatch::from_pairs(&[(0, 3)], 1),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(&err, NetError::Remote(e) if e.code == ErrorCode::InvalidEndpoint),
+        "{err}"
+    );
+
+    // A shard byte past the shard count is an unknown handle.
+    let err = direct
+        .serve(
+            compose_handle(0, Some(7)),
+            SamplerMode::Scalar,
+            &QueryBatch::from_pairs(&[(0, 1)], 1),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(&err, NetError::Remote(e) if e.code == ErrorCode::UnknownHandle),
+        "{err}"
+    );
+
+    // And the wrong tenant still refuses, independent of the shard byte.
+    let err = direct
+        .serve(
+            compose_handle(9, Some(1)),
+            SamplerMode::Scalar,
+            &QueryBatch::from_pairs(&[(0, 1)], 1),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(&err, NetError::Remote(e) if e.code == ErrorCode::UnknownHandle),
+        "{err}"
+    );
+
+    assert_eq!(split_handle(compose_handle(0, Some(2))), (0, Some(2)));
+    drop(client);
+    drop(direct);
+    server.shutdown();
+}

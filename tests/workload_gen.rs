@@ -4,7 +4,7 @@
 //! exact bytes — so format or generator drift cannot land silently.
 
 use navigability::engine::workload::{
-    parse_workload, render_workload, zipf_queries, GraphSpec, ZipfSpec,
+    parse_workload, render_workload, render_workload_with_shards, zipf_queries, GraphSpec, ZipfSpec,
 };
 
 fn gen_spec() -> (GraphSpec, ZipfSpec) {
@@ -74,6 +74,52 @@ fn zipf_expansion_is_pinned() {
 /// say so in the log — every previously generated workload file changes
 /// meaning with it.
 const PINNED_STREAM_HASH: u64 = 17310200778369204009;
+
+/// The fingerprint of the scale-smoke stream: the same zipf parameters
+/// expanded over an `n = 10^5` id space (the `scale-bench --quick`
+/// graph size). Pinned separately from the 4096 stream because the
+/// node-count clamp is part of the expansion: hot-set truncation and
+/// rejection behave differently at large `n`.
+const PINNED_SCALE_STREAM_HASH: u64 = 13617300153548124487;
+
+#[test]
+fn zipf_expansion_is_pinned_at_scale_n() {
+    let zipf = ZipfSpec {
+        count: 100_000,
+        theta: 1.1,
+        seed: 7,
+        hot: 1024,
+    };
+    let queries = zipf_queries(100_000, &zipf, 8);
+    assert_eq!(queries.len(), 100_000);
+    assert!(queries.iter().all(|q| q.s < 100_000 && q.t < 100_000));
+    assert_eq!(stream_hash(&queries), PINNED_SCALE_STREAM_HASH);
+}
+
+#[test]
+fn sharded_workload_file_is_byte_identical() {
+    // The golden bytes of a sharded workload: `gen --shards 4` emits one
+    // extra directive line between `batch` and `zipf`; `--shards 1`
+    // keeps the historical single-engine bytes exactly.
+    let (graph, zipf) = gen_spec();
+    let sharded = render_workload_with_shards(&graph, 8, 512, 4, &zipf);
+    assert_eq!(
+        sharded,
+        "nav-workload v1\ngraph gnp 4096 42\ntrials 8\nbatch 512\nshards 4\nzipf 100000 1.1 7 1024\n"
+    );
+    let spec = parse_workload(&sharded).expect("valid");
+    assert_eq!(spec.shards, 4);
+    assert_eq!(stream_hash(&spec.queries), PINNED_STREAM_HASH);
+    // shards 1 is the default and is never rendered.
+    let single = render_workload_with_shards(&graph, 8, 512, 1, &zipf);
+    assert_eq!(single, render_workload(&graph, 8, 512, &zipf));
+    assert_eq!(parse_workload(&single).expect("valid").shards, 1);
+    // The one-byte wire handle bounds the shard count at parse time.
+    for bad in ["shards 0", "shards 256"] {
+        let text = single.replace("batch 512", &format!("batch 512\n{bad}"));
+        assert!(parse_workload(&text).is_err(), "{bad} must be rejected");
+    }
+}
 
 #[test]
 fn parse_roundtrip_is_deterministic_for_small_specs() {
