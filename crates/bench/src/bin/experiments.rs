@@ -4,7 +4,7 @@
 //! distance-oracle layer.
 //!
 //! ```text
-//! cargo run -p nav-bench --release --bin experiments -- [--quick] [--exp e1,e7] [--threads N] [--seed S] [--sampler scalar|batched] [--csv]
+//! cargo run -p nav-bench --release --bin experiments -- [--quick] [--exp e1,e7] [--threads N] [--seed S] [--sampler scalar|batched] [--drop-p P] [--fault-epochs E] [--csv]
 //! cargo run -p nav-bench --release --bin experiments -- --bench-json [PATH] [--quick] [--threads N] [--seed S]
 //! ```
 //!
@@ -13,6 +13,10 @@
 //! draws from 64-lane MS-BFS ball-row caches instead of one truncated
 //! BFS per visited node; schemes without a batched backend fall back to
 //! the scalar path unchanged.
+//!
+//! `--drop-p P` inserts `P` into E10's link-failure sweep and
+//! `--fault-epochs E` appends E10's per-epoch node-churn table — both
+//! knobs of the fault-injection experiment, no recompile needed.
 
 use nav_bench::benchjson::render_core_bench;
 use nav_bench::experiments::run_experiments;
@@ -60,9 +64,26 @@ fn main() {
                     .and_then(SamplerMode::parse)
                     .expect("--sampler needs scalar|batched");
             }
+            "--drop-p" => {
+                let p: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--drop-p needs a probability");
+                assert!(
+                    (0.0..=1.0).contains(&p),
+                    "--drop-p must be in [0, 1], got {p}"
+                );
+                cfg.drop_p = Some(p);
+            }
+            "--fault-epochs" => {
+                cfg.fault_epochs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fault-epochs needs an epoch count");
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--exp e1,..,e8] [--threads N] [--seed S] [--sampler scalar|batched] [--csv]\n       experiments --bench-json [PATH] [--quick] [--threads N] [--seed S]"
+                    "usage: experiments [--quick] [--exp e1,..,e10] [--threads N] [--seed S] [--sampler scalar|batched] [--drop-p P] [--fault-epochs E] [--csv]\n       experiments --bench-json [PATH] [--quick] [--threads N] [--seed S]"
                 );
                 return;
             }

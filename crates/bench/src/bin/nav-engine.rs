@@ -25,24 +25,37 @@
 //! # emit the BENCH_scale.json exact-vs-landmark / single-vs-sharded
 //! # baseline (n = 10^6; --quick is the CI-sized n = 10^5 smoke)
 //! cargo run -p nav-bench --release --bin nav-engine -- scale-bench [PATH] [--quick] [--threads N] [--seed S]
+//!
+//! # emit the BENCH_fault.json success/stretch-vs-drop-probability
+//! # degradation baseline (link drops + node churn)
+//! cargo run -p nav-bench --release --bin nav-engine -- chaos-bench [PATH] [--quick] [--threads N] [--seed S]
 //! ```
 //!
 //! `serve`, `serve-tcp`, and `gen` all take `--shards K` (1..=255): `gen`
 //! stamps the workload file, the serving commands partition the target
 //! space across `K` engine shards behind one front (answers stay
 //! bit-identical to a single engine).
+//!
+//! The serving commands also take `--drop-p P` (each long-range lookup
+//! fails i.i.d. with probability `P`) and `--fault-epochs E` (`E` epochs
+//! of seeded node churn, 1024 queries / 5% of nodes down each); either
+//! flag overrides the workload file's `fault` directive. Faulty answers
+//! stay bit-identical across threads, cache sizes, batch splits and
+//! shard counts — failure injection is part of the determinism contract.
 
+use nav_bench::faultjson::render_fault_bench;
 use nav_bench::netjson::render_net_bench;
 use nav_bench::scalejson::render_scale_bench;
 use nav_bench::servejson::render_serve_bench;
 use nav_bench::workloads::Workload;
 use nav_bench::ExpConfig;
 use nav_core::ball::BallScheme;
+use nav_core::faulty::FaultConfig;
 use nav_core::sampler::SamplerMode;
 use nav_core::scheme::AugmentationScheme;
 use nav_core::uniform::{NoAugmentation, UniformScheme};
 use nav_engine::workload::{
-    parse_workload, render_workload_with_shards, GraphSpec, WorkloadSpec, ZipfSpec,
+    parse_workload, render_workload_with_shards, FaultSpec, GraphSpec, WorkloadSpec, ZipfSpec,
 };
 use nav_engine::{AdmissionPolicy, EngineConfig, ShardedEngine};
 use nav_graph::Graph;
@@ -134,6 +147,41 @@ fn expect_shards(args: &mut impl Iterator<Item = String>) -> usize {
     shards
 }
 
+/// Resolves a serving command's fault injection: `--drop-p` /
+/// `--fault-epochs` override the workload file's `fault` directive
+/// field-by-field; with neither flag nor directive, serving is
+/// fault-free. The churn plan derives from the serving seed
+/// ([`nav_core::faulty::FailurePlan::standard`]), so two replicas
+/// started with the same seed agree on every epoch's down set.
+fn resolve_fault(
+    drop_p: Option<f64>,
+    epochs: Option<u32>,
+    spec_fault: Option<FaultSpec>,
+    seed: u64,
+) -> FaultConfig {
+    let spec = match (drop_p, epochs) {
+        (None, None) => spec_fault,
+        (dp, ep) => {
+            let base = spec_fault.unwrap_or(FaultSpec {
+                drop_prob: 0.0,
+                epochs: 0,
+            });
+            Some(FaultSpec {
+                drop_prob: dp.unwrap_or(base.drop_prob),
+                epochs: ep.unwrap_or(base.epochs),
+            })
+        }
+    };
+    let Some(spec) = spec else {
+        return FaultConfig::default();
+    };
+    if !(0.0..=1.0).contains(&spec.drop_prob) {
+        eprintln!("--drop-p must be in [0, 1], got {}", spec.drop_prob);
+        std::process::exit(2);
+    }
+    spec.to_config(seed)
+}
+
 /// Parses `--admission lru|segmented`.
 fn expect_admission(args: &mut impl Iterator<Item = String>) -> AdmissionPolicy {
     let value = args.next().unwrap_or_else(|| {
@@ -156,6 +204,8 @@ fn serve(mut args: impl Iterator<Item = String>) {
     let mut json_path: Option<String> = None;
     let mut admission = AdmissionPolicy::Lru;
     let mut shards_flag: Option<usize> = None;
+    let mut drop_p: Option<f64> = None;
+    let mut fault_epochs: Option<u32> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => threads = expect_num(&mut args, "--threads"),
@@ -163,6 +213,8 @@ fn serve(mut args: impl Iterator<Item = String>) {
             "--cache-mb" => cache_mb = expect_num(&mut args, "--cache-mb"),
             "--admission" => admission = expect_admission(&mut args),
             "--shards" => shards_flag = Some(expect_shards(&mut args)),
+            "--drop-p" => drop_p = Some(expect_num(&mut args, "--drop-p")),
+            "--fault-epochs" => fault_epochs = Some(expect_num(&mut args, "--fault-epochs")),
             "--scheme" => {
                 scheme_name = args.next().unwrap_or_else(|| {
                     eprintln!("--scheme needs a value");
@@ -216,6 +268,22 @@ fn serve(mut args: impl Iterator<Item = String>) {
     // mid-replay. (`gen` pins the file to the built size.)
     let (spec, g) = load_workload(&file);
     let shards = shards_flag.unwrap_or(spec.shards);
+    let fault = resolve_fault(drop_p, fault_epochs, spec.fault, seed);
+    if fault.is_active() {
+        eprintln!(
+            "[nav-engine] faults: drop_p={}, churn={}",
+            fault.drop_prob,
+            fault
+                .plan
+                .map(|p| format!(
+                    "{} epochs × {} queries, {} down",
+                    p.epochs(),
+                    p.period(),
+                    p.down_frac()
+                ))
+                .unwrap_or_else(|| "off".into())
+        );
+    }
     eprintln!(
         "[nav-engine] graph {} n={} m={} | {} queries ({} distinct targets), batch {}, scheme {}, sampler {}, cache {} MiB, threads {}, shards {}",
         spec.graph.family,
@@ -239,6 +307,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
             cache_bytes: cache_mb << 20,
             sampler,
             admission,
+            fault,
         },
         shards,
     );
@@ -279,6 +348,12 @@ fn serve(mut args: impl Iterator<Item = String>) {
         "targets           {} warm / {} cold",
         m.warm_targets, m.cold_targets
     );
+    if fault.is_active() {
+        println!(
+            "faults            {} dropped links, {} rerouted hops, {} epoch flips",
+            m.dropped_links, m.rerouted_hops, m.epoch_flips
+        );
+    }
     if m.sampler.misses + m.sampler.hits > 0 {
         println!(
             "sampler           {} ball rows over {} MS-BFS passes, {} hits / {} misses, {} fallbacks, {} KiB",
@@ -438,9 +513,13 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
     let mut admission = AdmissionPolicy::Lru;
     let mut net = NetConfig::default();
     let mut shards_flag: Option<usize> = None;
+    let mut drop_p: Option<f64> = None;
+    let mut fault_epochs: Option<u32> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--shards" => shards_flag = Some(expect_shards(&mut args)),
+            "--drop-p" => drop_p = Some(expect_num(&mut args, "--drop-p")),
+            "--fault-epochs" => fault_epochs = Some(expect_num(&mut args, "--fault-epochs")),
             "--addr" => {
                 addr = args.next().unwrap_or_else(|| {
                     eprintln!("--addr needs HOST:PORT");
@@ -472,6 +551,7 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
     });
     let (spec, g) = load_workload(&file);
     let shards = shards_flag.unwrap_or(spec.shards);
+    let fault = resolve_fault(drop_p, fault_epochs, spec.fault, seed);
     let engine = sharded_engine(
         g,
         &scheme_name,
@@ -481,6 +561,7 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
             cache_bytes: cache_mb << 20,
             sampler: SamplerMode::Scalar,
             admission,
+            fault,
         },
         shards,
     );
@@ -498,6 +579,13 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
         shards,
         net.workers
     );
+    if fault.is_active() {
+        eprintln!(
+            "[nav-engine] faults: drop_p={}, churn epochs={}",
+            fault.drop_prob,
+            fault.plan.map(|p| p.epochs()).unwrap_or(0)
+        );
+    }
     // The one stdout line scripts wait for before starting clients.
     println!("listening on {bound}");
     use std::io::Write as _;
@@ -694,9 +782,44 @@ fn scale_bench(mut args: impl Iterator<Item = String>) {
     );
 }
 
+fn chaos_bench(mut args: impl Iterator<Item = String>) {
+    let mut cfg = ExpConfig::default();
+    let mut path = "BENCH_fault.json".to_string();
+    let mut path_set = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--threads" => cfg.threads = expect_num(&mut args, "--threads"),
+            "--seed" => cfg.seed = expect_num(&mut args, "--seed"),
+            other if !path_set && !other.starts_with("--") => {
+                path = other.to_string();
+                path_set = true;
+            }
+            other => {
+                eprintln!("unknown chaos-bench argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "[nav-engine] chaos-bench mode={} seed={} threads={}",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.seed,
+        cfg.threads
+    );
+    let start = std::time::Instant::now();
+    let json = render_fault_bench(&cfg);
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    print!("{json}");
+    eprintln!(
+        "[nav-engine] chaos-bench -> {path} in {:.1?}",
+        start.elapsed()
+    );
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--sampler scalar|batched|ball-realized] [--admission lru|segmented] [--shards K] [--json PATH]\n       nav-engine serve-tcp FILE [--addr HOST:PORT] [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--admission lru|segmented] [--shards K] [--workers W] [--max-queries Q]\n       nav-engine bench-tcp FILE --addr HOST:PORT [--json PATH]\n       nav-engine bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B] [--shards K]\n       nav-engine scale-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
+        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--sampler scalar|batched|ball-realized] [--admission lru|segmented] [--shards K] [--drop-p P] [--fault-epochs E] [--json PATH]\n       nav-engine serve-tcp FILE [--addr HOST:PORT] [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--admission lru|segmented] [--shards K] [--drop-p P] [--fault-epochs E] [--workers W] [--max-queries Q]\n       nav-engine bench-tcp FILE --addr HOST:PORT [--json PATH]\n       nav-engine bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B] [--shards K]\n       nav-engine scale-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine chaos-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -709,6 +832,7 @@ fn main() {
         Some("bench-tcp") => bench_tcp(args),
         Some("gen") => gen(args),
         Some("scale-bench") => scale_bench(args),
+        Some("chaos-bench") => chaos_bench(args),
         Some("--bench-json") => bench_json(args),
         Some("--help") | Some("-h") | None => usage(),
         Some(other) => {

@@ -430,7 +430,14 @@ pub fn e10_fault_tolerance(cfg: &ExpConfig) -> Vec<Table> {
     use nav_core::faulty::FaultyScheme;
     let n = if cfg.quick { 2048 } else { 8192 };
     let g = classic::path(n).expect("path");
-    let drops = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+    // `--drop-p` inserts a probability of interest into the sweep.
+    let mut drops = vec![0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+    if let Some(p) = cfg.drop_p {
+        if !drops.contains(&p) {
+            drops.push(p);
+            drops.sort_by(|a, b| a.total_cmp(b));
+        }
+    }
     let mut table = Table::new(
         format!("E10 (fault injection) — link failure probability p on the {n}-node path (walking = {} steps)", n - 1),
         &["scheme", "p", "steps (max-pair)"],
@@ -445,7 +452,62 @@ pub fn e10_fault_tolerance(cfg: &ExpConfig) -> Vec<Table> {
         let pt = measure(&g, &scheme, cfg, &format!("e10-uni-{p}"));
         table.row(&["uniform".into(), format!("{p:.2}"), fnum(pt.max_mean)]);
     }
-    vec![table]
+    let mut tables = vec![table];
+    if cfg.fault_epochs > 0 {
+        tables.push(e10b_node_churn(cfg));
+    }
+    tables
+}
+
+/// E10b — `--fault-epochs E`: greedy routing under seeded node churn
+/// (a [`FailurePlan`] with 5% of nodes down per epoch) on a 2-d grid,
+/// where the 4-neighbour mesh leaves live detours. Per epoch: the
+/// fraction of trials that reach the target, mean steps over successes,
+/// and how many hops rerouted around a down fault-free winner. Every
+/// number is a pure function of the seed — rerun it and the down sets,
+/// walks and counters replay exactly.
+fn e10b_node_churn(cfg: &ExpConfig) -> Table {
+    use nav_core::faulty::FailurePlan;
+    use nav_core::routing::{default_step_cap, GreedyRouter};
+    let n = if cfg.quick { 1024 } else { 4096 };
+    let g = Workload::Grid2d.build(n, cfg.seed_for("e10b", n));
+    let n = g.num_nodes();
+    let plan = FailurePlan::standard(cfg.seed_for("e10b-plan", n), cfg.fault_epochs);
+    let mut table = Table::new(
+        format!(
+            "E10b (node churn) — uniform scheme on the {n}-node grid, {} epochs × 5% of nodes down",
+            cfg.fault_epochs
+        ),
+        &["epoch", "success", "mean steps (ok)", "rerouted hops"],
+    );
+    let (s, t) = (0, (n - 1) as nav_graph::NodeId);
+    let trials = cfg.trials();
+    for epoch in 0..u64::from(cfg.fault_epochs) {
+        let router = GreedyRouter::new(&g, t)
+            .expect("grid target")
+            .with_fault(plan, epoch);
+        let mut rng = seeded_rng(cfg.seed_for("e10b-trials", n) ^ epoch);
+        let (mut ok, mut steps) = (0usize, 0.0f64);
+        for _ in 0..trials {
+            let out = router.route(&UniformScheme, s, &mut rng, default_step_cap(&g), false);
+            if out.reached {
+                ok += 1;
+                steps += f64::from(out.steps);
+            }
+        }
+        let (_, rerouted) = router.fault_counts();
+        table.row(&[
+            epoch.to_string(),
+            format!("{}/{trials}", ok),
+            if ok > 0 {
+                fnum(steps / ok as f64)
+            } else {
+                "—".into()
+            },
+            rerouted.to_string(),
+        ]);
+    }
+    table
 }
 
 /// Runs the selected experiments (all when `which` is empty), returning
@@ -492,6 +554,23 @@ mod tests {
     // Each experiment is exercised end-to-end in quick mode by the
     // integration suite; here we spot-check the cheapest ones to keep
     // unit-test time sane.
+
+    #[test]
+    fn e10b_churn_table_replays_deterministically() {
+        let cfg = ExpConfig {
+            fault_epochs: 3,
+            ..tiny_cfg()
+        };
+        let a = e10b_node_churn(&cfg);
+        let b = e10b_node_churn(&cfg);
+        assert_eq!(
+            a.to_markdown(),
+            b.to_markdown(),
+            "churn tables must replay exactly from the seed"
+        );
+        assert_eq!(a.num_rows(), 3);
+        assert!(a.to_markdown().contains("rerouted"));
+    }
 
     #[test]
     fn e2_runs_and_shows_barrier() {

@@ -14,15 +14,19 @@
 //! and its `--bench-json` mode ([`servejson`]) emits the
 //! `BENCH_serve.json` cold-vs-warm-cache baseline. The `serve-tcp` /
 //! `bench-tcp` pair puts the same engine behind a `nav-net` TCP socket;
-//! [`netjson`] emits the `BENCH_net.json` wire baseline, and
+//! [`netjson`] emits the `BENCH_net.json` wire baseline,
 //! [`scalejson`] (`nav-engine scale-bench`) emits the `BENCH_scale.json`
-//! exact-vs-landmark / single-vs-sharded baseline at `n = 10^6`.
+//! exact-vs-landmark / single-vs-sharded baseline at `n = 10^6`, and
+//! [`faultjson`] (`nav-engine chaos-bench`) emits the `BENCH_fault.json`
+//! success/stretch-vs-drop-probability degradation curves under link
+//! drops and node churn.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod benchjson;
 pub mod experiments;
+pub mod faultjson;
 pub mod measure;
 pub mod netjson;
 pub mod scalejson;
@@ -42,6 +46,14 @@ pub struct ExpConfig {
     /// (`--sampler`): scalar reference path, or the batched ball-row
     /// cache where the scheme supports it.
     pub sampler: nav_core::sampler::SamplerMode,
+    /// Extra link-drop probability for the fault experiment
+    /// (`--drop-p`): E10 inserts this point into its drop grid, so a
+    /// probability of interest can be measured without recompiling.
+    pub drop_p: Option<f64>,
+    /// Node-churn epochs for the fault experiment (`--fault-epochs`):
+    /// when positive, E10 appends a per-epoch churn table (seeded
+    /// [`nav_core::faulty::FailurePlan`], 5% of nodes down per epoch).
+    pub fault_epochs: u32,
 }
 
 impl Default for ExpConfig {
@@ -51,6 +63,8 @@ impl Default for ExpConfig {
             seed: 20070610, // SPAA 2007, San Diego
             threads: nav_par::default_threads(),
             sampler: nav_core::sampler::SamplerMode::Scalar,
+            drop_p: None,
+            fault_epochs: 0,
         }
     }
 }

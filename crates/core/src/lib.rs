@@ -66,7 +66,7 @@ pub mod uniform;
 pub mod workspace;
 
 pub use ball::{BallRowSampler, BallScheme};
-pub use faulty::FaultyScheme;
+pub use faulty::{FailurePlan, FaultConfig, FaultySampler, FaultyScheme};
 pub use kleinberg::KleinbergScheme;
 pub use matrix::{AugmentationMatrix, MatrixScheme};
 pub use oracle::{DistanceOracle, LandmarkOracle, LandmarkRouter, TargetDistanceCache};

@@ -16,11 +16,13 @@
 //! * ties are broken toward the local neighbour and then by smallest node
 //!   id, making trials reproducible given the RNG seed.
 
+use crate::faulty::FailurePlan;
 use crate::sampler::{ContactSampler, ScalarSampler};
 use crate::scheme::AugmentationScheme;
 use nav_graph::distance::{DistRowView, NARROW_INFINITY};
 use nav_graph::{bfs::Bfs, Graph, GraphError, NodeId, INFINITY};
 use rand::RngCore;
+use std::cell::Cell;
 
 /// Outcome of one greedy-routing trial.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,6 +65,17 @@ impl Row<'_> {
     }
 }
 
+/// A churn view bound to one epoch, plus the tallies fault-aware routing
+/// accumulates. The counters are `Cell`s so the read-only routing API
+/// (`&self`) can count without threading mutability through every step —
+/// a router is built per worker and never shared across threads.
+struct FaultState {
+    plan: FailurePlan,
+    epoch: u64,
+    dropped: Cell<u64>,
+    rerouted: Cell<u64>,
+}
+
 /// A router bound to one (graph, target) pair; reusable across sources and
 /// trials. The target-distance row is either owned (computed by one BFS)
 /// or borrowed — from a shared [`crate::oracle::TargetDistanceCache`] row,
@@ -71,6 +84,7 @@ pub struct GreedyRouter<'g> {
     g: &'g Graph,
     target: NodeId,
     dist_t: Row<'g>,
+    fault: Option<FaultState>,
 }
 
 impl<'g> GreedyRouter<'g> {
@@ -79,14 +93,24 @@ impl<'g> GreedyRouter<'g> {
         g.check_node(target)?;
         let mut bfs = Bfs::new(g.num_nodes());
         let dist_t = Row::Owned(bfs.distances(g, target));
-        Ok(GreedyRouter { g, target, dist_t })
+        Ok(GreedyRouter {
+            g,
+            target,
+            dist_t,
+            fault: None,
+        })
     }
 
     /// Builds the router reusing a caller-provided BFS workspace.
     pub fn with_workspace(g: &'g Graph, target: NodeId, bfs: &mut Bfs) -> Result<Self, GraphError> {
         g.check_node(target)?;
         let dist_t = Row::Owned(bfs.distances(g, target));
-        Ok(GreedyRouter { g, target, dist_t })
+        Ok(GreedyRouter {
+            g,
+            target,
+            dist_t,
+            fault: None,
+        })
     }
 
     /// Builds the router on a borrowed, precomputed distance row
@@ -128,7 +152,47 @@ impl<'g> GreedyRouter<'g> {
             DistRowView::Wide(v) => Row::Wide(v),
             DistRowView::Narrow(v) => Row::Narrow(v),
         };
-        Ok(GreedyRouter { g, target, dist_t })
+        Ok(GreedyRouter {
+            g,
+            target,
+            dist_t,
+            fault: None,
+        })
+    }
+
+    /// Binds the router to one epoch of a node-churn [`FailurePlan`]:
+    /// every subsequent step treats the epoch's down nodes as
+    /// unforwardable — a down contact is discarded, the local scan
+    /// considers only live neighbours (the paper's best-live-hop
+    /// fallback), and a walk whose every improving neighbour is down
+    /// gets stuck (surfaced as `reached == false` by the trial layer).
+    /// The routing target itself is exempt: it is the node asking.
+    ///
+    /// The fault-free path (`fault == None`) is untouched, bit for bit.
+    pub fn with_fault(mut self, plan: FailurePlan, epoch: u64) -> Self {
+        self.fault = Some(FaultState {
+            plan,
+            epoch,
+            dropped: Cell::new(0),
+            rerouted: Cell::new(0),
+        });
+        self
+    }
+
+    /// The fault tallies accumulated so far:
+    /// `(contacts discarded because the contact node was down,
+    ///   hops where the fault-free winner was down and routing fell back
+    ///   to a different live hop)`. `(0, 0)` without a fault view.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        match &self.fault {
+            Some(f) => (f.dropped.get(), f.rerouted.get()),
+            None => (0, 0),
+        }
+    }
+
+    /// The churn epoch this router is bound to, when it has a fault view.
+    pub fn fault_epoch(&self) -> Option<u64> {
+        self.fault.as_ref().map(|f| f.epoch)
     }
 
     /// The underlying graph.
@@ -172,12 +236,84 @@ impl<'g> GreedyRouter<'g> {
     /// rounds both take steps through it.
     #[inline]
     pub fn step(&self, u: NodeId, contact: Option<NodeId>) -> Option<(NodeId, bool)> {
+        if let Some(f) = &self.fault {
+            return self.step_faulty(u, contact, f);
+        }
         let next = self.next_hop(u, contact)?;
         debug_assert!(
             self.dist_t.get(next as usize) < self.dist_t.get(u as usize),
             "greedy step must strictly decrease target distance"
         );
         let long = Some(next) == contact && self.g.neighbors(u).binary_search(&next).is_err();
+        Some((next, long))
+    }
+
+    /// Whether churn has `v` down in this router's epoch (the target is
+    /// exempt — it is the node asking the query).
+    #[inline]
+    fn down(&self, v: NodeId, f: &FaultState) -> bool {
+        v != self.target && f.plan.is_down(f.epoch, v)
+    }
+
+    /// [`GreedyRouter::local_next`] restricted to live neighbours.
+    fn local_next_live(&self, u: NodeId, f: &FaultState) -> Option<NodeId> {
+        let mut best: Option<(u32, NodeId)> = None;
+        for &v in self.g.neighbors(u) {
+            if self.down(v, f) {
+                continue;
+            }
+            let d = self.dist_t.get(v as usize);
+            match best {
+                Some((bd, _)) if d >= bd => {}
+                _ => best = Some((d, v)),
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// One step under node churn: a down contact cannot be forwarded to,
+    /// the local scan is restricted to live neighbours, and the chosen
+    /// hop must still strictly decrease the target distance — greedy's
+    /// termination guarantee. When churn has taken every improving
+    /// neighbour down the walk is stuck and the step returns `None`
+    /// (the caller records the trial as a failure — this is exactly the
+    /// degradation signal the fault benches measure).
+    fn step_faulty(
+        &self,
+        u: NodeId,
+        contact: Option<NodeId>,
+        f: &FaultState,
+    ) -> Option<(NodeId, bool)> {
+        let live_contact = match contact {
+            Some(c) if self.down(c, f) => {
+                f.dropped.set(f.dropped.get() + 1);
+                None
+            }
+            c => c,
+        };
+        let next = match (self.local_next_live(u, f), live_contact) {
+            (None, c) => c.filter(|&v| self.dist_t.get(v as usize) < self.dist_t.get(u as usize)),
+            (Some(l), None) => Some(l),
+            (Some(l), Some(c)) => {
+                if self.dist_t.get(c as usize) < self.dist_t.get(l as usize) {
+                    Some(c)
+                } else {
+                    Some(l)
+                }
+            }
+        }?;
+        if self.dist_t.get(next as usize) >= self.dist_t.get(u as usize) {
+            return None; // stuck: no live neighbour improves
+        }
+        // Filtering only removes candidates, so when the fault-free
+        // winner is live it is also the live winner; the hop rerouted
+        // exactly when that winner is down.
+        if let Some(free) = self.next_hop(u, contact) {
+            if self.down(free, f) {
+                f.rerouted.set(f.rerouted.get() + 1);
+            }
+        }
+        let long = Some(next) == live_contact && self.g.neighbors(u).binary_search(&next).is_err();
         Some((next, long))
     }
 
@@ -530,6 +666,133 @@ mod tests {
         // Later trials reuse the rows the first walk filled in.
         let stats = sampler.stats();
         assert!(stats.hits > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn zero_churn_fault_view_is_identity() {
+        use crate::faulty::FailurePlan;
+        let g = path(60);
+        let plain = GreedyRouter::new(&g, 59).unwrap();
+        let faulty = GreedyRouter::new(&g, 59)
+            .unwrap()
+            .with_fault(FailurePlan::new(7, 4, 8, 0.0), 2);
+        let a = plain.route(
+            &UniformScheme,
+            0,
+            &mut seeded_rng(31),
+            default_step_cap(&g),
+            true,
+        );
+        let b = faulty.route(
+            &UniformScheme,
+            0,
+            &mut seeded_rng(31),
+            default_step_cap(&g),
+            true,
+        );
+        assert_eq!(a, b);
+        assert_eq!(faulty.fault_counts(), (0, 0));
+        assert_eq!(faulty.fault_epoch(), Some(2));
+        assert_eq!(plain.fault_epoch(), None);
+    }
+
+    #[test]
+    fn total_churn_strands_walks_but_spares_the_target() {
+        use crate::faulty::FailurePlan;
+        let g = path(10);
+        let plan = FailurePlan::new(3, 2, 1, 1.0); // everyone down, always
+        let router = GreedyRouter::new(&g, 9).unwrap().with_fault(plan, 0);
+        // From 0 the only improving neighbour (1) is down: stuck at once.
+        let out = router.route(
+            &NoAugmentation,
+            0,
+            &mut seeded_rng(1),
+            default_step_cap(&g),
+            false,
+        );
+        assert!(!out.reached);
+        assert_eq!(out.steps, 0);
+        // From 8 the improving neighbour IS the target, which is exempt.
+        let out = router.route(
+            &NoAugmentation,
+            8,
+            &mut seeded_rng(1),
+            default_step_cap(&g),
+            false,
+        );
+        assert!(out.reached);
+        assert_eq!(out.steps, 1);
+    }
+
+    #[test]
+    fn down_contact_is_discarded_and_counted() {
+        use crate::faulty::FailurePlan;
+        // Teleporting contact to a node churn has taken down: the walk
+        // must fall back to plain local greedy and count the drop.
+        struct Teleport(NodeId);
+        impl AugmentationScheme for Teleport {
+            fn name(&self) -> String {
+                "teleport".into()
+            }
+            fn sample_contact(
+                &self,
+                _g: &Graph,
+                _u: NodeId,
+                _rng: &mut dyn RngCore,
+            ) -> Option<NodeId> {
+                Some(self.0)
+            }
+        }
+        let g = path(12);
+        let plan = FailurePlan::new(17, 4096, 1, 0.1);
+        // Find an epoch where node 8 is down but the local chain 1..=7 and
+        // 9..=10 is fully live (the hash is deterministic, so this scan is
+        // too; target 11 is exempt by construction).
+        let epoch = (0..4096u64)
+            .find(|&e| {
+                plan.is_down(e, 8) && (1..=10u32).filter(|&v| v != 8).all(|v| !plan.is_down(e, v))
+            })
+            .expect("some epoch isolates node 8");
+        let router = GreedyRouter::new(&g, 11).unwrap().with_fault(plan, epoch);
+        let out = router.route(
+            &Teleport(8),
+            0,
+            &mut seeded_rng(2),
+            default_step_cap(&g),
+            true,
+        );
+        // Contact 8 is discarded at 0..=6 (at 7 it ties→local anyway, but
+        // the discard happens before comparison); the walk degrades to
+        // pure local stepping... except it can never pass through 8!
+        // 8 sits on the only path, so the walk must strand at 7.
+        assert!(!out.reached);
+        assert_eq!(out.path.unwrap(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let (dropped, _) = router.fault_counts();
+        assert!(dropped >= 7, "each visited node's contact 8 was down");
+    }
+
+    #[test]
+    fn reroute_to_second_best_live_hop_is_counted() {
+        use crate::faulty::FailurePlan;
+        // Diamond 0-1, 0-2, 1-3, 2-3: from 0 both 1 and 2 improve, ties
+        // break to 1. In an epoch where 1 is down and 2 live, the walk
+        // must reroute through 2 and count exactly one rerouted hop.
+        let g = GraphBuilder::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let plan = FailurePlan::new(23, 64, 1, 0.5);
+        let epoch = (0..64u64)
+            .find(|&e| plan.is_down(e, 1) && !plan.is_down(e, 2))
+            .expect("some epoch downs 1 but not 2");
+        let router = GreedyRouter::new(&g, 3).unwrap().with_fault(plan, epoch);
+        let out = router.route(
+            &NoAugmentation,
+            0,
+            &mut seeded_rng(3),
+            default_step_cap(&g),
+            true,
+        );
+        assert!(out.reached);
+        assert_eq!(out.path.unwrap(), vec![0, 2, 3]);
+        assert_eq!(router.fault_counts(), (0, 1));
     }
 
     #[test]

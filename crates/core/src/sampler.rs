@@ -135,6 +135,28 @@ pub trait ContactSampler {
     }
 }
 
+impl<T: ContactSampler + ?Sized> ContactSampler for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn sample(&mut self, g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        (**self).sample(g, u, rng)
+    }
+
+    fn prepare(&mut self, g: &Graph, nodes: &[NodeId]) {
+        (**self).prepare(g, nodes);
+    }
+
+    fn wants_lockstep(&self) -> bool {
+        (**self).wants_lockstep()
+    }
+
+    fn stats(&self) -> SamplerStats {
+        (**self).stats()
+    }
+}
+
 /// Backend (a): every draw goes straight to
 /// [`AugmentationScheme::sample_contact`]. The RNG stream is untouched,
 /// so routing through this sampler is bit-identical to routing on the

@@ -119,6 +119,9 @@ struct Slot {
     row: Arc<DistRowBuf>,
     bytes: usize,
     tier: Tier,
+    /// The cache epoch the row was admitted under (see
+    /// [`RowCache::set_epoch`]).
+    epoch: u64,
     prev: usize,
     next: usize,
 }
@@ -154,6 +157,9 @@ pub struct RowCache {
     index: HashMap<NodeId, usize>,
     slots: Vec<Slot>,
     free: Vec<usize>,
+    /// Current churn epoch; rows admitted under a different epoch are
+    /// never served (see [`RowCache::set_epoch`]).
+    epoch: u64,
     probation: RecencyList,
     protected: RecencyList,
     resident_bytes: usize,
@@ -187,6 +193,7 @@ impl RowCache {
             index: HashMap::new(),
             slots: Vec::new(),
             free: Vec::new(),
+            epoch: 0,
             probation: RecencyList::new(),
             protected: RecencyList::new(),
             resident_bytes: 0,
@@ -226,15 +233,56 @@ impl RowCache {
         }
     }
 
+    /// The cache's current churn epoch (0 until the first
+    /// [`RowCache::set_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the cache to churn `epoch`. Rows admitted under any other
+    /// epoch are dropped immediately (counted as evictions), so a churn
+    /// tick can never serve state carried over from before the tick — the
+    /// serving layer's stale-row invalidation contract. Distance rows are
+    /// exact either way; the invalidation enforces the *epoch isolation*
+    /// the fault-injection layer is property-tested against, at the cost
+    /// of re-warming after a flip. Returns `true` when the epoch actually
+    /// changed (the caller's flip counter).
+    pub fn set_epoch(&mut self, epoch: u64) -> bool {
+        if epoch == self.epoch {
+            return false;
+        }
+        self.epoch = epoch;
+        let keys: Vec<NodeId> = self.index.keys().copied().collect();
+        for key in keys {
+            let slot = self.index[&key];
+            self.detach(slot);
+            self.index.remove(&key);
+            self.free.push(slot);
+            self.evictions += 1;
+        }
+        true
+    }
+
     /// Looks up the row of target `t`. A hit promotes the row: to the
     /// front of the single list under strict LRU, into the protected tier
-    /// under SLRU.
+    /// under SLRU. A resident row whose admission epoch differs from the
+    /// cache's current epoch is defensively dropped and reported as a
+    /// miss — [`RowCache::set_epoch`] already purges eagerly, so this is
+    /// a second, independent line of defence against stale rows.
     pub fn get(&mut self, t: NodeId) -> Option<Arc<DistRowBuf>> {
         match self.index.get(&t).copied() {
-            Some(slot) => {
+            Some(slot) if self.slots[slot].epoch == self.epoch => {
                 self.hits += 1;
                 self.touch(slot);
                 Some(Arc::clone(&self.slots[slot].row))
+            }
+            Some(slot) => {
+                self.detach(slot);
+                self.index.remove(&t);
+                self.free.push(slot);
+                self.evictions += 1;
+                self.misses += 1;
+                None
             }
             None => {
                 self.misses += 1;
@@ -355,6 +403,7 @@ impl RowCache {
             row,
             bytes,
             tier,
+            epoch: self.epoch,
             prev: NIL,
             next: NIL,
         };
@@ -628,6 +677,55 @@ mod tests {
         }
         assert!(c.stats().resident_bytes <= 100);
         assert!(c.get(1).is_some(), "protected row outlives probation churn");
+    }
+
+    #[test]
+    fn epoch_flip_purges_every_resident_row() {
+        let mut c = RowCache::new(1000);
+        for t in 0..5u32 {
+            c.insert(t, row(10, true));
+        }
+        assert_eq!(c.stats().resident_rows, 5);
+        assert_eq!(c.epoch(), 0);
+        assert!(c.set_epoch(3), "flip must report a change");
+        assert!(!c.set_epoch(3), "same epoch is a no-op");
+        let s = c.stats();
+        assert_eq!(s.resident_rows, 0, "churn tick cannot serve stale rows");
+        assert_eq!(s.resident_bytes, 0);
+        assert_eq!(s.evictions, 5);
+        assert!(c.get(0).is_none());
+        // Rows admitted after the flip serve normally.
+        c.insert(0, row(10, true));
+        assert!(c.get(0).is_some());
+        assert_eq!(c.epoch(), 3);
+    }
+
+    #[test]
+    fn stale_epoch_row_is_never_served_even_if_resident() {
+        // The defensive path in `get`: `set_epoch` purges eagerly, so a
+        // stale-tagged resident row can only be hand-forged — which is
+        // exactly the point of a second line of defence.
+        let mut c = RowCache::with_policy(1000, AdmissionPolicy::Segmented);
+        c.insert(2, row(10, true));
+        let slot = c.index[&2];
+        c.slots[slot].epoch = 999; // forge a row from another epoch
+        assert!(c.get(2).is_none(), "stale row must not serve");
+        let s = c.stats();
+        assert_eq!(s.resident_rows, 0, "stale row is dropped on lookup");
+        assert_eq!(s.resident_bytes, 0);
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 1, 1));
+    }
+
+    #[test]
+    fn segmented_epoch_purge_clears_protected_tier_too() {
+        let mut c = RowCache::with_policy(1000, AdmissionPolicy::Segmented);
+        c.insert(1, row(10, true));
+        assert!(c.get(1).is_some()); // promoted to protected
+        assert_eq!(c.stats().protected_rows, 1);
+        c.set_epoch(7);
+        let s = c.stats();
+        assert_eq!((s.protected_rows, s.protected_bytes), (0, 0));
+        assert_eq!(s.resident_rows, 0);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 use crate::batch::{BatchResult, QueryBatch};
 use crate::cache::{AdmissionPolicy, CacheStats, RowCache};
 use crate::metrics::EngineMetrics;
+use nav_core::faulty::{FaultConfig, FaultySampler};
 use nav_core::routing::{default_step_cap, GreedyRouter};
-use nav_core::sampler::{sampler_for, SamplerMode, SamplerStats};
+use nav_core::sampler::{sampler_for, ContactSampler, SamplerMode, SamplerStats};
 use nav_core::scheme::AugmentationScheme;
 use nav_core::trial::{aggregate_pair_with, PairStats};
 use nav_graph::distance::DistRowBuf;
@@ -45,6 +46,14 @@ pub struct EngineConfig {
     /// and latency. [`AdmissionPolicy::Segmented`] shields hot zipfian
     /// targets from one-shot scan traffic.
     pub admission: AdmissionPolicy,
+    /// Deterministic fault injection: an i.i.d. link-drop probability and
+    /// an optional node-churn [`nav_core::faulty::FailurePlan`]. Faults
+    /// are keyed by each query's RNG index — query `i` always sees the
+    /// same drop coins and the same churn epoch, whatever the batch
+    /// split, thread count, cache size or shard layout — so the engine's
+    /// bit-identity contract extends unchanged to the faulty setting.
+    /// `FaultConfig::default()` disables both dimensions.
+    pub fault: FaultConfig,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +66,7 @@ impl Default for EngineConfig {
             cache_bytes: 128 << 20,
             sampler: SamplerMode::Scalar,
             admission: AdmissionPolicy::Lru,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -95,6 +105,7 @@ pub struct Engine {
 impl Engine {
     /// Builds an engine owning `g` and `scheme`.
     pub fn new(g: Graph, scheme: Box<dyn AugmentationScheme + Send>, cfg: EngineConfig) -> Self {
+        cfg.fault.validate();
         let cap = default_step_cap(&g);
         Engine {
             cache: RowCache::with_policy(cfg.cache_bytes, cfg.admission),
@@ -210,6 +221,23 @@ impl Engine {
         let mut targets: Vec<NodeId> = batch.queries.iter().map(|q| q.t).collect();
         targets.sort_unstable();
         targets.dedup();
+        // --- churn tick -----------------------------------------------
+        // A batch's churn epoch is the max epoch any of its queries lands
+        // in (stable under query permutation and sub-batch partitioning).
+        // Flipping the cache's epoch purges every resident row, so a
+        // churn tick can never serve state admitted before the tick; it
+        // cannot change answers (distance rows are exact and every query
+        // carries its own epoch via its RNG index) — this is the serving
+        // layer's stale-state invalidation contract, and the flip counter
+        // makes it observable.
+        let mut epoch_flips = 0u64;
+        if let Some(plan) = self.cfg.fault.plan {
+            if let Some(epoch) = bases.iter().map(|&b| plan.epoch_of(b)).max() {
+                if self.cache.set_epoch(epoch) {
+                    epoch_flips += 1;
+                }
+            }
+        }
         // --- cache ----------------------------------------------------
         let mut rows: HashMap<NodeId, Arc<DistRowBuf>> = HashMap::with_capacity(targets.len());
         let mut cold: Vec<NodeId> = Vec::new();
@@ -233,32 +261,47 @@ impl Engine {
             }
         }
         // --- execute: trials -------------------------------------------
-        let outcomes: Vec<(PairStats, SamplerStats)> =
+        let fault = self.cfg.fault;
+        let outcomes: Vec<(PairStats, SamplerStats, u64, u64)> =
             nav_par::parallel_map(batch.len(), self.cfg.threads, |i| {
                 let q = &batch.queries[i];
                 let row = rows.get(&q.t).expect("row staged above");
-                let router = GreedyRouter::from_row_view(&self.g, q.t, row.view())
+                let mut router = GreedyRouter::from_row_view(&self.g, q.t, row.view())
                     .expect("endpoints validated at admission");
+                // The query's churn epoch is a pure function of its RNG
+                // index, so a retried or re-sharded query always routes
+                // under the same down-node set.
+                if let Some(plan) = fault.plan {
+                    router = router.with_fault(plan, plan.epoch_of(bases[i]));
+                }
                 let mut rng = task_rng(self.cfg.seed, bases[i]);
                 // Per-query transient sampler state, byte-capped by the
                 // engine's one memory knob; freed when the query answers.
-                let mut sampler =
+                let inner =
                     sampler_for(self.scheme.as_ref(), &self.g, sampler, self.cfg.cache_bytes);
-                let stats = aggregate_pair_with(
-                    &router,
-                    sampler.as_mut(),
-                    q.s,
-                    &mut rng,
-                    q.trials,
-                    self.cap,
-                );
-                (stats, sampler.stats())
+                let (stats, sampler_stats, coin_drops) = if fault.drop_prob > 0.0 {
+                    let mut s = FaultySampler::new(inner, fault.drop_prob);
+                    let stats =
+                        aggregate_pair_with(&router, &mut s, q.s, &mut rng, q.trials, self.cap);
+                    (stats, s.stats(), s.dropped())
+                } else {
+                    let mut s = inner;
+                    let stats =
+                        aggregate_pair_with(&router, s.as_mut(), q.s, &mut rng, q.trials, self.cap);
+                    (stats, s.stats(), 0)
+                };
+                let (churn_drops, rerouted) = router.fault_counts();
+                (stats, sampler_stats, coin_drops + churn_drops, rerouted)
             });
         let mut answers = Vec::with_capacity(outcomes.len());
         let mut sampler_stats = SamplerStats::default();
-        for (ps, ss) in outcomes {
+        let mut dropped_links = 0u64;
+        let mut rerouted_hops = 0u64;
+        for (ps, ss, dropped, rerouted) in outcomes {
             answers.push(ps);
             sampler_stats.merge(&ss);
+            dropped_links += dropped;
+            rerouted_hops += rerouted;
         }
         let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
         let warm = targets.len() - cold.len();
@@ -266,6 +309,8 @@ impl Engine {
         self.metrics
             .record_batch(batch.len(), trials, warm, cold.len(), elapsed_ms);
         self.metrics.record_sampler(&sampler_stats);
+        self.metrics
+            .record_fault(dropped_links, rerouted_hops, epoch_flips);
         Ok(BatchResult {
             answers,
             warm_targets: warm,
@@ -441,7 +486,7 @@ mod tests {
             threads: 2,
             cache_bytes: 1 << 20,
             sampler: SamplerMode::Batched,
-            admission: AdmissionPolicy::Lru,
+            ..EngineConfig::default()
         };
         let mut engine = Engine::new(g.clone(), Box::new(scheme), cfg);
         let got = engine.serve(&QueryBatch::from_pairs(&pairs, 6)).unwrap();
@@ -484,7 +529,7 @@ mod tests {
                     threads,
                     cache_bytes: 0,
                     sampler: SamplerMode::Batched,
-                    admission: AdmissionPolicy::Lru,
+                    ..EngineConfig::default()
                 },
             );
             let r = e.serve(&QueryBatch::from_pairs(&pairs, 5)).unwrap();
@@ -584,6 +629,127 @@ mod tests {
         assert!(
             identical(&per_policy[0], &per_policy[1]),
             "cache policy leaked into answers"
+        );
+    }
+
+    #[test]
+    fn fault_drop_matches_run_trials_over_faulty_scheme_bit_for_bit() {
+        // EngineConfig::fault's drop coin at the sampler layer must be
+        // the same stream as wrapping the scheme in FaultyScheme: contact
+        // first, coin second, either way.
+        use nav_core::faulty::FaultyScheme;
+        let g = path(96);
+        let pairs: Vec<(NodeId, NodeId)> = vec![(0, 95), (95, 0), (3, 77), (12, 77), (50, 1)];
+        let p = 0.3;
+        let cfg = EngineConfig {
+            seed: 41,
+            threads: 2,
+            cache_bytes: 1 << 20,
+            fault: FaultConfig {
+                drop_prob: p,
+                plan: None,
+            },
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+        let got = engine.serve(&QueryBatch::from_pairs(&pairs, 16)).unwrap();
+        let want = run_trials(
+            &g,
+            &FaultyScheme::new(UniformScheme, p),
+            &pairs,
+            &TrialConfig {
+                trials_per_pair: 16,
+                seed: 41,
+                threads: 1,
+                ..TrialConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(identical(&got.answers, &want.pairs));
+        assert!(engine.metrics().dropped_links > 0);
+        assert_eq!(engine.metrics().epoch_flips, 0, "no plan, no flips");
+    }
+
+    #[test]
+    fn churn_epochs_flip_the_cache_and_count_in_metrics() {
+        use nav_core::faulty::FailurePlan;
+        let g = path(50);
+        // 2-query epochs over a 3-epoch plan with some churn.
+        let plan = FailurePlan::new(99, 3, 2, 0.2);
+        let cfg = EngineConfig {
+            seed: 7,
+            threads: 1,
+            cache_bytes: 1 << 20,
+            fault: FaultConfig {
+                drop_prob: 0.0,
+                plan: Some(plan),
+            },
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(g, Box::new(NoAugmentation), cfg);
+        let batch = QueryBatch::from_pairs(&[(0, 49), (3, 49)], 2);
+        e.serve(&batch).unwrap(); // bases 0, 1 → epoch 0
+        assert_eq!(e.metrics().epoch_flips, 0, "epoch 0 is the initial one");
+        let first_cold = e.cache_stats().insertions;
+        assert!(first_cold > 0);
+        e.serve(&batch).unwrap(); // bases 2, 3 → epoch 1: flip + purge
+        assert_eq!(e.metrics().epoch_flips, 1);
+        let s = e.cache_stats();
+        assert_eq!(
+            s.insertions,
+            first_cold * 2,
+            "the flip purged the rows, so the target recomputed cold"
+        );
+        e.serve(&batch).unwrap(); // epoch 2
+        e.serve(&batch).unwrap(); // wraps to epoch 0 again
+        assert_eq!(e.metrics().epoch_flips, 3);
+    }
+
+    #[test]
+    fn churn_answers_are_pure_functions_of_the_rng_index() {
+        // Same queries, same bases → same bits, regardless of cache
+        // capacity or thread count — the fault dimension joins the
+        // determinism contract instead of weakening it.
+        use nav_core::faulty::FailurePlan;
+        let g = path(80);
+        let pairs: Vec<(NodeId, NodeId)> = (0..12).map(|i| (i * 5, 79 - (i % 6))).collect();
+        let fault = FaultConfig {
+            drop_prob: 0.2,
+            plan: Some(FailurePlan::new(4, 4, 3, 0.15)),
+        };
+        let mut per_shape = Vec::new();
+        for (threads, cache_bytes) in [(1usize, 0usize), (4, 1 << 20)] {
+            let cfg = EngineConfig {
+                seed: 13,
+                threads,
+                cache_bytes,
+                fault,
+                ..EngineConfig::default()
+            };
+            let mut e = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+            let mut got = Vec::new();
+            for chunk in pairs.chunks(5) {
+                got.extend(e.serve(&QueryBatch::from_pairs(chunk, 6)).unwrap().answers);
+            }
+            per_shape.push(got);
+        }
+        assert!(identical(&per_shape[0], &per_shape[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_fault_config_rejected_at_construction() {
+        let g = path(4);
+        let _ = Engine::new(
+            g,
+            Box::new(NoAugmentation),
+            EngineConfig {
+                fault: FaultConfig {
+                    drop_prob: 1.5,
+                    plan: None,
+                },
+                ..EngineConfig::default()
+            },
         );
     }
 

@@ -52,4 +52,4 @@ pub use cache::{AdmissionPolicy, CacheStats, RowCache};
 pub use engine::{Engine, EngineConfig};
 pub use metrics::EngineMetrics;
 pub use shard::ShardedEngine;
-pub use workload::{GraphSpec, WorkloadError, WorkloadSpec, ZipfSpec};
+pub use workload::{FaultSpec, GraphSpec, WorkloadError, WorkloadSpec, ZipfSpec};

@@ -24,6 +24,16 @@ pub struct EngineMetrics {
     /// ball-row payload the workers allocated — each individual worker
     /// stayed under the engine's byte budget.
     pub sampler: SamplerStats,
+    /// Long-range contacts suppressed by fault injection: the i.i.d.
+    /// drop coin plus contacts whose node was down in the query's churn
+    /// epoch. 0 when [`crate::EngineConfig::fault`] is off.
+    pub dropped_links: u64,
+    /// Hops where the fault-free greedy winner was down and routing fell
+    /// back to a different live hop.
+    pub rerouted_hops: u64,
+    /// Churn-epoch changes observed by the row cache (each one purges the
+    /// resident rows — stale-row invalidation).
+    pub epoch_flips: u64,
     /// One wall-clock sample per served batch, milliseconds.
     batch_ms: Vec<f64>,
 }
@@ -51,6 +61,13 @@ impl EngineMetrics {
     /// totals.
     pub fn record_sampler(&mut self, stats: &SamplerStats) {
         self.sampler.merge(stats);
+    }
+
+    /// Folds one batch's fault tallies into the lifetime totals.
+    pub fn record_fault(&mut self, dropped_links: u64, rerouted_hops: u64, epoch_flips: u64) {
+        self.dropped_links += dropped_links;
+        self.rerouted_hops += rerouted_hops;
+        self.epoch_flips += epoch_flips;
     }
 
     /// The per-batch latency samples, in service order (milliseconds).
@@ -85,6 +102,11 @@ mod tests {
         assert_eq!(m.throughput_qps(), 0.0);
         m.record_batch(100, 400, 3, 7, 50.0);
         m.record_batch(100, 400, 10, 0, 150.0);
+        m.record_fault(5, 2, 1);
+        m.record_fault(3, 1, 0);
+        assert_eq!(m.dropped_links, 8);
+        assert_eq!(m.rerouted_hops, 3);
+        assert_eq!(m.epoch_flips, 1);
         assert_eq!(m.queries, 200);
         assert_eq!(m.batches, 2);
         assert_eq!(m.trials, 800);

@@ -153,6 +153,9 @@ impl ShardedEngine {
             total.cold_targets += m.cold_targets;
             total.total_ms += m.total_ms;
             total.sampler.merge(&m.sampler);
+            total.dropped_links += m.dropped_links;
+            total.rerouted_hops += m.rerouted_hops;
+            total.epoch_flips += m.epoch_flips;
         }
         total
     }

@@ -11,6 +11,7 @@
 //! trials 8                 # default trials per query
 //! batch 512                # queries per service batch
 //! shards 4                 # target shards for the serving front (default 1)
+//! fault 0.25 3             # drop probability, churn epochs (default off)
 //! query 17 999             # explicit query (optional trailing trials)
 //! query 3 999 32
 //! zipf 100000 1.1 7 1024   # count theta seed hot-targets
@@ -25,6 +26,7 @@
 //! `nav-bench`) maps the family name onto its generators.
 
 use crate::batch::{Query, QueryBatch};
+use nav_core::faulty::{FailurePlan, FaultConfig};
 use nav_graph::NodeId;
 use nav_par::rng::seeded_rng;
 use rand::Rng;
@@ -59,6 +61,30 @@ pub struct ZipfSpec {
     pub hot: usize,
 }
 
+/// The fault directive of a workload: the injection knobs a replay
+/// should serve under, carried by the file so fault benches replay the
+/// same degraded world everywhere.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// i.i.d. long-range-link drop probability, in `[0, 1]`.
+    pub drop_prob: f64,
+    /// Churn epochs (`0` = no churn plan — link drops only).
+    pub epochs: u32,
+}
+
+impl FaultSpec {
+    /// The engine fault knob this directive denotes: `epochs == 0` keeps
+    /// link drops only, otherwise the standard churn plan is derived
+    /// from the serving seed ([`FailurePlan::standard`]) — so every
+    /// replica of the replay sees the same down-sets.
+    pub fn to_config(&self, seed: u64) -> FaultConfig {
+        FaultConfig {
+            drop_prob: self.drop_prob,
+            plan: (self.epochs > 0).then(|| FailurePlan::standard(seed, self.epochs)),
+        }
+    }
+}
+
 /// A parsed workload: graph spec, batching, and the fully expanded query
 /// stream.
 #[derive(Clone, Debug, PartialEq)]
@@ -78,6 +104,8 @@ pub struct WorkloadSpec {
     pub queries: Vec<Query>,
     /// The zipf directives encountered (reporting only).
     pub zipf: Vec<ZipfSpec>,
+    /// Fault injection to replay under (`None` = a fault-free serve).
+    pub fault: Option<FaultSpec>,
 }
 
 impl WorkloadSpec {
@@ -160,6 +188,7 @@ pub fn parse_workload(text: &str) -> Result<WorkloadSpec, WorkloadError> {
     let mut shards = 1usize;
     let mut queries: Vec<Query> = Vec::new();
     let mut zipf: Vec<ZipfSpec> = Vec::new();
+    let mut fault: Option<FaultSpec> = None;
     for (ln, line) in lines {
         let mut tok = line.split_whitespace();
         let directive = tok.next().expect("non-empty by construction");
@@ -185,6 +214,14 @@ pub fn parse_workload(text: &str) -> Result<WorkloadSpec, WorkloadError> {
                 if shards == 0 || shards > 255 {
                     return Err(bad(ln, "shard count must be in 1..=255"));
                 }
+            }
+            "fault" => {
+                let drop_prob: f64 = parse_num(tok.next(), ln, "drop probability")?;
+                let epochs: u32 = parse_num(tok.next(), ln, "epoch count")?;
+                if !(0.0..=1.0).contains(&drop_prob) {
+                    return Err(bad(ln, "drop probability must be in [0, 1]"));
+                }
+                fault = Some(FaultSpec { drop_prob, epochs });
             }
             "query" => {
                 let g = graph.as_ref().ok_or(WorkloadError::MissingGraph)?;
@@ -227,6 +264,7 @@ pub fn parse_workload(text: &str) -> Result<WorkloadSpec, WorkloadError> {
         shards,
         queries,
         zipf,
+        fault,
     })
 }
 
@@ -252,13 +290,33 @@ pub fn render_workload_with_shards(
     shards: usize,
     zipf: &ZipfSpec,
 ) -> String {
+    render_workload_full(graph, default_trials, batch_size, shards, None, zipf)
+}
+
+/// The full renderer: shard count plus optional fault directive. Like
+/// the `shards` line, a `fault` line is only emitted when it says
+/// something (`Some`), so fault-free files keep their historical bytes.
+/// `drop_prob` renders through `{}` — the exact `f64`, not a rounded
+/// display — so parsing the rendered file replays the same coins.
+pub fn render_workload_full(
+    graph: &GraphSpec,
+    default_trials: usize,
+    batch_size: usize,
+    shards: usize,
+    fault: Option<FaultSpec>,
+    zipf: &ZipfSpec,
+) -> String {
     let shard_line = if shards > 1 {
         format!("shards {shards}\n")
     } else {
         String::new()
     };
+    let fault_line = match fault {
+        Some(f) => format!("fault {} {}\n", f.drop_prob, f.epochs),
+        None => String::new(),
+    };
     format!(
-        "{HEADER}\ngraph {} {} {}\ntrials {default_trials}\nbatch {batch_size}\n{shard_line}zipf {} {} {} {}\n",
+        "{HEADER}\ngraph {} {} {}\ntrials {default_trials}\nbatch {batch_size}\n{shard_line}{fault_line}zipf {} {} {} {}\n",
         graph.family, graph.n, graph.seed, zipf.count, zipf.theta, zipf.seed, zipf.hot
     )
 }
@@ -466,6 +524,65 @@ zipf 100 1.1 3 8
         assert_eq!(
             render_workload_with_shards(&g, 4, 32, 1, &z),
             render_workload(&g, 4, 32, &z)
+        );
+    }
+
+    #[test]
+    fn fault_directive_parses_renders_and_maps_to_the_engine_knob() {
+        // Default is a fault-free replay.
+        assert_eq!(parse_workload(SAMPLE).unwrap().fault, None);
+        let w =
+            parse_workload("nav-workload v1\ngraph path 8 1\nfault 0.125 3\nquery 0 7\n").unwrap();
+        assert_eq!(
+            w.fault,
+            Some(FaultSpec {
+                drop_prob: 0.125,
+                epochs: 3
+            })
+        );
+        // The engine mapping: epochs == 0 is drops-only, epochs > 0 adds
+        // the standard churn plan seeded by the serving seed.
+        let cfg = w.fault.unwrap().to_config(42);
+        assert_eq!(cfg.drop_prob, 0.125);
+        assert_eq!(cfg.plan, Some(FailurePlan::standard(42, 3)));
+        let drops_only = FaultSpec {
+            drop_prob: 0.5,
+            epochs: 0,
+        }
+        .to_config(42);
+        assert_eq!(drops_only.plan, None);
+        // Out-of-range probabilities and malformed lines are located.
+        let e = parse_workload("nav-workload v1\ngraph path 8 1\nfault 1.5 2\n").unwrap_err();
+        assert!(e.to_string().contains("[0, 1]"), "{e}");
+        assert!(e.to_string().contains("line 3"), "{e}");
+        let e = parse_workload("nav-workload v1\ngraph path 8 1\nfault 0.1\n").unwrap_err();
+        assert!(e.to_string().contains("epoch count"), "{e}");
+        let e = parse_workload("nav-workload v1\ngraph path 8 1\nfault 0.1 2 9\n").unwrap_err();
+        assert!(e.to_string().contains("trailing"), "{e}");
+        // Rendering: the directive survives a round-trip with the exact
+        // probability value, and a fault-free render keeps the
+        // historical bytes.
+        let g = GraphSpec {
+            family: "gnp".into(),
+            n: 128,
+            seed: 3,
+        };
+        let z = ZipfSpec {
+            count: 10,
+            theta: 1.0,
+            seed: 2,
+            hot: 4,
+        };
+        let f = FaultSpec {
+            drop_prob: 0.137,
+            epochs: 5,
+        };
+        let text = render_workload_full(&g, 4, 32, 2, Some(f), &z);
+        assert!(text.contains("\nfault 0.137 5\n"), "{text}");
+        assert_eq!(parse_workload(&text).unwrap().fault, Some(f));
+        assert_eq!(
+            render_workload_full(&g, 4, 32, 2, None, &z),
+            render_workload_with_shards(&g, 4, 32, 2, &z)
         );
     }
 

@@ -1,4 +1,6 @@
-//! The blocking client side of the protocol.
+//! The blocking client side of the protocol: [`NetClient`] (one
+//! connection, no retries) and [`RetryingClient`] (reconnect-and-replay
+//! with bounded, jittered backoff — same answers, bit for bit).
 
 use crate::frame::{
     read_frame, write_frame, ErrorFrame, Frame, MetricsSnapshot, ReadError, Request,
@@ -9,7 +11,8 @@ use nav_core::trial::PairStats;
 use nav_engine::QueryBatch;
 use std::fmt;
 use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -32,6 +35,23 @@ impl fmt::Display for NetError {
             NetError::Protocol(e) => write!(f, "protocol: {e}"),
             NetError::Remote(e) => write!(f, "server refused ({:?}): {}", e.code, e.message),
             NetError::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl NetError {
+    /// `true` when retrying the same request over a fresh connection can
+    /// succeed: transport failures, a mid-conversation close, and the
+    /// server's typed [`crate::frame::ErrorCode::Overloaded`] refusal.
+    /// Protocol violations and deterministic refusals (bad handle, bad
+    /// endpoint, over-limit batch …) stay `false` — resending the same
+    /// bytes would only fail the same way.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Io(_) => true,
+            NetError::Remote(e) => e.code.is_retryable(),
+            NetError::UnexpectedReply(what) => *what == "connection closed",
+            NetError::Protocol(_) => false,
         }
     }
 }
@@ -110,6 +130,195 @@ impl NetClient {
     /// stream of `serve` calls over one client is bit-identical to the
     /// same batches through one local engine — regardless of what other
     /// clients do to the same server.
+    pub fn serve(
+        &mut self,
+        handle: u32,
+        sampler: SamplerMode,
+        batch: &QueryBatch,
+    ) -> Result<(Vec<PairStats>, MetricsSnapshot), NetError> {
+        let req = Request {
+            handle,
+            rng_base: self.sent,
+            sampler,
+            queries: batch.queries.clone(),
+        };
+        let out = self.request(req)?;
+        self.sent += batch.len() as u64;
+        Ok(out)
+    }
+}
+
+/// Retry knobs for a [`RetryingClient`]: bounded attempts with
+/// decorrelated-jitter backoff (each sleep is drawn uniformly from
+/// `[backoff_base, 3 × previous]`, capped at `backoff_cap`), seeded so a
+/// test run's sleep schedule is reproducible.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total tries per call, including the first (≥ 1; 0 behaves as 1).
+    pub max_attempts: u32,
+    /// Lower bound of every backoff sleep.
+    pub backoff_base: Duration,
+    /// Upper bound no backoff sleep exceeds.
+    pub backoff_cap: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(2),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// SplitMix64 step — the jitter stream's generator. Self-contained so
+/// the client needs no RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A [`NetClient`] that survives the connection: on a retryable failure
+/// (see [`NetError::is_retryable`]) it reconnects and **replays the same
+/// request** after a jittered backoff.
+///
+/// Replay is safe because answers are pure functions of the request:
+/// every request carries an explicit `rng_base`, and the base for a
+/// [`RetryingClient::serve`] call is fixed *before* the first attempt
+/// (the cumulative counter advances only on success). So a stream of
+/// batches interrupted by disconnects, server churn epochs, or
+/// [`crate::frame::ErrorCode::Overloaded`] sheds is **bit-identical** to
+/// the same stream served without a single failure — even if the server
+/// executed a request whose response was lost and then executes it
+/// again. `tests/net.rs` chaos-tests exactly this equivalence.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    max_frame_bytes: usize,
+    policy: RetryPolicy,
+    client: Option<NetClient>,
+    /// Cumulative queries acknowledged — the next [`RetryingClient::serve`]
+    /// call's `rng_base`. Mirrors [`NetClient::queries_sent`].
+    sent: u64,
+    /// Jitter stream state.
+    rng: u64,
+    /// Previous sleep in milliseconds (decorrelated-jitter state).
+    prev_sleep_ms: u64,
+    /// Reconnect-and-replay events over this client's lifetime.
+    retries: u64,
+}
+
+impl RetryingClient {
+    /// Resolves `addr` once and returns a client; the first TCP connect
+    /// happens lazily on the first call, so construction cannot fail on
+    /// a server that is still coming up.
+    pub fn connect(addr: impl ToSocketAddrs, policy: RetryPolicy) -> Result<Self, NetError> {
+        Self::connect_with(addr, policy, DEFAULT_MAX_PAYLOAD)
+    }
+
+    /// [`RetryingClient::connect`] with an explicit response-payload
+    /// bound.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+        max_frame_bytes: usize,
+    ) -> Result<Self, NetError> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            NetError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ))
+        })?;
+        Ok(RetryingClient {
+            addr,
+            max_frame_bytes,
+            policy,
+            client: None,
+            sent: 0,
+            rng: policy.seed,
+            prev_sleep_ms: policy.backoff_base.as_millis() as u64,
+            retries: 0,
+        })
+    }
+
+    /// Queries acknowledged so far (the next automatic `rng_base`).
+    pub fn queries_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Reconnect-and-replay events over this client's lifetime.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Chaos hook: drops the live connection (if any) so the next call
+    /// must reconnect and replay. The next answer is still bit-identical
+    /// — severing loses no stream state, only a socket.
+    pub fn sever(&mut self) {
+        self.client = None;
+    }
+
+    /// The next decorrelated-jitter sleep: uniform in
+    /// `[base, 3 × previous]`, capped.
+    fn next_backoff(&mut self) -> Duration {
+        let base = self.policy.backoff_base.as_millis() as u64;
+        let cap = (self.policy.backoff_cap.as_millis() as u64).max(base);
+        let hi = self.prev_sleep_ms.saturating_mul(3).clamp(base, cap);
+        let span = hi - base;
+        let ms = if span == 0 {
+            base
+        } else {
+            base + splitmix64(&mut self.rng) % (span + 1)
+        };
+        self.prev_sleep_ms = ms;
+        Duration::from_millis(ms)
+    }
+
+    /// Sends `req` exactly as given, reconnecting and replaying it on
+    /// retryable failures up to the policy's attempt bound. The caller
+    /// owns `rng_base`, so a replay is byte-identical to the original
+    /// send.
+    pub fn request(&mut self, req: Request) -> Result<(Vec<PairStats>, MetricsSnapshot), NetError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = match self.client.as_mut() {
+                Some(c) => c.request(req.clone()),
+                None => match NetClient::connect_with(self.addr, self.max_frame_bytes) {
+                    Ok(mut c) => {
+                        let r = c.request(req.clone());
+                        self.client = Some(c);
+                        r
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            match result {
+                Ok(out) => return Ok(out),
+                Err(e) if attempt < attempts && e.is_retryable() => {
+                    // The connection's state is unknowable after a failure
+                    // mid-conversation; replay only ever runs on a fresh
+                    // socket.
+                    self.client = None;
+                    self.retries += 1;
+                    std::thread::sleep(self.next_backoff());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`NetClient::serve`] with retries: stamps the batch with the
+    /// cumulative offset **before** the first attempt and advances it
+    /// only on success, so however many times the request is replayed,
+    /// the served stream equals the uninterrupted one bit for bit.
     pub fn serve(
         &mut self,
         handle: u32,

@@ -27,6 +27,7 @@ use nav_core::trial::PairStats;
 use nav_engine::Query;
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"NAVF";
@@ -47,8 +48,8 @@ const QUERY_WIRE: usize = 12;
 /// Wire encoding of one [`PairStats`]: four `u32`s, one `u64`, three
 /// `f64`s.
 const STATS_WIRE: usize = 48;
-/// Wire encoding of a [`MetricsSnapshot`]: eleven `u64`s.
-const METRICS_WIRE: usize = 88;
+/// Wire encoding of a [`MetricsSnapshot`]: fifteen `u64`s.
+const METRICS_WIRE: usize = 120;
 
 /// Why a server refused a well-formed request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,6 +65,10 @@ pub enum ErrorCode {
     UnexpectedFrame,
     /// The server failed internally; the message carries detail.
     Internal,
+    /// The server's admission queue was full when the connection arrived.
+    /// Transient by construction — the same request succeeds once load
+    /// drains, so this is the one refusal a client should retry.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -74,6 +79,7 @@ impl ErrorCode {
             ErrorCode::InvalidEndpoint => 3,
             ErrorCode::UnexpectedFrame => 4,
             ErrorCode::Internal => 5,
+            ErrorCode::Overloaded => 6,
         }
     }
 
@@ -84,8 +90,17 @@ impl ErrorCode {
             3 => Some(ErrorCode::InvalidEndpoint),
             4 => Some(ErrorCode::UnexpectedFrame),
             5 => Some(ErrorCode::Internal),
+            6 => Some(ErrorCode::Overloaded),
             _ => None,
         }
+    }
+
+    /// `true` when retrying the *same* request can succeed. Only
+    /// [`ErrorCode::Overloaded`] qualifies: every other refusal is a
+    /// deterministic function of the request (bad handle, bad endpoint,
+    /// over-limit batch …), so resending it would only fail again.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded)
     }
 }
 
@@ -136,6 +151,20 @@ pub struct MetricsSnapshot {
     pub cache_resident_bytes: u64,
     /// Configured row-cache capacity in bytes.
     pub cache_capacity_bytes: u64,
+    /// Long-range contacts suppressed by fault injection (drop coin plus
+    /// churn-dead contacts). 0 on a fault-free server.
+    pub dropped_links: u64,
+    /// Hops where the fault-free greedy winner was down and routing fell
+    /// back to a different live hop.
+    pub rerouted_hops: u64,
+    /// Churn-epoch flips observed by the row cache (each purges the
+    /// resident rows).
+    pub epoch_flips: u64,
+    /// Connections whose socket deadline could not be installed
+    /// (`set_read_timeout`/`set_write_timeout` failed). Such connections
+    /// still serve, but shutdown polling and deadlines degrade to
+    /// blocking reads — worth watching, hence counted instead of dropped.
+    pub timeout_setup_failures: u64,
 }
 
 /// The server's answer to one [`Request`].
@@ -280,6 +309,10 @@ fn put_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
         m.cache_resident_rows,
         m.cache_resident_bytes,
         m.cache_capacity_bytes,
+        m.dropped_links,
+        m.rerouted_hops,
+        m.epoch_flips,
+        m.timeout_setup_failures,
     ] {
         put_u64(out, v);
     }
@@ -502,6 +535,10 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
                 cache_resident_rows: cur.u64()?,
                 cache_resident_bytes: cur.u64()?,
                 cache_capacity_bytes: cur.u64()?,
+                dropped_links: cur.u64()?,
+                rerouted_hops: cur.u64()?,
+                epoch_flips: cur.u64()?,
+                timeout_setup_failures: cur.u64()?,
             };
             cur.done()?;
             Ok(Frame::Response(Response { answers, metrics }))
@@ -540,6 +577,16 @@ pub fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
+/// `true` when `e` is the mid-frame deadline expiry produced by
+/// [`read_frame_deadline`] — as opposed to the stream's own idle-poll
+/// timeout, which is a raw OS error carrying no inner payload. A server
+/// polling its stop flag must `continue` on the latter but tear the
+/// connection down on the former (the half-read frame has no
+/// recoverable boundary).
+pub fn is_deadline_expiry(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::TimedOut && e.get_ref().is_some()
+}
+
 /// Reads one frame from `r`. `Ok(None)` is a clean end of stream (the
 /// peer closed at a frame boundary); an EOF *inside* a frame is an
 /// [`io::ErrorKind::UnexpectedEof`] transport error. The payload buffer
@@ -550,8 +597,48 @@ pub fn is_timeout(e: &io::Error) -> bool {
 /// **before any byte of a frame** is returned as its `Io` error, so a
 /// server can poll a shutdown flag between frames; a timeout *inside* a
 /// frame keeps waiting — the frame boundary stays trustworthy under
-/// slow-trickle writers.
+/// slow-trickle writers. A server that wants a *bound* on how long a
+/// started frame may trickle sets one with
+/// [`read_frame_deadline`] instead — the between-frames half of the
+/// contract is identical there, only the in-frame patience changes.
 pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Option<Frame>, ReadError> {
+    read_frame_with_budget(r, max_payload, None)
+}
+
+/// [`read_frame`] with a bound on in-frame patience: once the first byte
+/// of a frame has arrived, the whole frame must complete within `budget`
+/// or the read fails with a [`io::ErrorKind::TimedOut`] transport error
+/// (tear the connection down — a half-read frame has no recoverable
+/// boundary). Timeouts **between** frames still surface immediately as
+/// `Io` errors, exactly as in [`read_frame`], so shutdown polling works
+/// unchanged. The budget is only checked when the underlying stream's
+/// read timeout fires, so the stream must have one set (e.g. the
+/// server's `IDLE_POLL`) for the deadline to bind.
+pub fn read_frame_deadline(
+    r: &mut impl Read,
+    max_payload: usize,
+    budget: Duration,
+) -> Result<Option<Frame>, ReadError> {
+    read_frame_with_budget(r, max_payload, Some(budget))
+}
+
+fn read_frame_with_budget(
+    r: &mut impl Read,
+    max_payload: usize,
+    budget: Option<Duration>,
+) -> Result<Option<Frame>, ReadError> {
+    // Started when the first byte of the frame arrives; the deadline is
+    // measured from there, never from idle time between frames.
+    let mut frame_start: Option<Instant> = None;
+    let over_budget = |start: &Option<Instant>| -> Option<ReadError> {
+        match (budget, start) {
+            (Some(b), Some(t0)) if t0.elapsed() >= b => Some(ReadError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "read deadline exceeded mid-frame",
+            ))),
+            _ => None,
+        }
+    };
     let mut header = [0u8; HEADER_LEN];
     let mut got = 0usize;
     while got < HEADER_LEN {
@@ -563,9 +650,19 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Option<Frame>
                     "connection closed mid-frame",
                 )))
             }
-            Ok(n) => got += n,
+            Ok(n) => {
+                if frame_start.is_none() {
+                    frame_start = Some(Instant::now());
+                }
+                got += n;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) if is_timeout(&e) && got > 0 => continue,
+            Err(e) if is_timeout(&e) && got > 0 => {
+                if let Some(err) = over_budget(&frame_start) {
+                    return Err(err);
+                }
+                continue;
+            }
             Err(e) => return Err(ReadError::Io(e)),
         }
     }
@@ -581,7 +678,13 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Option<Frame>
                 )))
             }
             Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted || is_timeout(&e) => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                if let Some(err) = over_budget(&frame_start) {
+                    return Err(err);
+                }
+                continue;
+            }
             Err(e) => return Err(ReadError::Io(e)),
         }
     }
@@ -803,6 +906,99 @@ mod tests {
             Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap_err(),
             FrameError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn overloaded_roundtrips_and_is_the_only_retryable_code() {
+        roundtrip(Frame::Error(ErrorFrame {
+            code: ErrorCode::Overloaded,
+            message: "admission queue full".into(),
+        }));
+        let all = [
+            ErrorCode::UnknownHandle,
+            ErrorCode::TooManyQueries,
+            ErrorCode::InvalidEndpoint,
+            ErrorCode::UnexpectedFrame,
+            ErrorCode::Internal,
+            ErrorCode::Overloaded,
+        ];
+        for code in all {
+            assert_eq!(
+                code.is_retryable(),
+                code == ErrorCode::Overloaded,
+                "{code:?}"
+            );
+            assert_eq!(ErrorCode::from_u16(code.to_u16()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u16(7), None);
+    }
+
+    #[test]
+    fn fault_snapshot_fields_survive_the_wire() {
+        roundtrip(Frame::Response(Response {
+            answers: Vec::new(),
+            metrics: MetricsSnapshot {
+                dropped_links: 11,
+                rerouted_hops: 22,
+                epoch_flips: 33,
+                timeout_setup_failures: 44,
+                ..MetricsSnapshot::default()
+            },
+        }));
+    }
+
+    /// A reader that yields its bytes one at a time, then stalls with
+    /// timeout errors forever — a slow-trickle writer's worst case.
+    struct Trickle {
+        bytes: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos < self.bytes.len() && !buf.is_empty() {
+                buf[0] = self.bytes[self.pos];
+                self.pos += 1;
+                Ok(1)
+            } else {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"))
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_read_times_out_mid_frame_but_not_between_frames() {
+        // A stall before any frame byte is the ordinary shutdown-poll
+        // timeout, identical to read_frame's contract.
+        let mut idle = Trickle {
+            bytes: Vec::new(),
+            pos: 0,
+        };
+        match read_frame_deadline(&mut idle, 1024, Duration::from_millis(0)) {
+            Err(ReadError::Io(e)) => assert!(is_timeout(&e)),
+            other => panic!("expected idle timeout, got {other:?}"),
+        }
+        // A stall *inside* a frame exhausts the budget and fails TimedOut
+        // instead of waiting forever.
+        let bytes = Frame::Error(ErrorFrame {
+            code: ErrorCode::Internal,
+            message: "x".into(),
+        })
+        .encode();
+        let mut trickle = Trickle {
+            bytes: bytes[..bytes.len() - 1].to_vec(),
+            pos: 0,
+        };
+        match read_frame_deadline(&mut trickle, 1024, Duration::from_millis(0)) {
+            Err(ReadError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::TimedOut),
+            other => panic!("expected mid-frame deadline, got {other:?}"),
+        }
+        // The whole frame inside the budget decodes normally.
+        let mut ok = Trickle { bytes, pos: 0 };
+        let frame = read_frame_deadline(&mut ok, 1024, Duration::from_secs(30))
+            .expect("reads")
+            .expect("one frame");
+        assert!(matches!(frame, Frame::Error(_)));
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //!   request with its cumulative RNG offset, making a client stream
 //!   bit-identical to the same batches through a local
 //!   [`nav_engine::Engine`] no matter what other connections interleave
-//!   with it (the [`nav_engine::Engine::serve_at`] contract).
+//!   with it (the [`nav_engine::Engine::serve_at`] contract). Layered on
+//!   top, [`RetryingClient`] reconnects and replays on retryable
+//!   failures (transport drops, [`ErrorCode::Overloaded`] sheds) with
+//!   jittered backoff — and because the RNG base is fixed before the
+//!   first attempt, the retried stream is bit-identical to an
+//!   uninterrupted one.
 //!
 //! The `nav-engine serve-tcp` / `bench-tcp` CLI pair (in `nav-bench`)
 //! puts a workload file on one end of this protocol and a replaying
@@ -36,10 +41,10 @@ pub mod client;
 pub mod frame;
 pub mod server;
 
-pub use client::{NetClient, NetError};
+pub use client::{NetClient, NetError, RetryPolicy, RetryingClient};
 pub use frame::{
-    frames_bits_eq, read_frame, write_frame, ErrorCode, ErrorFrame, Frame, FrameError,
-    MetricsSnapshot, ReadError, Request, Response,
+    frames_bits_eq, is_deadline_expiry, is_timeout, read_frame, read_frame_deadline, write_frame,
+    ErrorCode, ErrorFrame, Frame, FrameError, MetricsSnapshot, ReadError, Request, Response,
 };
 pub use server::{
     compose_handle, split_handle, NetConfig, NetServer, ServerHandle, TENANT_BITS, TENANT_MASK,

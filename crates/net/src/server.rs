@@ -17,14 +17,15 @@
 //! server and checks every byte against a local engine.
 
 use crate::frame::{
-    is_timeout, read_frame, write_frame, ErrorCode, ErrorFrame, Frame, FrameError, MetricsSnapshot,
-    ReadError, Request, Response, DEFAULT_MAX_PAYLOAD,
+    is_deadline_expiry, is_timeout, read_frame, read_frame_deadline, write_frame, ErrorCode,
+    ErrorFrame, Frame, FrameError, MetricsSnapshot, ReadError, Request, Response,
+    DEFAULT_MAX_PAYLOAD,
 };
 use nav_engine::{Engine, QueryBatch, ShardedEngine};
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -84,10 +85,22 @@ pub struct NetConfig {
     /// [`ErrorCode::TooManyQueries`] refusal.
     pub max_batch_queries: usize,
     /// Accepted connections allowed to wait for a worker; a connection
-    /// arriving with the queue already this deep is **refused** (dropped
-    /// immediately — the client sees the connection close). The in-flight
-    /// admission limit: shed load early rather than queueing unboundedly.
+    /// arriving with the queue already this deep is **refused**: the
+    /// server writes a best-effort typed [`ErrorCode::Overloaded`] frame
+    /// and closes, so a retrying client can tell "back off and retry"
+    /// from a real failure. The in-flight admission limit: shed load
+    /// early rather than queueing unboundedly.
     pub max_pending: usize,
+    /// In-frame read deadline: once the first byte of a frame arrives,
+    /// the rest must follow within this budget or the connection is torn
+    /// down ([`read_frame_deadline`]). Distinct from the `IDLE_POLL`
+    /// shutdown poll, which governs *idle* connections and never expires
+    /// them. `None` (the default) keeps unbounded in-frame patience.
+    pub read_deadline: Option<Duration>,
+    /// Per-connection socket write deadline (`set_write_timeout`): bounds
+    /// how long one slow reader can pin a worker mid-response. `None`
+    /// (the default) blocks indefinitely.
+    pub write_deadline: Option<Duration>,
 }
 
 impl Default for NetConfig {
@@ -98,6 +111,8 @@ impl Default for NetConfig {
             max_frame_bytes: DEFAULT_MAX_PAYLOAD,
             max_batch_queries: 1 << 16,
             max_pending: 64,
+            read_deadline: None,
+            write_deadline: None,
         }
     }
 }
@@ -116,15 +131,32 @@ impl ConnQueue {
         }
     }
 
-    /// Enqueues a connection unless the queue is over `bound` (refused —
-    /// the stream drops, the client sees a reset) or closed.
+    /// Enqueues a connection unless the queue is over `bound` or closed —
+    /// a refused stream gets a best-effort typed [`ErrorCode::Overloaded`]
+    /// frame before it drops, so a retry-capable client can distinguish
+    /// shed load (back off, resend) from a dead server.
     fn push(&self, stream: TcpStream, bound: usize) {
-        let mut q = self.queue.lock().expect("queue poisoned");
-        if !q.1 && q.0.len() < bound {
-            q.0.push_back(stream);
-            drop(q);
-            self.ready.notify_one();
+        {
+            let mut q = self.queue.lock().expect("queue poisoned");
+            if !q.1 && q.0.len() < bound {
+                q.0.push_back(stream);
+                drop(q);
+                self.ready.notify_one();
+                return;
+            }
         }
+        // Refused. The write is best-effort and tightly bounded: this
+        // runs on the accept thread, and a refusal path that blocks on a
+        // slow peer would turn shed load into a new bottleneck.
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+        let mut writer = BufWriter::new(stream);
+        let _ = write_frame(
+            &mut writer,
+            &Frame::Error(ErrorFrame {
+                code: ErrorCode::Overloaded,
+                message: "admission queue full; back off and retry".into(),
+            }),
+        );
     }
 
     /// Blocks for the next connection; `None` means the queue was closed
@@ -153,6 +185,10 @@ struct Shared {
     cfg: NetConfig,
     conns: ConnQueue,
     stop: AtomicBool,
+    /// Connections whose socket deadlines could not be installed; served
+    /// anyway, but surfaced in every [`MetricsSnapshot`] so degraded
+    /// shutdown-polling/deadline behaviour is observable.
+    timeout_failures: AtomicU64,
 }
 
 /// A bound, not-yet-running server. [`NetServer::bind`] → inspect
@@ -194,6 +230,7 @@ impl NetServer {
                 cfg,
                 conns: ConnQueue::new(),
                 stop: AtomicBool::new(false),
+                timeout_failures: AtomicU64::new(0),
             }),
         })
     }
@@ -309,24 +346,41 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     // The read timeout is a shutdown poll, not a client deadline: an
     // idle connection wakes the worker every IDLE_POLL to check the stop
     // flag (read_frame only surfaces timeouts at frame boundaries), so
-    // ServerHandle::shutdown can never hang on a silent peer.
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    // ServerHandle::shutdown can never hang on a silent peer. The client
+    // deadlines are separate knobs: cfg.read_deadline bounds a *started*
+    // frame via read_frame_deadline (the poll timeout is what makes the
+    // budget observable), cfg.write_deadline is a plain socket write
+    // timeout. Setup failures are counted, not fatal — the connection
+    // still serves, just without the degraded guarantee.
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        shared.timeout_failures.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(d) = shared.cfg.write_deadline {
+        if stream.set_write_timeout(Some(d)).is_err() {
+            shared.timeout_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = BufWriter::new(stream);
     loop {
-        let frame = match read_frame(&mut reader, shared.cfg.max_frame_bytes) {
+        let read = match shared.cfg.read_deadline {
+            Some(budget) => read_frame_deadline(&mut reader, shared.cfg.max_frame_bytes, budget),
+            None => read_frame(&mut reader, shared.cfg.max_frame_bytes),
+        };
+        let frame = match read {
             Ok(Some(f)) => f,
-            Err(ReadError::Io(e)) if is_timeout(&e) => {
+            Err(ReadError::Io(e)) if is_timeout(&e) && !is_deadline_expiry(&e) => {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
                 continue;
             }
-            // Clean close, or the client vanished mid-frame: either way
-            // this connection is done and the server keeps running.
+            // Clean close, the client vanished mid-frame, or a started
+            // frame blew its read deadline: either way this connection is
+            // done and the server keeps running.
             Ok(None) | Err(ReadError::Io(_)) => return,
             Err(ReadError::Frame(e)) => {
                 // Tell the peer why before hanging up; framing is broken,
@@ -436,6 +490,10 @@ fn answer(shared: &Shared, req: Request) -> Frame {
                     cache_resident_rows: c.resident_rows as u64,
                     cache_resident_bytes: c.resident_bytes as u64,
                     cache_capacity_bytes: c.capacity_bytes as u64,
+                    dropped_links: m.dropped_links,
+                    rerouted_hops: m.rerouted_hops,
+                    epoch_flips: m.epoch_flips,
+                    timeout_setup_failures: shared.timeout_failures.load(Ordering::Relaxed),
                 },
             })
         }

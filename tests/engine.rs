@@ -10,6 +10,7 @@
 
 use navigability::core::trial::{run_trials, PairStats, TrialConfig};
 use navigability::core::uniform::UniformScheme;
+use navigability::core::{FailurePlan, FaultConfig, FaultyScheme};
 use navigability::engine::{AdmissionPolicy, Engine, EngineConfig, QueryBatch};
 use navigability::graph::components::connect_components;
 use navigability::par::test_threads;
@@ -310,6 +311,148 @@ proptest! {
                 );
             }
             prop_assert!(identical(&answers, &reference.pairs), "mode {:?}", mode);
+        }
+    }
+
+    #[test]
+    fn zero_drop_wrapper_preserves_the_inner_rng_stream(
+        g in connected_graph(36),
+        seed in 0u64..500,
+    ) {
+        // The coin-after-contact contract, property-tested end-to-end:
+        // wrapping a scheme in FaultyScheme must leave the inner scheme's
+        // RNG stream byte-identical — at p = 0 the wrapper is invisible
+        // under both sampler backends and any thread count, and at p > 0
+        // the scalar and batched fault samplers agree bit for bit
+        // (the drop coin is drawn *after* the inner contact in both).
+        use navigability::core::sampler::SamplerMode;
+        let n = g.num_nodes() as NodeId;
+        let pairs: Vec<(NodeId, NodeId)> = (0..10u32).map(|i| (i % n, (i * 3 + 1) % n)).collect();
+        for mode in [SamplerMode::Scalar, SamplerMode::Batched] {
+            for threads in [1usize, test_threads()] {
+                let cfg = TrialConfig { trials_per_pair: 3, seed, threads, sampler: mode };
+                let plain = run_trials(&g, &BallScheme::new(&g), &pairs, &cfg).expect("valid");
+                let wrapped =
+                    run_trials(&g, &FaultyScheme::new(BallScheme::new(&g), 0.0), &pairs, &cfg)
+                        .expect("valid");
+                prop_assert!(
+                    identical(&plain.pairs, &wrapped.pairs),
+                    "p=0 wrapper changed the stream at mode={mode:?} threads={threads}"
+                );
+            }
+        }
+        // And at p > 0 the engine's fault knob and the explicit wrapper
+        // scheme must be the *same* faulty sampler, per mode: under
+        // Scalar both are ScalarSampler(FaultyScheme), under Batched both
+        // are FaultySampler(BallRowSampler) — one via the scheme's
+        // batched passthrough, one via the engine wrapping the inner
+        // backend. (The two modes differ from *each other* by design —
+        // same distribution, different RNG consumption.)
+        let faulty = FaultyScheme::new(BallScheme::new(&g), 0.35);
+        for mode in [SamplerMode::Scalar, SamplerMode::Batched] {
+            let reference = run_trials(
+                &g, &faulty, &pairs,
+                &TrialConfig { trials_per_pair: 3, seed, threads: 1, sampler: mode },
+            ).expect("valid");
+            for threads in [1usize, test_threads()] {
+                let mut engine = Engine::new(
+                    g.clone(),
+                    Box::new(BallScheme::new(&g)),
+                    EngineConfig {
+                        seed,
+                        threads,
+                        cache_bytes: 1 << 20,
+                        sampler: mode,
+                        fault: FaultConfig { drop_prob: 0.35, plan: None },
+                        ..EngineConfig::default()
+                    },
+                );
+                let answers = engine
+                    .serve(&QueryBatch::from_pairs(&pairs, 3))
+                    .expect("valid")
+                    .answers;
+                prop_assert!(
+                    identical(&answers, &reference.pairs),
+                    "engine fault knob diverged from wrapper scheme at mode={mode:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injected_serving_is_a_pure_function_of_the_rng_index(
+        g in connected_graph(40),
+        seed in 0u64..500,
+        num_pairs in 4usize..20,
+        batch_size in 1usize..8,
+    ) {
+        // The robustness contract: with link drops *and* churn epochs on,
+        // answers stay bit-identical across cache capacities (epoch flips
+        // purge different residencies), thread counts, batch splits, and
+        // shard counts — every query's fate is a pure function of its RNG
+        // index. The 3-epoch / period-4 plan guarantees streams cross
+        // epoch boundaries mid-run.
+        use navigability::engine::ShardedEngine;
+        let n = g.num_nodes() as NodeId;
+        let mut rng = seeded_rng(seed ^ 0xfa017);
+        let pairs: Vec<(NodeId, NodeId)> = (0..num_pairs)
+            .map(|_| {
+                use rand::Rng;
+                (rng.gen_range(0..n), rng.gen_range(0..n))
+            })
+            .collect();
+        let fault = FaultConfig {
+            drop_prob: 0.3,
+            plan: Some(FailurePlan::new(seed ^ 0xc4, 3, 4, 0.15)),
+        };
+        let serve_all = |threads: usize, cache_bytes: usize, split: usize| -> Vec<PairStats> {
+            let mut engine = Engine::new(
+                g.clone(),
+                Box::new(UniformScheme),
+                EngineConfig { seed, threads, cache_bytes, fault, ..EngineConfig::default() },
+            );
+            let mut answers = Vec::new();
+            for chunk in pairs.chunks(split.max(1)) {
+                answers.extend(
+                    engine.serve(&QueryBatch::from_pairs(chunk, 3)).expect("valid").answers,
+                );
+            }
+            answers
+        };
+        let reference = serve_all(1, 1 << 22, pairs.len());
+        let tiny = 3 * g.num_nodes();
+        for threads in [1usize, test_threads()] {
+            for cache_bytes in [0usize, tiny, 1 << 22] {
+                let got = serve_all(threads, cache_bytes, batch_size);
+                prop_assert!(
+                    identical(&got, &reference),
+                    "fault serving diverged at threads={threads} cache={cache_bytes} batch={batch_size}"
+                );
+            }
+        }
+        for shards in [2usize, 5] {
+            let mut engine = ShardedEngine::new(
+                g.clone(),
+                || Box::new(UniformScheme),
+                EngineConfig {
+                    seed,
+                    threads: test_threads(),
+                    cache_bytes: 1 << 20,
+                    fault,
+                    ..EngineConfig::default()
+                },
+                shards,
+            );
+            let mut answers = Vec::new();
+            for chunk in pairs.chunks(batch_size.max(1)) {
+                answers.extend(
+                    engine.serve(&QueryBatch::from_pairs(chunk, 3)).expect("valid").answers,
+                );
+            }
+            prop_assert!(
+                identical(&answers, &reference),
+                "sharded fault serving diverged at shards={shards}"
+            );
         }
     }
 }

@@ -22,14 +22,17 @@
 use navigability::core::sampler::SamplerMode;
 use navigability::core::trial::{run_trials, PairStats, TrialConfig};
 use navigability::core::uniform::UniformScheme;
+use navigability::core::{FailurePlan, FaultConfig};
 use navigability::engine::{AdmissionPolicy, Engine, EngineConfig, QueryBatch};
 use navigability::net::{
     frames_bits_eq, ErrorCode, ErrorFrame, Frame, FrameError, MetricsSnapshot, NetClient,
-    NetConfig, NetError, NetServer, Request, Response, ServerHandle,
+    NetConfig, NetError, NetServer, Request, Response, RetryPolicy, RetryingClient, ServerHandle,
 };
 use navigability::par::test_threads;
 use navigability::prelude::*;
 use proptest::prelude::*;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
 
 // --- 1. codec properties ------------------------------------------------
 
@@ -81,7 +84,7 @@ fn arb_response() -> impl Strategy<Value = Frame> {
         });
     (
         proptest::collection::vec(stats, 0..32),
-        proptest::collection::vec(0u64..u64::MAX, 11..12),
+        proptest::collection::vec(0u64..u64::MAX, 15..16),
     )
         .prop_map(|(answers, m)| {
             Frame::Response(Response {
@@ -98,20 +101,25 @@ fn arb_response() -> impl Strategy<Value = Frame> {
                     cache_resident_rows: m[8],
                     cache_resident_bytes: m[9],
                     cache_capacity_bytes: m[10],
+                    dropped_links: m[11],
+                    rerouted_hops: m[12],
+                    epoch_flips: m[13],
+                    timeout_setup_failures: m[14],
                 },
             })
         })
 }
 
 fn arb_error() -> impl Strategy<Value = Frame> {
-    (1u16..6, proptest::collection::vec(32u8..127, 0..80)).prop_map(|(code, msg)| {
+    (1u16..7, proptest::collection::vec(32u8..127, 0..80)).prop_map(|(code, msg)| {
         Frame::Error(ErrorFrame {
             code: match code {
                 1 => ErrorCode::UnknownHandle,
                 2 => ErrorCode::TooManyQueries,
                 3 => ErrorCode::InvalidEndpoint,
                 4 => ErrorCode::UnexpectedFrame,
-                _ => ErrorCode::Internal,
+                5 => ErrorCode::Internal,
+                _ => ErrorCode::Overloaded,
             },
             message: String::from_utf8(msg).expect("ascii"),
         })
@@ -613,5 +621,332 @@ fn sharded_server_routes_by_handle_byte_and_stays_bit_identical() {
     assert_eq!(split_handle(compose_handle(0, Some(2))), (0, Some(2)));
     drop(client);
     drop(direct);
+    server.shutdown();
+}
+
+// --- 5. chaos soak: churn + disconnects + sheds + deadlines ---------------
+//
+// The robustness gate: a stream served through every fault the wire can
+// throw at it — mid-response disconnects, forced reconnects, typed
+// Overloaded sheds, saboteur frames — must equal the uninterrupted local
+// stream **bit for bit**, at every churn epoch. Retrying is safe because
+// each request's `rng_base` is fixed before its first attempt.
+
+/// Engine knobs for the fault-injected soak: link drops plus a 3-epoch
+/// churn plan whose period is shorter than one client stream, so the
+/// soak crosses every epoch.
+fn chaos_cfg(seed: u64) -> EngineConfig {
+    EngineConfig {
+        seed,
+        threads: 1,
+        cache_bytes: 1 << 20,
+        fault: FaultConfig {
+            drop_prob: 0.25,
+            plan: Some(FailurePlan::new(5, 3, 8, 0.1)),
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// The answers a local engine with `cfg` gives `pairs`, served in
+/// `chunk`-sized batches at the same cumulative RNG bases a well-behaved
+/// client would stamp.
+fn local_stream(
+    g: &Graph,
+    cfg: EngineConfig,
+    pairs: &[(NodeId, NodeId)],
+    chunk: usize,
+) -> Vec<PairStats> {
+    let mut eng = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+    let mut base = 0u64;
+    let mut out = Vec::new();
+    for ch in pairs.chunks(chunk) {
+        let b = QueryBatch::from_pairs(ch, 3);
+        let r = eng.serve_at(&b, base, SamplerMode::Scalar).expect("local");
+        base += b.len() as u64;
+        out.extend(r.answers);
+    }
+    out
+}
+
+/// One direction of a proxied connection; severs both ways once `budget`
+/// bytes have flowed.
+fn pump(mut from: TcpStream, mut to: TcpStream, mut budget: usize) {
+    use std::io::{Read, Write};
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let n = n.min(budget);
+        if to.write_all(&buf[..n]).is_err() || to.flush().is_err() {
+            break;
+        }
+        budget -= n;
+        if budget == 0 {
+            break;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+/// A TCP proxy in front of `target` that kills the server→client leg of
+/// each of the first `kills` connections after `kill_after` bytes —
+/// guaranteed mid-frame for any realistic response — and forwards every
+/// later connection cleanly.
+fn flaky_proxy(target: SocketAddr, kills: usize, kill_after: usize) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = listener.local_addr().expect("proxy addr");
+    std::thread::spawn(move || {
+        let mut conn = 0usize;
+        for stream in listener.incoming() {
+            let Ok(client) = stream else { continue };
+            let kill = conn < kills;
+            conn += 1;
+            std::thread::spawn(move || {
+                let Ok(server) = TcpStream::connect(target) else {
+                    return;
+                };
+                let (c2, s2) = match (client.try_clone(), server.try_clone()) {
+                    (Ok(c), Ok(s)) => (c, s),
+                    _ => return,
+                };
+                let up = std::thread::spawn(move || pump(c2, server, usize::MAX));
+                pump(s2, client, if kill { kill_after } else { usize::MAX });
+                let _ = up.join();
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn retried_streams_equal_uninterrupted_streams_under_churn_and_chaos() {
+    let g = world(72, 33);
+    let seed = 47u64;
+    let engine = Engine::new(g.clone(), Box::new(UniformScheme), chaos_cfg(seed));
+    let server = NetServer::bind(
+        engine,
+        NetConfig {
+            workers: 4,
+            ..NetConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind")
+    .spawn()
+    .expect("spawn");
+    let direct = server.addr();
+    // Three kills: wherever they land among the clients' first connects
+    // and reconnects, every stream must come out identical.
+    let proxied = flaky_proxy(direct, 3, 200);
+    let total_retries = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        // Saboteurs hammer the server directly with malformed frames and
+        // vanishing connections while the honest clients stream.
+        for k in 0..3u8 {
+            scope.spawn(move || {
+                use std::io::Write;
+                if let Ok(mut s) = TcpStream::connect(direct) {
+                    let _ = match k % 3 {
+                        0 => s.write_all(b"GARBAGE-NOT-A-FRAME"),
+                        1 => s.write_all(
+                            &Frame::encode(&Frame::Request(Request {
+                                handle: 0,
+                                rng_base: 0,
+                                sampler: SamplerMode::Scalar,
+                                queries: vec![],
+                            }))[..9],
+                        ),
+                        _ => Ok(()),
+                    };
+                }
+            });
+        }
+        for c in 0..3u64 {
+            let g = &g;
+            let total_retries = &total_retries;
+            scope.spawn(move || {
+                let pairs = client_pairs(g, c, 24);
+                // 24 queries at churn period 8 cross epochs 0, 1 and 2.
+                let want = local_stream(g, chaos_cfg(seed), &pairs, 5);
+                let mut rc = RetryingClient::connect(
+                    proxied,
+                    RetryPolicy {
+                        max_attempts: 8,
+                        backoff_base: Duration::from_millis(1),
+                        backoff_cap: Duration::from_millis(20),
+                        seed: c,
+                    },
+                )
+                .expect("resolve");
+                let mut got = Vec::new();
+                for (i, chunk) in pairs.chunks(5).enumerate() {
+                    if i == 2 {
+                        // Forced mid-stream reconnect, on top of whatever
+                        // the proxy already severed.
+                        rc.sever();
+                    }
+                    let (a, m) = rc
+                        .serve(0, SamplerMode::Scalar, &QueryBatch::from_pairs(chunk, 3))
+                        .expect("chaos serve");
+                    // The fault layer is live: the server reports drops
+                    // and epoch flips once the stream crosses them.
+                    if i > 0 {
+                        assert!(m.dropped_links > 0, "fault layer inactive?");
+                    }
+                    got.extend(a);
+                }
+                assert!(
+                    identical(&got, &want),
+                    "client {c}: retried stream diverged from uninterrupted local stream"
+                );
+                total_retries.fetch_add(rc.retries(), std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+    // The proxy killed three connections; somebody must have replayed.
+    assert!(
+        total_retries.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "chaos proxy severed 3 connections but no client retried"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_are_typed_retryable_and_recoverable() {
+    let g = world(48, 8);
+    let server = spawn_server(
+        &g,
+        21,
+        AdmissionPolicy::Lru,
+        NetConfig {
+            workers: 1,
+            max_pending: 1,
+            ..NetConfig::default()
+        },
+    );
+    let addr = server.addr();
+    // Occupy the lone worker with a silent connection, then fill the
+    // one-deep admission queue with a second.
+    let busy = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(200));
+    let queued = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100));
+    // The next arrival is shed — with a *typed*, retryable refusal, not a
+    // silent reset.
+    let mut shed = NetClient::connect(addr).expect("connect");
+    let err = shed
+        .serve(
+            0,
+            SamplerMode::Scalar,
+            &QueryBatch::from_pairs(&[(0, 1)], 1),
+        )
+        .unwrap_err();
+    match &err {
+        NetError::Remote(e) => {
+            assert_eq!(e.code, ErrorCode::Overloaded, "{err}");
+            assert!(e.code.is_retryable());
+        }
+        // The refusal write is best-effort; under extreme scheduling the
+        // stream may already be gone. Either way it must read as
+        // retryable.
+        other => assert!(other.is_retryable(), "{other}"),
+    }
+    assert!(err.is_retryable());
+    // Capacity drains …
+    drop(busy);
+    drop(queued);
+    // … and a retrying client now gets exact answers from the same
+    // server: the shed poisoned nothing.
+    let pairs = client_pairs(&g, 4, 6);
+    let reference = run_trials(
+        &g,
+        &UniformScheme,
+        &pairs,
+        &TrialConfig {
+            trials_per_pair: 3,
+            seed: 21,
+            threads: 1,
+            ..TrialConfig::default()
+        },
+    )
+    .expect("valid");
+    let mut rc = RetryingClient::connect(
+        addr,
+        RetryPolicy {
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        },
+    )
+    .expect("resolve");
+    let (answers, _) = rc
+        .serve(0, SamplerMode::Scalar, &QueryBatch::from_pairs(&pairs, 3))
+        .expect("recovered");
+    assert!(identical(&answers, &reference.pairs));
+    server.shutdown();
+}
+
+#[test]
+fn read_deadline_expels_tricklers_but_spares_idle_connections() {
+    use std::io::{Read, Write};
+    let g = world(48, 6);
+    let server = spawn_server(
+        &g,
+        9,
+        AdmissionPolicy::Lru,
+        NetConfig {
+            workers: 2,
+            read_deadline: Some(Duration::from_millis(300)),
+            ..NetConfig::default()
+        },
+    );
+    let addr = server.addr();
+    // An *idle* connection may outlive the deadline arbitrarily: the
+    // budget starts at a frame's first byte, never between frames.
+    let mut idle = NetClient::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(700));
+    let (answers, _) = idle
+        .serve(
+            0,
+            SamplerMode::Scalar,
+            &QueryBatch::from_pairs(&[(0, 1)], 1),
+        )
+        .expect("idle connection must survive the read deadline");
+    assert_eq!(answers.len(), 1);
+    // A slow-trickle writer inside a frame is torn down once the budget
+    // lapses — it cannot pin a worker forever.
+    let bytes = Frame::Request(Request {
+        handle: 0,
+        rng_base: 0,
+        sampler: SamplerMode::Scalar,
+        queries: vec![navigability::engine::Query {
+            s: 0,
+            t: 1,
+            trials: 1,
+        }],
+    })
+    .encode();
+    let mut trickler = TcpStream::connect(addr).expect("connect");
+    trickler.write_all(&bytes[..10]).expect("first bytes");
+    std::thread::sleep(Duration::from_millis(900));
+    // By now the server must have hung up: the rest of the frame either
+    // fails to send or the read returns EOF/reset instead of an answer.
+    let _ = trickler.write_all(&bytes[10..]);
+    let _ = trickler.flush();
+    trickler
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut buf = [0u8; 1];
+    match trickler.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(_) => panic!("server answered a frame that blew its read deadline"),
+    }
+    // The worker freed by the expulsion still serves honest clients.
+    replay_and_check(addr, &g, 9, 1, 4);
     server.shutdown();
 }

@@ -4,7 +4,8 @@
 //! exact bytes — so format or generator drift cannot land silently.
 
 use navigability::engine::workload::{
-    parse_workload, render_workload, render_workload_with_shards, zipf_queries, GraphSpec, ZipfSpec,
+    parse_workload, render_workload, render_workload_full, render_workload_with_shards,
+    zipf_queries, FaultSpec, GraphSpec, ZipfSpec,
 };
 
 fn gen_spec() -> (GraphSpec, ZipfSpec) {
@@ -119,6 +120,34 @@ fn sharded_workload_file_is_byte_identical() {
         let text = single.replace("batch 512", &format!("batch 512\n{bad}"));
         assert!(parse_workload(&text).is_err(), "{bad} must be rejected");
     }
+}
+
+#[test]
+fn fault_workload_file_is_byte_identical() {
+    // The golden bytes of a faulty workload: the `fault` directive lands
+    // between `shards` and `zipf`, with the drop probability rendered
+    // exactly (no rounding — 0.125 stays 0.125, not 0.13). A fault-free
+    // spec keeps the historical bytes, so every previously generated
+    // file parses unchanged.
+    let (graph, zipf) = gen_spec();
+    let fault = Some(FaultSpec {
+        drop_prob: 0.125,
+        epochs: 3,
+    });
+    let text = render_workload_full(&graph, 8, 512, 4, fault, &zipf);
+    assert_eq!(
+        text,
+        "nav-workload v1\ngraph gnp 4096 42\ntrials 8\nbatch 512\nshards 4\nfault 0.125 3\nzipf 100000 1.1 7 1024\n"
+    );
+    let spec = parse_workload(&text).expect("valid");
+    assert_eq!(spec.fault, fault);
+    // The fault directive only tags the stream — the queries themselves
+    // are byte-for-byte the pinned fault-free expansion.
+    assert_eq!(stream_hash(&spec.queries), PINNED_STREAM_HASH);
+    // No fault: `render_workload_full` collapses to the historical bytes.
+    let plain = render_workload_full(&graph, 8, 512, 1, None, &zipf);
+    assert_eq!(plain, render_workload(&graph, 8, 512, &zipf));
+    assert_eq!(parse_workload(&plain).expect("valid").fault, None);
 }
 
 #[test]
