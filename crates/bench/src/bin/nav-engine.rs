@@ -19,6 +19,10 @@
 //!     [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--admission lru|segmented] [--workers W]
 //! cargo run -p nav-bench --release --bin nav-engine -- bench-tcp FILE --addr 127.0.0.1:4777 [--json PATH]
 //!
+//! # ask a running serve-tcp for its ops snapshot (counters, per-stage
+//! # latency histograms, sampled query traces) as /metrics text or JSON
+//! cargo run -p nav-bench --release --bin nav-engine -- stats 127.0.0.1:4777 [--handle H] [--json]
+//!
 //! # emit the BENCH_net.json loopback wire baseline (self-hosted)
 //! cargo run -p nav-bench --release --bin nav-engine -- bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]
 //!
@@ -206,6 +210,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
     let mut shards_flag: Option<usize> = None;
     let mut drop_p: Option<f64> = None;
     let mut fault_epochs: Option<u32> = None;
+    let mut trace_every = nav_obs::ObsConfig::default().trace_every;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => threads = expect_num(&mut args, "--threads"),
@@ -215,6 +220,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
             "--shards" => shards_flag = Some(expect_shards(&mut args)),
             "--drop-p" => drop_p = Some(expect_num(&mut args, "--drop-p")),
             "--fault-epochs" => fault_epochs = Some(expect_num(&mut args, "--fault-epochs")),
+            "--trace-every" => trace_every = expect_num(&mut args, "--trace-every"),
             "--scheme" => {
                 scheme_name = args.next().unwrap_or_else(|| {
                     eprintln!("--scheme needs a value");
@@ -308,6 +314,10 @@ fn serve(mut args: impl Iterator<Item = String>) {
             sampler,
             admission,
             fault,
+            obs: nav_obs::ObsConfig {
+                trace_every,
+                ..nav_obs::ObsConfig::default()
+            },
         },
         shards,
     );
@@ -364,6 +374,11 @@ fn serve(mut args: impl Iterator<Item = String>) {
             m.sampler.fallbacks,
             m.sampler.row_bytes / 1024
         );
+    }
+    let obs = engine.obs_snapshot();
+    if !obs.stages.is_empty() {
+        println!("stage latency");
+        print!("{}", obs.stage_table());
     }
     if let Some(path) = json_path {
         let json = format!(
@@ -515,11 +530,13 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
     let mut shards_flag: Option<usize> = None;
     let mut drop_p: Option<f64> = None;
     let mut fault_epochs: Option<u32> = None;
+    let mut trace_every = nav_obs::ObsConfig::default().trace_every;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--shards" => shards_flag = Some(expect_shards(&mut args)),
             "--drop-p" => drop_p = Some(expect_num(&mut args, "--drop-p")),
             "--fault-epochs" => fault_epochs = Some(expect_num(&mut args, "--fault-epochs")),
+            "--trace-every" => trace_every = expect_num(&mut args, "--trace-every"),
             "--addr" => {
                 addr = args.next().unwrap_or_else(|| {
                     eprintln!("--addr needs HOST:PORT");
@@ -562,6 +579,10 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
             sampler: SamplerMode::Scalar,
             admission,
             fault,
+            obs: nav_obs::ObsConfig {
+                trace_every,
+                ..nav_obs::ObsConfig::default()
+            },
         },
         shards,
     );
@@ -676,6 +697,16 @@ fn bench_tcp(mut args: impl Iterator<Item = String>) {
         "server cache      {} hits / {} misses (rate {hit_rate:.3}), {} rows resident",
         m.cache_hits, m.cache_misses, m.cache_resident_rows
     );
+    // The per-run stage-latency view, straight off the wire: where did
+    // the server spend those passes? Non-fatal if refused — the replay
+    // numbers above already stand on their own.
+    match client.stats(0) {
+        Ok(reply) => {
+            println!("server stages     (per-stage latency from the stats frame)");
+            print!("{}", reply.obs.stage_table());
+        }
+        Err(e) => eprintln!("[nav-engine] stats frame unavailable: {e}"),
+    }
     if let Some(path) = json_path {
         let json = format!(
             "{{\n  \"schema\": \"nav-net-replay/v1\",\n  \"workload\": \"{}\",\n  \"addr\": \"{}\",\n  \"queries_per_pass\": {},\n  \"failures\": {},\n  \"pass1\": {{\"elapsed_ms\": {cold_ms:.3}, \"qps\": {:.3}}},\n  \"pass2\": {{\"elapsed_ms\": {warm_ms:.3}, \"qps\": {:.3}}},\n  \"server_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {hit_rate:.3}, \"resident_rows\": {}, \"evictions\": {}}}\n}}\n",
@@ -692,6 +723,105 @@ fn bench_tcp(mut args: impl Iterator<Item = String>) {
         );
         std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("[nav-engine] replay summary -> {path}");
+    }
+}
+
+/// Renders a [`nav_net::StatsReply`] as a plain-text `/metrics`-style
+/// exposition: the merged counters, then the stage-latency summaries and
+/// sampled traces from the obs snapshot.
+fn stats_text(reply: &nav_net::StatsReply) -> String {
+    use std::fmt::Write as _;
+    let m = &reply.metrics;
+    let mut out = String::new();
+    for (name, v) in [
+        ("nav_queries_total", m.queries),
+        ("nav_batches_total", m.batches),
+        ("nav_trials_total", m.trials),
+        ("nav_warm_targets_total", m.warm_targets),
+        ("nav_cold_targets_total", m.cold_targets),
+        ("nav_cache_hits_total", m.cache_hits),
+        ("nav_cache_misses_total", m.cache_misses),
+        ("nav_cache_evictions_total", m.cache_evictions),
+        ("nav_dropped_links_total", m.dropped_links),
+        ("nav_rerouted_hops_total", m.rerouted_hops),
+        ("nav_epoch_flips_total", m.epoch_flips),
+        ("nav_timeout_setup_failures_total", m.timeout_setup_failures),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in [
+        ("nav_cache_resident_rows", m.cache_resident_rows),
+        ("nav_cache_resident_bytes", m.cache_resident_bytes),
+        ("nav_cache_capacity_bytes", m.cache_capacity_bytes),
+        ("nav_shards", u64::from(reply.shards)),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    reply.obs.render_text(&mut out);
+    out
+}
+
+/// Renders a [`nav_net::StatsReply`] as one JSON document.
+fn stats_json(addr: &str, reply: &nav_net::StatsReply) -> String {
+    let m = &reply.metrics;
+    format!(
+        "{{\n  \"schema\": \"nav-engine-stats/v1\",\n  \"addr\": \"{}\",\n  \"shards\": {},\n  \"metrics\": {{\"queries\": {}, \"batches\": {}, \"trials\": {}, \"warm_targets\": {}, \"cold_targets\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \"cache_resident_rows\": {}, \"cache_resident_bytes\": {}, \"cache_capacity_bytes\": {}, \"dropped_links\": {}, \"rerouted_hops\": {}, \"epoch_flips\": {}, \"timeout_setup_failures\": {}}},\n  \"obs\": {}\n}}\n",
+        json_escape(addr),
+        reply.shards,
+        m.queries,
+        m.batches,
+        m.trials,
+        m.warm_targets,
+        m.cold_targets,
+        m.cache_hits,
+        m.cache_misses,
+        m.cache_evictions,
+        m.cache_resident_rows,
+        m.cache_resident_bytes,
+        m.cache_capacity_bytes,
+        m.dropped_links,
+        m.rerouted_hops,
+        m.epoch_flips,
+        m.timeout_setup_failures,
+        reply.obs.to_json(),
+    )
+}
+
+/// `nav-engine stats ADDR [--handle H] [--json]` — ask a running
+/// serve-tcp for its ops snapshot over the wire and print it.
+fn stats(mut args: impl Iterator<Item = String>) {
+    let mut addr: Option<String> = None;
+    let mut handle = 0u32;
+    let mut json = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--handle" => handle = expect_num(&mut args, "--handle"),
+            "--json" => json = true,
+            other if addr.is_none() && !other.starts_with("--") => addr = Some(other.to_string()),
+            other => {
+                eprintln!("unknown stats argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let addr = addr.unwrap_or_else(|| {
+        eprintln!("stats needs the HOST:PORT of a running serve-tcp");
+        std::process::exit(2);
+    });
+    let mut client = NetClient::connect(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("connecting {addr}: {e}");
+        std::process::exit(1);
+    });
+    let reply = client.stats(handle).unwrap_or_else(|e| {
+        eprintln!("stats request failed: {e}");
+        std::process::exit(1);
+    });
+    if json {
+        print!("{}", stats_json(&addr, &reply));
+    } else {
+        print!("{}", stats_text(&reply));
     }
 }
 
@@ -819,7 +949,7 @@ fn chaos_bench(mut args: impl Iterator<Item = String>) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--sampler scalar|batched|ball-realized] [--admission lru|segmented] [--shards K] [--drop-p P] [--fault-epochs E] [--json PATH]\n       nav-engine serve-tcp FILE [--addr HOST:PORT] [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--admission lru|segmented] [--shards K] [--drop-p P] [--fault-epochs E] [--workers W] [--max-queries Q]\n       nav-engine bench-tcp FILE --addr HOST:PORT [--json PATH]\n       nav-engine bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B] [--shards K]\n       nav-engine scale-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine chaos-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
+        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--sampler scalar|batched|ball-realized] [--admission lru|segmented] [--shards K] [--drop-p P] [--fault-epochs E] [--trace-every T] [--json PATH]\n       nav-engine serve-tcp FILE [--addr HOST:PORT] [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--admission lru|segmented] [--shards K] [--drop-p P] [--fault-epochs E] [--trace-every T] [--workers W] [--max-queries Q]\n       nav-engine bench-tcp FILE --addr HOST:PORT [--json PATH]\n       nav-engine bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine stats HOST:PORT [--handle H] [--json]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B] [--shards K]\n       nav-engine scale-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine chaos-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -830,6 +960,7 @@ fn main() {
         Some("serve") => serve(args),
         Some("serve-tcp") => serve_tcp(args),
         Some("bench-tcp") => bench_tcp(args),
+        Some("stats") => stats(args),
         Some("gen") => gen(args),
         Some("scale-bench") => scale_bench(args),
         Some("chaos-bench") => chaos_bench(args),

@@ -44,13 +44,18 @@ fn engine(g: &Graph, seed: u64, threads: usize, cache_bytes: usize) -> Engine {
     )
 }
 
-/// Serves every batch in order, returning the concatenated answers.
-fn replay(engine: &mut Engine, batches: &[QueryBatch]) -> Vec<PairStats> {
+/// Serves every batch in order, returning the concatenated answers and
+/// the per-batch service times (the engine itself only keeps a bounded
+/// histogram of these — exact samples are the emitter's to collect).
+fn replay(engine: &mut Engine, batches: &[QueryBatch]) -> (Vec<PairStats>, Vec<f64>) {
     let mut answers = Vec::new();
+    let mut batch_ms = Vec::with_capacity(batches.len());
     for b in batches {
-        answers.extend(engine.serve(b).expect("workload validated").answers);
+        let r = engine.serve(b).expect("workload validated");
+        batch_ms.push(r.elapsed_ms);
+        answers.extend(r.answers);
     }
-    answers
+    (answers, batch_ms)
 }
 
 /// One JSON fragment for a measured replay.
@@ -121,7 +126,7 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
     // --- cold: capacity 0, every batch recomputes its rows --------------
     let mut cold_engine = engine(&g, seed, cfg.threads, 0);
     let t0 = Instant::now();
-    let cold_answers = replay(&mut cold_engine, &batches);
+    let (cold_answers, cold_latency) = replay(&mut cold_engine, &batches);
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert!(
         stats_identical(&cold_answers, &reference.pairs),
@@ -133,7 +138,7 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
     // target working set.
     let cache_bytes = (distinct * n * 4).max(1 << 20);
     let mut warm_engine = engine(&g, seed, cfg.threads, cache_bytes);
-    let first_answers = replay(&mut warm_engine, &batches);
+    let (first_answers, _) = replay(&mut warm_engine, &batches);
     // Cache state must be invisible in the answers: the populating replay
     // (mixed cold/warm as the zipf head fills in) is bit-identical too.
     assert!(
@@ -142,9 +147,8 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
     );
     // The second replay of the same stream is served entirely from the
     // resident rows — the steady state of a skewed production stream.
-    let populate_batches = warm_engine.metrics().batches as usize;
     let t1 = Instant::now();
-    let _steady = replay(&mut warm_engine, &batches);
+    let (_steady, warm_latency) = replay(&mut warm_engine, &batches);
     let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
     let warm_stats = warm_engine.cache_stats();
     assert_eq!(
@@ -157,6 +161,49 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
         warm_qps > cold_qps,
         "warm-cache replay ({warm_qps:.0} qps) must beat cold ({cold_qps:.0} qps)"
     );
+
+    // --- observability overhead: instrumented vs. stripped ---------------
+    // The default engine above runs with stage spans + the bounded batch
+    // histogram + 1-in-1024 trace sampling on. Re-run the same warm
+    // steady-state replay on an engine with observability fully off; the
+    // instrumented engine must stay within a 3% throughput budget
+    // (gated in full mode — quick replays are too short to time fairly).
+    // Answers must be bit-identical either way: observability may cost
+    // nanoseconds, never correctness.
+    let mut plain_engine = Engine::new(
+        g.clone(),
+        Box::new(UniformScheme),
+        EngineConfig {
+            seed,
+            threads: cfg.threads,
+            cache_bytes,
+            obs: nav_obs::ObsConfig::disabled(),
+            ..EngineConfig::default()
+        },
+    );
+    let (plain_first, _) = replay(&mut plain_engine, &batches);
+    assert!(
+        stats_identical(&plain_first, &reference.pairs),
+        "obs-disabled engine answers diverged from run_trials"
+    );
+    let t2 = Instant::now();
+    let _ = replay(&mut plain_engine, &batches);
+    let plain_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let plain_qps = count as f64 / (plain_ms / 1e3);
+    let overhead_frac = 1.0 - warm_qps / plain_qps;
+    const OBS_BUDGET_FRAC: f64 = 0.03;
+    if cfg.quick {
+        eprintln!(
+            "[bench] obs overhead quick: instrumented {warm_qps:.0} qps vs plain {plain_qps:.0} qps ({:+.1}%)",
+            overhead_frac * 100.0
+        );
+    } else {
+        assert!(
+            warm_qps >= (1.0 - OBS_BUDGET_FRAC) * plain_qps,
+            "instrumented warm replay ({warm_qps:.0} qps) fell more than {:.0}% behind uninstrumented ({plain_qps:.0} qps)",
+            OBS_BUDGET_FRAC * 100.0
+        );
+    }
 
     // --- ball workload: the per-step sampler backends head to head ------
     // A prefix of the same zipfian stream served under the Theorem-4 ball
@@ -205,7 +252,7 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
             },
         );
         let t = Instant::now();
-        let answers = replay(&mut e, &ball_batches);
+        let (answers, _) = replay(&mut e, &ball_batches);
         ball_ms[slot] = t.elapsed().as_secs_f64() * 1e3;
         assert!(
             stats_identical(&answers, &reference.pairs),
@@ -237,7 +284,7 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
         },
     );
     let t = Instant::now();
-    let realized_answers = replay(&mut realized_engine, &ball_batches);
+    let (realized_answers, _) = replay(&mut realized_engine, &ball_batches);
     ball_ms[2] = t.elapsed().as_secs_f64() * 1e3;
     assert!(
         stats_identical(&realized_answers, &realized_reference.pairs),
@@ -259,7 +306,6 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
     let ball_qps = |ms: f64| ball_queries.len() as f64 / (ms / 1e3);
 
     // --- render ----------------------------------------------------------
-    let warm_latency = &warm_engine.metrics().batch_latencies_ms()[populate_batches..];
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"nav-bench-serve/v1\",\n");
@@ -283,13 +329,15 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
         "  \"workload\": {{\"queries\": {count}, \"trials_per_query\": {trials}, \"batch\": {batch_size}, \"zipf_theta\": {}, \"hot_targets\": {hot}, \"distinct_targets\": {distinct}, \"scheme\": \"uniform\"}},\n",
         zipf.theta
     ));
-    out.push_str(&replay_json(
-        "cold",
-        cold_ms,
-        count,
-        cold_engine.metrics().batch_latencies_ms(),
+    out.push_str(&replay_json("cold", cold_ms, count, &cold_latency));
+    out.push_str(&replay_json("warm", warm_ms, count, &warm_latency));
+    out.push_str(&format!(
+        "  \"obs_overhead\": {{\"instrumented_qps\": {}, \"plain_qps\": {}, \"overhead_frac\": {}, \"budget_frac\": {OBS_BUDGET_FRAC}, \"gated\": {}}},\n",
+        fms(warm_qps),
+        fms(plain_qps),
+        fms(overhead_frac),
+        !cfg.quick
     ));
-    out.push_str(&replay_json("warm", warm_ms, count, warm_latency));
     out.push_str(&format!(
         "  \"ball\": {{\"queries\": {}, \"trials_per_query\": {trials}, \"scheme\": \"ball(thm4)\", \"scalar_ms\": {}, \"scalar_qps\": {}, \"batched_ms\": {}, \"batched_qps\": {}, \"realized_ms\": {}, \"realized_qps\": {}, \"batched_over_scalar_speedup\": {}, \"bit_identical_to_run_trials\": true}},\n",
         ball_queries.len(),
@@ -344,6 +392,7 @@ mod tests {
             "\"batched_over_scalar_speedup\":",
             "\"batch_latency_ms\":",
             "\"cache\":",
+            "\"obs_overhead\":",
             "\"warm_over_cold_speedup\":",
             "\"bit_identical_to_run_trials\": true",
         ] {

@@ -10,6 +10,7 @@ use nav_core::scheme::AugmentationScheme;
 use nav_core::trial::{aggregate_pair_with, PairStats};
 use nav_graph::distance::DistRowBuf;
 use nav_graph::{Graph, GraphError, NodeId};
+use nav_obs::{ObsConfig, ObsSnapshot, QueryTrace, Registry, Stage, StageSpan};
 use nav_par::rng::task_rng;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -54,6 +55,13 @@ pub struct EngineConfig {
     /// bit-identity contract extends unchanged to the faulty setting.
     /// `FaultConfig::default()` disables both dimensions.
     pub fault: FaultConfig,
+    /// Observability: per-stage latency histograms and sampled query
+    /// traces ([`nav_obs`]). All state is bounded — histograms are
+    /// fixed-size, traces live in a ring — and the trace sampler is
+    /// deterministic in `(seed, lifetime query index)`, so it can never
+    /// perturb answers and the traced set is identical across thread
+    /// counts, batch splits, and shard layouts.
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +75,7 @@ impl Default for EngineConfig {
             sampler: SamplerMode::Scalar,
             admission: AdmissionPolicy::Lru,
             fault: FaultConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -96,6 +105,10 @@ pub struct Engine {
     cfg: EngineConfig,
     cache: RowCache,
     metrics: EngineMetrics,
+    obs: Registry,
+    /// Which shard this engine is inside a [`crate::ShardedEngine`]
+    /// front (0 standalone) — stamped into query traces.
+    shard_label: u16,
     /// Lifetime query counter — the RNG index of the next query, which
     /// makes a batched stream equivalent to one long `run_trials`.
     served: u64,
@@ -110,6 +123,8 @@ impl Engine {
         Engine {
             cache: RowCache::with_policy(cfg.cache_bytes, cfg.admission),
             metrics: EngineMetrics::default(),
+            obs: Registry::new(cfg.obs, cfg.seed),
+            shard_label: 0,
             served: 0,
             cap,
             g,
@@ -141,6 +156,18 @@ impl Engine {
     /// Lifetime service metrics.
     pub fn metrics(&self) -> &EngineMetrics {
         &self.metrics
+    }
+
+    /// Freezes the engine's observability state — per-stage latency
+    /// histograms and the retained sampled traces — into a mergeable
+    /// snapshot.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// Labels this engine's traces with its shard index inside a front.
+    pub(crate) fn set_shard_label(&mut self, shard: u16) {
+        self.shard_label = shard;
     }
 
     /// Queries answered over the engine's lifetime.
@@ -212,8 +239,10 @@ impl Engine {
         sampler: SamplerMode,
     ) -> Result<BatchResult, GraphError> {
         assert_eq!(bases.len(), batch.len(), "one RNG index per query required");
+        let obs_on = self.obs.stages_enabled();
         let t0 = Instant::now();
         // --- admission -----------------------------------------------
+        let span = StageSpan::begin(Stage::Admission, obs_on);
         for q in &batch.queries {
             self.g.check_node(q.s)?;
             self.g.check_node(q.t)?;
@@ -221,6 +250,7 @@ impl Engine {
         let mut targets: Vec<NodeId> = batch.queries.iter().map(|q| q.t).collect();
         targets.sort_unstable();
         targets.dedup();
+        span.finish(self.obs.stages_mut());
         // --- churn tick -----------------------------------------------
         // A batch's churn epoch is the max epoch any of its queries lands
         // in (stable under query permutation and sub-batch partitioning).
@@ -239,6 +269,7 @@ impl Engine {
             }
         }
         // --- cache ----------------------------------------------------
+        let span = StageSpan::begin(Stage::CacheLookup, obs_on);
         let mut rows: HashMap<NodeId, Arc<DistRowBuf>> = HashMap::with_capacity(targets.len());
         let mut cold: Vec<NodeId> = Vec::new();
         for &t in &targets {
@@ -249,9 +280,11 @@ impl Engine {
                 None => cold.push(t),
             }
         }
+        span.finish(self.obs.stages_mut());
         // --- execute: cold rows ----------------------------------------
         let n = self.g.num_nodes();
         if !cold.is_empty() {
+            let span = StageSpan::begin(Stage::ColdFill, obs_on);
             let mut wide = vec![0u32; cold.len() * n];
             nav_graph::msbfs::batched_rows_into(&self.g, &cold, self.cfg.threads, &mut wide);
             for (i, &t) in cold.iter().enumerate() {
@@ -259,12 +292,18 @@ impl Engine {
                 self.cache.insert(t, Arc::clone(&row));
                 rows.insert(t, row);
             }
+            span.finish(self.obs.stages_mut());
         }
         // --- execute: trials -------------------------------------------
+        let span = StageSpan::begin(Stage::Trials, obs_on);
         let fault = self.cfg.fault;
-        let outcomes: Vec<(PairStats, SamplerStats, u64, u64)> =
+        // Trace sampling is pure in the query's RNG index, so the traced
+        // set is identical whatever thread or sub-batch runs the query.
+        let tracer = self.obs.sampler();
+        let outcomes: Vec<(PairStats, SamplerStats, u64, u64, Option<f64>)> =
             nav_par::parallel_map(batch.len(), self.cfg.threads, |i| {
                 let q = &batch.queries[i];
+                let trace_clock = tracer.hits(bases[i]).then(Instant::now);
                 let row = rows.get(&q.t).expect("row staged above");
                 let mut router = GreedyRouter::from_row_view(&self.g, q.t, row.view())
                     .expect("endpoints validated at admission");
@@ -291,18 +330,41 @@ impl Engine {
                     (stats, s.stats(), 0)
                 };
                 let (churn_drops, rerouted) = router.fault_counts();
-                (stats, sampler_stats, coin_drops + churn_drops, rerouted)
+                let trace_ms = trace_clock.map(|c| c.elapsed().as_secs_f64() * 1e3);
+                (
+                    stats,
+                    sampler_stats,
+                    coin_drops + churn_drops,
+                    rerouted,
+                    trace_ms,
+                )
             });
         let mut answers = Vec::with_capacity(outcomes.len());
         let mut sampler_stats = SamplerStats::default();
         let mut dropped_links = 0u64;
         let mut rerouted_hops = 0u64;
-        for (ps, ss, dropped, rerouted) in outcomes {
+        for (i, (ps, ss, dropped, rerouted, trace_ms)) in outcomes.into_iter().enumerate() {
+            if let Some(trials_ms) = trace_ms {
+                let q = &batch.queries[i];
+                self.obs.record_trace(QueryTrace {
+                    index: bases[i],
+                    s: q.s,
+                    t: q.t,
+                    shard: self.shard_label,
+                    // `cold` is sorted (built from the sorted target list).
+                    cache_hit: cold.binary_search(&q.t).is_err(),
+                    trials: q.trials.min(u32::MAX as usize) as u32,
+                    trials_ms,
+                    dropped_links: dropped.min(u32::MAX as u64) as u32,
+                    rerouted_hops: rerouted.min(u32::MAX as u64) as u32,
+                });
+            }
             answers.push(ps);
             sampler_stats.merge(&ss);
             dropped_links += dropped;
             rerouted_hops += rerouted;
         }
+        span.finish(self.obs.stages_mut());
         let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
         let warm = targets.len() - cold.len();
         let trials: u64 = batch.queries.iter().map(|q| q.trials as u64).sum();

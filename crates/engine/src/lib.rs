@@ -26,8 +26,11 @@
 //! * [`workload`] — a dependency-free workload-file format (graph spec +
 //!   query stream) with a zipfian-target generator, so hot-target skew
 //!   actually exercises the cache;
-//! * [`metrics`] — served counts, per-batch latency samples and
-//!   throughput, digestible via [`nav_analysis::latency`].
+//! * [`metrics`] — served counts, a bounded per-batch latency histogram
+//!   (`nav_obs::LogHistogram` — O(1) memory however long the engine
+//!   runs) and throughput, digestible via [`nav_analysis::latency`];
+//!   stage-level timings and sampled query traces live in the engine's
+//!   `nav_obs::Registry` ([`Engine::obs_snapshot`]).
 //!
 //! **Determinism contract.** Cached rows are exact distances and each
 //! query's RNG is derived from `(seed, lifetime query index)`, so the

@@ -2,9 +2,13 @@
 
 use nav_analysis::latency::LatencySummary;
 use nav_core::sampler::SamplerStats;
+use nav_obs::LogHistogram;
 
-/// Counters and latency samples accumulated across every batch an engine
-/// has served.
+/// Counters and a bounded latency histogram accumulated across every
+/// batch an engine has served. Memory is O(1) in queries served: the
+/// per-batch samples land in a fixed-size [`LogHistogram`] instead of a
+/// growing vector, and two metrics merge ([`EngineMetrics::merge`]) so a
+/// sharded front can present one lifetime view.
 #[derive(Clone, Debug, Default)]
 pub struct EngineMetrics {
     /// Queries answered.
@@ -34,8 +38,13 @@ pub struct EngineMetrics {
     /// Churn-epoch changes observed by the row cache (each one purges the
     /// resident rows — stale-row invalidation).
     pub epoch_flips: u64,
-    /// One wall-clock sample per served batch, milliseconds.
-    batch_ms: Vec<f64>,
+    /// Per-batch wall-clock samples, milliseconds, log-bucketed.
+    batch_ms: LogHistogram,
+    /// Exact per-batch samples, kept only under `cfg(test)` so the
+    /// conformance test can compare the histogram digest against the
+    /// exact one. Production builds carry no unbounded state.
+    #[cfg(test)]
+    batch_ms_exact: Vec<f64>,
 }
 
 impl EngineMetrics {
@@ -54,7 +63,9 @@ impl EngineMetrics {
         self.warm_targets += warm as u64;
         self.cold_targets += cold as u64;
         self.total_ms += elapsed_ms;
-        self.batch_ms.push(elapsed_ms);
+        self.batch_ms.record(elapsed_ms);
+        #[cfg(test)]
+        self.batch_ms_exact.push(elapsed_ms);
     }
 
     /// Folds one batch's summed sampler counters into the lifetime
@@ -70,15 +81,35 @@ impl EngineMetrics {
         self.epoch_flips += epoch_flips;
     }
 
-    /// The per-batch latency samples, in service order (milliseconds).
-    pub fn batch_latencies_ms(&self) -> &[f64] {
+    /// Adds `other`'s counters and latency histogram into `self` — how a
+    /// sharded front folds per-shard metrics into one view.
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.queries += other.queries;
+        self.batches += other.batches;
+        self.trials += other.trials;
+        self.warm_targets += other.warm_targets;
+        self.cold_targets += other.cold_targets;
+        self.total_ms += other.total_ms;
+        self.sampler.merge(&other.sampler);
+        self.dropped_links += other.dropped_links;
+        self.rerouted_hops += other.rerouted_hops;
+        self.epoch_flips += other.epoch_flips;
+        self.batch_ms.merge(&other.batch_ms);
+        #[cfg(test)]
+        self.batch_ms_exact.extend_from_slice(&other.batch_ms_exact);
+    }
+
+    /// The per-batch latency histogram (milliseconds).
+    pub fn batch_hist(&self) -> &LogHistogram {
         &self.batch_ms
     }
 
     /// Tail-latency digest of the per-batch service times (`None` before
-    /// the first batch).
+    /// the first batch). `count`/`mean`/`min`/`max` are exact; the
+    /// quantiles come from the histogram and carry its declared relative
+    /// error ([`LogHistogram::error_factor`]).
     pub fn latency(&self) -> Option<LatencySummary> {
-        LatencySummary::from_samples(&self.batch_ms)
+        self.batch_ms.summary()
     }
 
     /// Overall throughput in queries per second (0 before any work).
@@ -112,11 +143,60 @@ mod tests {
         assert_eq!(m.trials, 800);
         assert_eq!(m.warm_targets, 13);
         assert_eq!(m.cold_targets, 7);
-        assert_eq!(m.batch_latencies_ms(), &[50.0, 150.0]);
+        assert_eq!(m.batch_hist().count(), 2);
         let lat = m.latency().unwrap();
         assert_eq!(lat.count, 2);
+        assert_eq!(lat.min, 50.0);
         assert_eq!(lat.max, 150.0);
         // 200 queries in 0.2 s → 1000 qps.
         assert!((m.throughput_qps() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_digest_conforms_to_exact_samples() {
+        // The conformance check the ISSUE asks for: the histogram-backed
+        // digest must track the exact-sample digest within the declared
+        // relative-error factor on a realistic latency spread.
+        let mut m = EngineMetrics::default();
+        for i in 0..500u64 {
+            // 0.05..≈60 ms, log-spread like a cold/warm mixture.
+            let ms = 0.05 * 1.0143f64.powi(i as i32 % 500);
+            m.record_batch(10, 40, 1, 1, ms);
+        }
+        let exact = LatencySummary::from_samples(&m.batch_ms_exact).unwrap();
+        let approx = m.latency().unwrap();
+        assert_eq!(approx.count, exact.count);
+        assert!((approx.mean - exact.mean).abs() < 1e-9);
+        assert_eq!(approx.min, exact.min);
+        assert_eq!(approx.max, exact.max);
+        let gamma = LogHistogram::error_factor() * 1.0001;
+        for (a, e) in [
+            (approx.p50, exact.p50),
+            (approx.p90, exact.p90),
+            (approx.p99, exact.p99),
+        ] {
+            assert!(a >= e / gamma && a <= e * gamma, "approx {a} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_counters_and_histograms() {
+        let mut a = EngineMetrics::default();
+        let mut b = EngineMetrics::default();
+        a.record_batch(10, 20, 1, 2, 5.0);
+        b.record_batch(30, 40, 3, 4, 15.0);
+        b.record_fault(1, 2, 3);
+        a.merge(&b);
+        assert_eq!(a.queries, 40);
+        assert_eq!(a.batches, 2);
+        assert_eq!(a.trials, 60);
+        assert_eq!(a.warm_targets, 4);
+        assert_eq!(a.cold_targets, 6);
+        assert_eq!(a.dropped_links, 1);
+        assert_eq!(a.epoch_flips, 3);
+        assert_eq!(a.batch_hist().count(), 2);
+        let lat = a.latency().unwrap();
+        assert_eq!(lat.min, 5.0);
+        assert_eq!(lat.max, 15.0);
     }
 }

@@ -25,6 +25,7 @@ use crate::metrics::EngineMetrics;
 use nav_core::sampler::SamplerMode;
 use nav_core::scheme::AugmentationScheme;
 use nav_graph::{Graph, GraphError, NodeId};
+use nav_obs::ObsSnapshot;
 use std::time::Instant;
 
 /// A front over `k` target-sharded [`Engine`]s, answering batches
@@ -53,6 +54,11 @@ pub struct ShardedEngine {
     /// Lifetime query counter of the *front* — the per-shard counters
     /// stay untouched, because every routed query carries its own index.
     served: u64,
+    /// Batches accepted at the front (each may fan out to several
+    /// per-shard sub-batches; the per-shard `batches` counters count
+    /// those). The merged metrics report this number, so sharded totals
+    /// match what a single engine would report for the same stream.
+    front_batches: u64,
 }
 
 impl ShardedEngine {
@@ -69,11 +75,16 @@ impl ShardedEngine {
     ) -> Self {
         let shards = shards.max(1);
         let engines = (0..shards)
-            .map(|_| Engine::new(g.clone(), scheme_factory(), cfg))
+            .map(|s| {
+                let mut e = Engine::new(g.clone(), scheme_factory(), cfg);
+                e.set_shard_label(s.min(u16::MAX as usize) as u16);
+                e
+            })
             .collect();
         ShardedEngine {
             shards: engines,
             served: 0,
+            front_batches: 0,
         }
     }
 
@@ -83,6 +94,7 @@ impl ShardedEngine {
         ShardedEngine {
             shards: vec![engine],
             served: 0,
+            front_batches: 0,
         }
     }
 
@@ -139,25 +151,29 @@ impl ShardedEngine {
         total
     }
 
-    /// Lifetime counters summed over every shard. Per-batch latency
-    /// samples are per-shard state and are not merged — read them off
-    /// [`ShardedEngine::shards`] when a tail digest is needed.
+    /// Lifetime counters and latency histogram merged over every shard.
+    /// `batches` reports batches accepted *at the front* — not the
+    /// per-shard sub-batches the routing fans out to — so a sharded
+    /// front's totals line up with what a single engine reports for the
+    /// same stream. The latency histogram merges per-shard sub-batch
+    /// samples (its `count` can exceed `batches` when `k > 1`).
     pub fn metrics(&self) -> EngineMetrics {
         let mut total = EngineMetrics::default();
         for s in &self.shards {
-            let m = s.metrics();
-            total.queries += m.queries;
-            total.batches += m.batches;
-            total.trials += m.trials;
-            total.warm_targets += m.warm_targets;
-            total.cold_targets += m.cold_targets;
-            total.total_ms += m.total_ms;
-            total.sampler.merge(&m.sampler);
-            total.dropped_links += m.dropped_links;
-            total.rerouted_hops += m.rerouted_hops;
-            total.epoch_flips += m.epoch_flips;
+            total.merge(s.metrics());
         }
+        total.batches = self.front_batches;
         total
+    }
+
+    /// Per-stage histograms and sampled traces merged over every shard,
+    /// traces ordered by query index.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let mut snap = ObsSnapshot::default();
+        for s in &self.shards {
+            snap.merge(&s.obs_snapshot());
+        }
+        snap
     }
 
     /// Serves one batch through the front, advancing the lifetime
@@ -188,6 +204,7 @@ impl ShardedEngine {
             g.check_node(q.s)?;
             g.check_node(q.t)?;
         }
+        self.front_batches += 1;
         // Partition the batch by target shard, remembering each query's
         // position so answers scatter back in request order and RNG
         // indices survive the regrouping.
@@ -241,7 +258,9 @@ impl ShardedEngine {
         base: u64,
         sampler: SamplerMode,
     ) -> Result<BatchResult, GraphError> {
-        self.shards[shard].serve_at(batch, base, sampler)
+        let result = self.shards[shard].serve_at(batch, base, sampler)?;
+        self.front_batches += 1;
+        Ok(result)
     }
 }
 
@@ -342,7 +361,12 @@ mod tests {
         let m = sharded.metrics();
         assert_eq!(m.queries, 3);
         assert_eq!(m.trials, 9);
-        assert_eq!(m.batches, 2); // one sub-batch per touched shard
+        // One batch at the front, even though it fanned out to two
+        // per-shard sub-batches — merged totals describe the front.
+        assert_eq!(m.batches, 1);
+        // The merged latency histogram carries every sub-batch sample.
+        assert_eq!(m.batch_hist().count(), 2);
+        assert!(m.latency().is_some());
         assert_eq!(sharded.cache_stats().resident_rows, 2);
         assert_eq!(sharded.scheme_name(), "uniform");
         assert_eq!(sharded.graph().num_nodes(), 60);
@@ -354,6 +378,72 @@ mod tests {
         let want = reference.serve_at(&own, 11, cfg.sampler).unwrap();
         let got = sharded.serve_on(0, &own, 11, cfg.sampler).unwrap();
         assert!(identical(&got.answers, &want.answers));
+        // Direct shard serving is one more front batch.
+        assert_eq!(sharded.metrics().batches, 2);
+    }
+
+    #[test]
+    fn merged_metrics_match_single_engine_totals() {
+        // The satellite fix this pins: a sharded front's merged snapshot
+        // must report the same lifetime totals a single engine would for
+        // the same stream — not per-shard sub-batch counts.
+        let g = path(90);
+        let cfg = EngineConfig {
+            seed: 31,
+            threads: 1,
+            cache_bytes: 1 << 20,
+            ..EngineConfig::default()
+        };
+        let mut single = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+        let mut sharded = ShardedEngine::new(g, || Box::new(UniformScheme), cfg, 3);
+        for chunk in pairs().chunks(6) {
+            let batch = QueryBatch::from_pairs(chunk, 4);
+            single.serve(&batch).unwrap();
+            sharded.serve(&batch).unwrap();
+        }
+        let sm = single.metrics();
+        let mm = sharded.metrics();
+        assert_eq!(mm.queries, sm.queries);
+        assert_eq!(mm.batches, sm.batches);
+        assert_eq!(mm.trials, sm.trials);
+        assert_eq!(
+            mm.warm_targets + mm.cold_targets,
+            sm.warm_targets + sm.cold_targets
+        );
+        assert!(mm.latency().is_some());
+    }
+
+    #[test]
+    fn obs_snapshot_merges_shards_and_labels_traces() {
+        let g = path(90);
+        let cfg = EngineConfig {
+            seed: 31,
+            threads: 2,
+            cache_bytes: 1 << 20,
+            obs: nav_obs::ObsConfig {
+                stages: true,
+                trace_every: 1, // trace everything
+                trace_capacity: 64,
+            },
+            ..EngineConfig::default()
+        };
+        let mut sharded = ShardedEngine::new(g, || Box::new(UniformScheme), cfg, 3);
+        sharded.serve(&QueryBatch::from_pairs(&pairs(), 4)).unwrap();
+        let snap = sharded.obs_snapshot();
+        assert_eq!(snap.traces.len(), 24);
+        assert_eq!(snap.traces_recorded, 24);
+        // Traces come back in query-index order with correct shard labels.
+        let idx: Vec<u64> = snap.traces.iter().map(|t| t.index).collect();
+        assert_eq!(idx, (0..24u64).collect::<Vec<_>>());
+        for t in &snap.traces {
+            assert_eq!(t.shard as usize, t.t as usize % 3);
+        }
+        // Stage histograms merged across shards: every shard served a
+        // sub-batch, so trials count = total sub-batches.
+        use nav_obs::Stage;
+        assert!(snap.stage(Stage::Trials).unwrap().count() >= 3);
+        assert!(snap.stage(Stage::Admission).is_some());
+        assert!(snap.stage(Stage::ColdFill).is_some());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! with bounded, jittered backoff — same answers, bit for bit).
 
 use crate::frame::{
-    read_frame, write_frame, ErrorFrame, Frame, MetricsSnapshot, ReadError, Request,
-    DEFAULT_MAX_PAYLOAD,
+    read_frame, write_frame, ErrorFrame, Frame, MetricsSnapshot, ReadError, Request, StatsReply,
+    StatsRequest, DEFAULT_MAX_PAYLOAD,
 };
 use nav_core::sampler::SamplerMode;
 use nav_core::trial::PairStats;
@@ -120,7 +120,31 @@ impl NetClient {
         match read_frame(&mut self.reader, self.max_frame_bytes)? {
             Some(Frame::Response(resp)) => Ok((resp.answers, resp.metrics)),
             Some(Frame::Error(e)) => Err(NetError::Remote(e)),
-            Some(Frame::Request(_)) => Err(NetError::UnexpectedReply("request frame")),
+            Some(Frame::Request(_) | Frame::StatsRequest(_)) => {
+                Err(NetError::UnexpectedReply("request frame"))
+            }
+            Some(Frame::Stats(_)) => Err(NetError::UnexpectedReply("stats frame")),
+            None => Err(NetError::UnexpectedReply("connection closed")),
+        }
+    }
+
+    /// Asks the server for its ops snapshot: merged counters, per-stage
+    /// latency histograms (engine pipeline stages plus the serving
+    /// front's socket/decode/encode timings), and sampled query traces.
+    /// `handle` is tenant-checked exactly like a query handle; its shard
+    /// byte is ignored — stats always cover the whole front.
+    pub fn stats(&mut self, handle: u32) -> Result<StatsReply, NetError> {
+        write_frame(
+            &mut self.writer,
+            &Frame::StatsRequest(StatsRequest { handle }),
+        )?;
+        match read_frame(&mut self.reader, self.max_frame_bytes)? {
+            Some(Frame::Stats(reply)) => Ok(reply),
+            Some(Frame::Error(e)) => Err(NetError::Remote(e)),
+            Some(Frame::Request(_) | Frame::StatsRequest(_)) => {
+                Err(NetError::UnexpectedReply("request frame"))
+            }
+            Some(Frame::Response(_)) => Err(NetError::UnexpectedReply("response frame")),
             None => Err(NetError::UnexpectedReply("connection closed")),
         }
     }

@@ -9,8 +9,9 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "NAVF"
-//! 4       2     version (= 1)
-//! 6       1     kind    (1 = request, 2 = response, 3 = error)
+//! 4       2     version (= 2)
+//! 6       1     kind    (1 = request, 2 = response, 3 = error,
+//!                        4 = stats request, 5 = stats)
 //! 7       1     reserved (= 0)
 //! 8       4     payload length in bytes
 //! 12      …     payload
@@ -25,14 +26,15 @@
 use nav_core::sampler::SamplerMode;
 use nav_core::trial::PairStats;
 use nav_engine::Query;
+use nav_obs::{LogHistogram, ObsSnapshot, QueryTrace, Stage, BUCKETS};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
 
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"NAVF";
-/// Protocol version this build speaks.
-pub const VERSION: u16 = 1;
+/// Protocol version this build speaks (2 added the stats frames).
+pub const VERSION: u16 = 2;
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 12;
 /// Default payload bound (16 MiB) — comfortably above any realistic
@@ -42,6 +44,8 @@ pub const DEFAULT_MAX_PAYLOAD: usize = 16 << 20;
 const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 const KIND_ERROR: u8 = 3;
+const KIND_STATS_REQUEST: u8 = 4;
+const KIND_STATS: u8 = 5;
 
 /// Wire encoding of one query: `s`, `t`, `trials`, 4 bytes each.
 const QUERY_WIRE: usize = 12;
@@ -50,6 +54,13 @@ const QUERY_WIRE: usize = 12;
 const STATS_WIRE: usize = 48;
 /// Wire encoding of a [`MetricsSnapshot`]: fifteen `u64`s.
 const METRICS_WIRE: usize = 120;
+/// Wire encoding of one stage histogram entry: stage id byte, then
+/// `sum`/`min`/`max` as `f64` and the 64 bucket counts as `u64`s.
+const STAGE_WIRE: usize = 1 + 3 * 8 + BUCKETS * 8;
+/// Wire encoding of one [`QueryTrace`]: index `u64`, `s`/`t` `u32`,
+/// shard `u16`, cache-hit byte, trials `u32`, trials_ms `f64`,
+/// dropped/rerouted `u32`.
+const TRACE_WIRE: usize = 8 + 4 + 4 + 2 + 1 + 4 + 8 + 4 + 4;
 
 /// Why a server refused a well-formed request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -187,6 +198,29 @@ pub struct ErrorFrame {
     pub message: String,
 }
 
+/// A client's request for the server's observability snapshot — the ops
+/// surface's read endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsRequest {
+    /// Which graph/scheme registry to snapshot (same addressing as
+    /// [`Request::handle`]; the shard byte is ignored — stats always
+    /// describe the whole front).
+    pub handle: u32,
+}
+
+/// The server's observability snapshot: lifetime engine/cache counters,
+/// per-stage latency histograms (engine stages merged across shards plus
+/// the server's own wire stages), and the retained sampled traces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsReply {
+    /// Engine and cache counters, merged across shards.
+    pub metrics: MetricsSnapshot,
+    /// Number of shards behind the front.
+    pub shards: u32,
+    /// Stage histograms and sampled traces.
+    pub obs: ObsSnapshot,
+}
+
 /// One protocol message.
 #[derive(Clone, Debug)]
 pub enum Frame {
@@ -196,6 +230,10 @@ pub enum Frame {
     Response(Response),
     /// Server → client: a typed refusal.
     Error(ErrorFrame),
+    /// Client → server: snapshot the ops registry.
+    StatsRequest(StatsRequest),
+    /// Server → client: the ops snapshot.
+    Stats(StatsReply),
 }
 
 /// Why a byte sequence failed to decode as a frame.
@@ -324,6 +362,8 @@ impl Frame {
             Frame::Request(_) => KIND_REQUEST,
             Frame::Response(_) => KIND_RESPONSE,
             Frame::Error(_) => KIND_ERROR,
+            Frame::StatsRequest(_) => KIND_STATS_REQUEST,
+            Frame::Stats(_) => KIND_STATS,
         }
     }
 
@@ -358,6 +398,39 @@ impl Frame {
                 put_u16(out, err.code.to_u16());
                 put_u32(out, err.message.len() as u32);
                 out.extend_from_slice(err.message.as_bytes());
+            }
+            Frame::StatsRequest(req) => {
+                put_u32(out, req.handle);
+            }
+            Frame::Stats(stats) => {
+                put_metrics(out, &stats.metrics);
+                put_u32(out, stats.shards);
+                put_u64(out, stats.obs.trace_every);
+                put_u64(out, stats.obs.traces_recorded);
+                // Only non-empty stages travel (ObsSnapshot's invariant),
+                // in wire-id order — the decoder enforces both.
+                out.push(stats.obs.stages.len().min(u8::MAX as usize) as u8);
+                for (stage, h) in &stats.obs.stages {
+                    out.push(stage.wire_id());
+                    put_f64(out, h.sum());
+                    put_f64(out, h.min().unwrap_or(0.0));
+                    put_f64(out, h.max().unwrap_or(0.0));
+                    for &b in h.bucket_counts() {
+                        put_u64(out, b);
+                    }
+                }
+                put_u32(out, stats.obs.traces.len() as u32);
+                for t in &stats.obs.traces {
+                    put_u64(out, t.index);
+                    put_u32(out, t.s);
+                    put_u32(out, t.t);
+                    put_u16(out, t.shard);
+                    out.push(t.cache_hit as u8);
+                    put_u32(out, t.trials);
+                    put_f64(out, t.trials_ms);
+                    put_u32(out, t.dropped_links);
+                    put_u32(out, t.rerouted_hops);
+                }
             }
         }
     }
@@ -405,7 +478,7 @@ fn decode_header(h: &[u8], max_payload: usize) -> Result<(u8, usize), FrameError
         return Err(FrameError::BadVersion(version));
     }
     let kind = h[6];
-    if !(KIND_REQUEST..=KIND_ERROR).contains(&kind) {
+    if !(KIND_REQUEST..=KIND_STATS).contains(&kind) {
         return Err(FrameError::BadKind(kind));
     }
     let len = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes")) as usize;
@@ -470,6 +543,26 @@ impl<'a> Cur<'a> {
     }
 }
 
+fn decode_metrics(cur: &mut Cur<'_>) -> Result<MetricsSnapshot, FrameError> {
+    Ok(MetricsSnapshot {
+        queries: cur.u64()?,
+        batches: cur.u64()?,
+        trials: cur.u64()?,
+        warm_targets: cur.u64()?,
+        cold_targets: cur.u64()?,
+        cache_hits: cur.u64()?,
+        cache_misses: cur.u64()?,
+        cache_evictions: cur.u64()?,
+        cache_resident_rows: cur.u64()?,
+        cache_resident_bytes: cur.u64()?,
+        cache_capacity_bytes: cur.u64()?,
+        dropped_links: cur.u64()?,
+        rerouted_hops: cur.u64()?,
+        epoch_flips: cur.u64()?,
+        timeout_setup_failures: cur.u64()?,
+    })
+}
+
 fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
     let mut cur = Cur::new(payload);
     match kind {
@@ -523,23 +616,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
                     mean_long_links: cur.f64()?,
                 });
             }
-            let metrics = MetricsSnapshot {
-                queries: cur.u64()?,
-                batches: cur.u64()?,
-                trials: cur.u64()?,
-                warm_targets: cur.u64()?,
-                cold_targets: cur.u64()?,
-                cache_hits: cur.u64()?,
-                cache_misses: cur.u64()?,
-                cache_evictions: cur.u64()?,
-                cache_resident_rows: cur.u64()?,
-                cache_resident_bytes: cur.u64()?,
-                cache_capacity_bytes: cur.u64()?,
-                dropped_links: cur.u64()?,
-                rerouted_hops: cur.u64()?,
-                epoch_flips: cur.u64()?,
-                timeout_setup_failures: cur.u64()?,
-            };
+            let metrics = decode_metrics(&mut cur)?;
             cur.done()?;
             Ok(Frame::Response(Response { answers, metrics }))
         }
@@ -555,6 +632,87 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
                 .to_string();
             cur.done()?;
             Ok(Frame::Error(ErrorFrame { code, message }))
+        }
+        KIND_STATS_REQUEST => {
+            let handle = cur.u32()?;
+            cur.done()?;
+            Ok(Frame::StatsRequest(StatsRequest { handle }))
+        }
+        KIND_STATS => {
+            let metrics = decode_metrics(&mut cur)?;
+            let shards = cur.u32()?;
+            let trace_every = cur.u64()?;
+            let traces_recorded = cur.u64()?;
+            let stage_count = cur.u8()? as usize;
+            if stage_count > Stage::ALL.len() {
+                return Err(FrameError::Malformed("more stage entries than stages"));
+            }
+            // Stage and trace sections are length-checked against the
+            // declared counts *before* either vector is sized from them.
+            if cur.remaining() < stage_count * (STAGE_WIRE) + 4 {
+                return Err(FrameError::Malformed("stage count mismatches payload"));
+            }
+            let mut stages = Vec::with_capacity(stage_count);
+            let mut last_id = 0u8;
+            for _ in 0..stage_count {
+                let id = cur.u8()?;
+                let stage =
+                    Stage::from_wire(id).ok_or(FrameError::Malformed("unknown stage id"))?;
+                if id <= last_id {
+                    return Err(FrameError::Malformed("stage ids not strictly increasing"));
+                }
+                last_id = id;
+                let sum = cur.f64()?;
+                let min = cur.f64()?;
+                let max = cur.f64()?;
+                let mut buckets = [0u64; BUCKETS];
+                for b in buckets.iter_mut() {
+                    *b = cur.u64()?;
+                }
+                let h = LogHistogram::from_parts(buckets, sum, min, max);
+                if h.is_empty() {
+                    return Err(FrameError::Malformed("empty stage histogram"));
+                }
+                stages.push((stage, h));
+            }
+            let trace_count = cur.u32()? as usize;
+            if cur.remaining() != trace_count * TRACE_WIRE {
+                return Err(FrameError::Malformed("trace count mismatches payload"));
+            }
+            let mut traces = Vec::with_capacity(trace_count);
+            for _ in 0..trace_count {
+                let index = cur.u64()?;
+                let s = cur.u32()?;
+                let t = cur.u32()?;
+                let shard = cur.u16()?;
+                let cache_hit = match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::Malformed("cache-hit byte not 0/1")),
+                };
+                traces.push(QueryTrace {
+                    index,
+                    s,
+                    t,
+                    shard,
+                    cache_hit,
+                    trials: cur.u32()?,
+                    trials_ms: cur.f64()?,
+                    dropped_links: cur.u32()?,
+                    rerouted_hops: cur.u32()?,
+                });
+            }
+            cur.done()?;
+            Ok(Frame::Stats(StatsReply {
+                metrics,
+                shards,
+                obs: ObsSnapshot {
+                    stages,
+                    traces,
+                    trace_every,
+                    traces_recorded,
+                },
+            }))
         }
         other => Err(FrameError::BadKind(other)),
     }
@@ -602,7 +760,29 @@ pub fn is_deadline_expiry(e: &io::Error) -> bool {
 /// [`read_frame_deadline`] instead — the between-frames half of the
 /// contract is identical there, only the in-frame patience changes.
 pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Option<Frame>, ReadError> {
-    read_frame_with_budget(r, max_payload, None)
+    Ok(read_frame_with_budget(r, max_payload, None)?.map(|(f, _)| f))
+}
+
+/// Wall-clock observed while reading one frame, for the server's wire
+/// stage histograms.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WireTiming {
+    /// First byte of the frame to last byte of the payload, milliseconds
+    /// (socket receive; excludes idle time between frames).
+    pub recv_ms: f64,
+    /// Payload decode, milliseconds.
+    pub decode_ms: f64,
+}
+
+/// [`read_frame`] returning the observed [`WireTiming`] alongside the
+/// frame (with an optional in-frame deadline, as in
+/// [`read_frame_deadline`]; pass `None` for unbounded patience).
+pub fn read_frame_timed(
+    r: &mut impl Read,
+    max_payload: usize,
+    budget: Option<Duration>,
+) -> Result<Option<(Frame, WireTiming)>, ReadError> {
+    read_frame_with_budget(r, max_payload, budget)
 }
 
 /// [`read_frame`] with a bound on in-frame patience: once the first byte
@@ -619,14 +799,14 @@ pub fn read_frame_deadline(
     max_payload: usize,
     budget: Duration,
 ) -> Result<Option<Frame>, ReadError> {
-    read_frame_with_budget(r, max_payload, Some(budget))
+    Ok(read_frame_with_budget(r, max_payload, Some(budget))?.map(|(f, _)| f))
 }
 
 fn read_frame_with_budget(
     r: &mut impl Read,
     max_payload: usize,
     budget: Option<Duration>,
-) -> Result<Option<Frame>, ReadError> {
+) -> Result<Option<(Frame, WireTiming)>, ReadError> {
     // Started when the first byte of the frame arrives; the deadline is
     // measured from there, never from idle time between frames.
     let mut frame_start: Option<Instant> = None;
@@ -688,7 +868,13 @@ fn read_frame_with_budget(
             Err(e) => return Err(ReadError::Io(e)),
         }
     }
-    Ok(Some(decode_payload(kind, &payload)?))
+    let recv_ms = frame_start
+        .map(|t| t.elapsed().as_secs_f64() * 1e3)
+        .unwrap_or(0.0);
+    let d0 = Instant::now();
+    let frame = decode_payload(kind, &payload)?;
+    let decode_ms = d0.elapsed().as_secs_f64() * 1e3;
+    Ok(Some((frame, WireTiming { recv_ms, decode_ms })))
 }
 
 /// Bit-exact frame comparison (floats by bit pattern) — the test suites'
@@ -702,6 +888,10 @@ pub fn frames_bits_eq(a: &Frame, b: &Frame) -> bool {
                 && x.answers.iter().zip(&y.answers).all(|(p, q)| p.bits_eq(q))
         }
         (Frame::Error(x), Frame::Error(y)) => x == y,
+        (Frame::StatsRequest(x), Frame::StatsRequest(y)) => x == y,
+        // Stats carry no NaN-able floats in practice (histogram min/max
+        // come from real samples), so derived equality is bit-faithful.
+        (Frame::Stats(x), Frame::Stats(y)) => x == y,
         _ => false,
     }
 }
@@ -999,6 +1189,107 @@ mod tests {
             .expect("reads")
             .expect("one frame");
         assert!(matches!(frame, Frame::Error(_)));
+    }
+
+    fn sample_stats_reply() -> StatsReply {
+        let mut reg = nav_obs::Registry::new(
+            nav_obs::ObsConfig {
+                stages: true,
+                trace_every: 16,
+                trace_capacity: 8,
+            },
+            77,
+        );
+        reg.stages_mut().record(Stage::Admission, 0.012);
+        reg.stages_mut().record(Stage::Trials, 1.7);
+        reg.stages_mut().record(Stage::Trials, 0.4);
+        reg.stages_mut().record(Stage::Socket, 0.09);
+        reg.record_trace(QueryTrace {
+            index: 512,
+            s: 3,
+            t: 99,
+            shard: 1,
+            cache_hit: true,
+            trials: 8,
+            trials_ms: 0.031,
+            dropped_links: 2,
+            rerouted_hops: 1,
+        });
+        StatsReply {
+            metrics: MetricsSnapshot {
+                queries: 1000,
+                batches: 4,
+                cache_hits: 17,
+                ..MetricsSnapshot::default()
+            },
+            shards: 3,
+            obs: reg.snapshot(),
+        }
+    }
+
+    #[test]
+    fn stats_request_roundtrip() {
+        roundtrip(Frame::StatsRequest(StatsRequest {
+            handle: 0x0102_0304,
+        }));
+    }
+
+    #[test]
+    fn stats_reply_roundtrip() {
+        roundtrip(Frame::Stats(sample_stats_reply()));
+        // Empty snapshot too (a fresh server asked for stats).
+        roundtrip(Frame::Stats(StatsReply {
+            metrics: MetricsSnapshot::default(),
+            shards: 1,
+            obs: ObsSnapshot::default(),
+        }));
+    }
+
+    #[test]
+    fn stats_reply_truncation_rejected_not_panicked() {
+        let bytes = Frame::Stats(sample_stats_reply()).encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Frame::decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD).unwrap_err(),
+                FrameError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_stats_counts_cannot_overallocate_or_panic() {
+        let bytes = Frame::Stats(sample_stats_reply()).encode();
+        // Stage count byte sits right after metrics + shards + two u64s.
+        let stage_count_at = HEADER_LEN + METRICS_WIRE + 4 + 8 + 8;
+        let mut forged = bytes.clone();
+        forged[stage_count_at] = 200;
+        assert!(matches!(
+            Frame::decode(&forged, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // An unknown stage id is refused.
+        let mut forged = bytes.clone();
+        forged[stage_count_at + 1] = 99;
+        assert!(matches!(
+            Frame::decode(&forged, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Swapped min/max in a stage entry must decode without panicking
+        // and survive quantile queries (from_parts sanitizes).
+        let mut forged = bytes;
+        let min_at = stage_count_at + 1 + 1 + 8; // into first stage's min
+        let max_at = min_at + 8;
+        let min: [u8; 8] = forged[min_at..min_at + 8].try_into().unwrap();
+        let max: [u8; 8] = forged[max_at..max_at + 8].try_into().unwrap();
+        forged[min_at..min_at + 8].copy_from_slice(&max);
+        forged[max_at..max_at + 8].copy_from_slice(&min);
+        if let Ok((Frame::Stats(reply), _)) = Frame::decode(&forged, DEFAULT_MAX_PAYLOAD) {
+            for (_, h) in &reply.obs.stages {
+                let _ = h.quantile(0.5);
+                let _ = h.summary();
+            }
+        }
     }
 
     #[test]

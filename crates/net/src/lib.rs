@@ -30,6 +30,13 @@
 //!   first attempt, the retried stream is bit-identical to an
 //!   uninterrupted one.
 //!
+//! The protocol also carries an **ops surface**: a [`StatsRequest`]
+//! frame answers with a [`StatsReply`] — merged engine counters,
+//! per-stage latency histograms (engine pipeline stages plus the
+//! front's own socket/decode/encode timings, recorded via
+//! [`read_frame_timed`]), and sampled query traces — rendered by
+//! `nav-engine stats` as Prometheus-style text or JSON.
+//!
 //! The `nav-engine serve-tcp` / `bench-tcp` CLI pair (in `nav-bench`)
 //! puts a workload file on one end of this protocol and a replaying
 //! client on the other; `BENCH_net.json` records what the wire costs.
@@ -43,8 +50,9 @@ pub mod server;
 
 pub use client::{NetClient, NetError, RetryPolicy, RetryingClient};
 pub use frame::{
-    frames_bits_eq, is_deadline_expiry, is_timeout, read_frame, read_frame_deadline, write_frame,
-    ErrorCode, ErrorFrame, Frame, FrameError, MetricsSnapshot, ReadError, Request, Response,
+    frames_bits_eq, is_deadline_expiry, is_timeout, read_frame, read_frame_deadline,
+    read_frame_timed, write_frame, ErrorCode, ErrorFrame, Frame, FrameError, MetricsSnapshot,
+    ReadError, Request, Response, StatsReply, StatsRequest, WireTiming,
 };
 pub use server::{
     compose_handle, split_handle, NetConfig, NetServer, ServerHandle, TENANT_BITS, TENANT_MASK,

@@ -17,18 +17,19 @@
 //! server and checks every byte against a local engine.
 
 use crate::frame::{
-    is_deadline_expiry, is_timeout, read_frame, read_frame_deadline, write_frame, ErrorCode,
-    ErrorFrame, Frame, FrameError, MetricsSnapshot, ReadError, Request, Response,
+    is_deadline_expiry, is_timeout, read_frame_timed, write_frame, ErrorCode, ErrorFrame, Frame,
+    FrameError, MetricsSnapshot, ReadError, Request, Response, StatsReply, StatsRequest,
     DEFAULT_MAX_PAYLOAD,
 };
 use nav_engine::{Engine, QueryBatch, ShardedEngine};
+use nav_obs::{Stage, StageSet};
 use std::collections::VecDeque;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a worker's blocking read waits before it re-checks the stop
 /// flag. Bounds how far shutdown can lag behind an idle connection.
@@ -93,7 +94,7 @@ pub struct NetConfig {
     pub max_pending: usize,
     /// In-frame read deadline: once the first byte of a frame arrives,
     /// the rest must follow within this budget or the connection is torn
-    /// down ([`read_frame_deadline`]). Distinct from the `IDLE_POLL`
+    /// down ([`read_frame_timed`]). Distinct from the `IDLE_POLL`
     /// shutdown poll, which governs *idle* connections and never expires
     /// them. `None` (the default) keeps unbounded in-frame patience.
     pub read_deadline: Option<Duration>,
@@ -189,6 +190,11 @@ struct Shared {
     /// anyway, but surfaced in every [`MetricsSnapshot`] so degraded
     /// shutdown-polling/deadline behaviour is observable.
     timeout_failures: AtomicU64,
+    /// Wire-side stage histograms (socket receive/send, decode, encode),
+    /// merged into every [`StatsReply`] alongside the engine's own
+    /// stage timings. One short lock per frame; never held across
+    /// engine execution or socket I/O.
+    net_stages: Mutex<StageSet>,
 }
 
 /// A bound, not-yet-running server. [`NetServer::bind`] → inspect
@@ -231,6 +237,7 @@ impl NetServer {
                 conns: ConnQueue::new(),
                 stop: AtomicBool::new(false),
                 timeout_failures: AtomicU64::new(0),
+                net_stages: Mutex::new(StageSet::default()),
             }),
         })
     }
@@ -366,11 +373,12 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     });
     let mut writer = BufWriter::new(stream);
     loop {
-        let read = match shared.cfg.read_deadline {
-            Some(budget) => read_frame_deadline(&mut reader, shared.cfg.max_frame_bytes, budget),
-            None => read_frame(&mut reader, shared.cfg.max_frame_bytes),
-        };
-        let frame = match read {
+        let read = read_frame_timed(
+            &mut reader,
+            shared.cfg.max_frame_bytes,
+            shared.cfg.read_deadline,
+        );
+        let (frame, timing) = match read {
             Ok(Some(f)) => f,
             Err(ReadError::Io(e)) if is_timeout(&e) && !is_deadline_expiry(&e) => {
                 if shared.stop.load(Ordering::SeqCst) {
@@ -391,12 +399,29 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         };
         let reply = match frame {
             Frame::Request(req) => answer(shared, req),
-            Frame::Response(_) | Frame::Error(_) => Frame::Error(ErrorFrame {
+            Frame::StatsRequest(req) => stats_reply(shared, req),
+            Frame::Response(_) | Frame::Error(_) | Frame::Stats(_) => Frame::Error(ErrorFrame {
                 code: ErrorCode::UnexpectedFrame,
                 message: "server accepts request frames only".into(),
             }),
         };
-        if write_frame(&mut writer, &reply).is_err() {
+        // Encode and send separately so each lands in its own wire-stage
+        // histogram; the receive half of Socket was timed by
+        // read_frame_timed above.
+        let e0 = Instant::now();
+        let bytes = reply.encode();
+        let encode_ms = e0.elapsed().as_secs_f64() * 1e3;
+        let s0 = Instant::now();
+        let sent = writer.write_all(&bytes).and_then(|()| writer.flush());
+        let send_ms = s0.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut st = shared.net_stages.lock().expect("net stages poisoned");
+            st.record(Stage::Decode, timing.decode_ms);
+            st.record(Stage::Encode, encode_ms);
+            st.record(Stage::Socket, timing.recv_ms);
+            st.record(Stage::Socket, send_ms);
+        }
+        if sent.is_err() {
             return;
         }
     }
@@ -473,33 +498,68 @@ fn answer(shared: &Shared, req: Request) -> Frame {
         None => engine.serve_at(&batch, req.rng_base, req.sampler),
     };
     match result {
-        Ok(result) => {
-            let m = engine.metrics();
-            let c = engine.cache_stats();
-            Frame::Response(Response {
-                answers: result.answers,
-                metrics: MetricsSnapshot {
-                    queries: m.queries,
-                    batches: m.batches,
-                    trials: m.trials,
-                    warm_targets: m.warm_targets,
-                    cold_targets: m.cold_targets,
-                    cache_hits: c.hits,
-                    cache_misses: c.misses,
-                    cache_evictions: c.evictions,
-                    cache_resident_rows: c.resident_rows as u64,
-                    cache_resident_bytes: c.resident_bytes as u64,
-                    cache_capacity_bytes: c.capacity_bytes as u64,
-                    dropped_links: m.dropped_links,
-                    rerouted_hops: m.rerouted_hops,
-                    epoch_flips: m.epoch_flips,
-                    timeout_setup_failures: shared.timeout_failures.load(Ordering::Relaxed),
-                },
-            })
-        }
+        Ok(result) => Frame::Response(Response {
+            answers: result.answers,
+            metrics: metrics_snapshot(shared, &engine),
+        }),
         Err(e) => Frame::Error(ErrorFrame {
             code: ErrorCode::InvalidEndpoint,
             message: e.to_string(),
         }),
     }
+}
+
+/// The wire view of the engine's merged counters (plus the serving
+/// front's own `timeout_setup_failures`), shared by every
+/// [`Response`] and [`StatsReply`].
+fn metrics_snapshot(shared: &Shared, engine: &ShardedEngine) -> MetricsSnapshot {
+    let m = engine.metrics();
+    let c = engine.cache_stats();
+    MetricsSnapshot {
+        queries: m.queries,
+        batches: m.batches,
+        trials: m.trials,
+        warm_targets: m.warm_targets,
+        cold_targets: m.cold_targets,
+        cache_hits: c.hits,
+        cache_misses: c.misses,
+        cache_evictions: c.evictions,
+        cache_resident_rows: c.resident_rows as u64,
+        cache_resident_bytes: c.resident_bytes as u64,
+        cache_capacity_bytes: c.capacity_bytes as u64,
+        dropped_links: m.dropped_links,
+        rerouted_hops: m.rerouted_hops,
+        epoch_flips: m.epoch_flips,
+        timeout_setup_failures: shared.timeout_failures.load(Ordering::Relaxed),
+    }
+}
+
+/// Answers a [`StatsRequest`]: the merged engine counters, every shard's
+/// stage histograms and sampled traces, plus the serving front's own
+/// wire-stage timings (socket/decode/encode) merged in. Tenant-checked
+/// like a query; the handle's shard byte is ignored — stats are always
+/// the whole front's view.
+fn stats_reply(shared: &Shared, req: StatsRequest) -> Frame {
+    let (tenant, _) = split_handle(req.handle);
+    if tenant != shared.cfg.handle & TENANT_MASK {
+        return Frame::Error(ErrorFrame {
+            code: ErrorCode::UnknownHandle,
+            message: format!(
+                "handle {} not served here (this server owns handle {})",
+                tenant,
+                shared.cfg.handle & TENANT_MASK
+            ),
+        });
+    }
+    let engine = shared.engine.lock().expect("engine poisoned");
+    let metrics = metrics_snapshot(shared, &engine);
+    let shards = engine.num_shards() as u32;
+    let mut obs = engine.obs_snapshot();
+    drop(engine);
+    obs.merge_stage_set(&shared.net_stages.lock().expect("net stages poisoned"));
+    Frame::Stats(StatsReply {
+        metrics,
+        shards,
+        obs,
+    })
 }

@@ -1,0 +1,205 @@
+//! Pipeline stages and the zero-alloc span guard that times them.
+//!
+//! Each serving layer names the stages it owns: the engine times
+//! admission, cache lookup, cold fill, and trials; the network front
+//! times frame decode, encode, and socket transfer. A [`StageSpan`] costs
+//! one branch when observability is disabled and one `Instant` pair when
+//! enabled — no allocation either way.
+
+use crate::hist::LogHistogram;
+use std::time::Instant;
+
+/// A named pipeline stage. Wire ids are stable (1-based; 0 is invalid on
+/// the wire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// Query validation and target dedup at batch entry.
+    Admission = 1,
+    /// Row-cache probe pass over the batch's targets.
+    CacheLookup = 2,
+    /// MS-BFS fill of the batch's cold rows.
+    ColdFill = 3,
+    /// Parallel greedy-routing trials.
+    Trials = 4,
+    /// Response frame encode on the server.
+    Encode = 5,
+    /// Request frame decode on the server.
+    Decode = 6,
+    /// Socket transfer (request receive + response send).
+    Socket = 7,
+}
+
+impl Stage {
+    /// Every stage, in wire-id order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Admission,
+        Stage::CacheLookup,
+        Stage::ColdFill,
+        Stage::Trials,
+        Stage::Encode,
+        Stage::Decode,
+        Stage::Socket,
+    ];
+
+    /// Stable snake_case label used in expositions and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Admission => "admission",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::ColdFill => "cold_fill",
+            Stage::Trials => "trials",
+            Stage::Encode => "encode",
+            Stage::Decode => "decode",
+            Stage::Socket => "socket",
+        }
+    }
+
+    /// The stage's stable wire id.
+    pub fn wire_id(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire id (`None` for unknown ids — the frame decoder
+    /// treats that as a malformed frame).
+    pub fn from_wire(id: u8) -> Option<Stage> {
+        Stage::ALL.get(id.wrapping_sub(1) as usize).copied()
+    }
+
+    /// Dense slot index for per-stage arrays.
+    fn slot(self) -> usize {
+        self as usize - 1
+    }
+}
+
+/// One latency histogram per [`Stage`]. Mergeable like its parts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageSet {
+    hists: [LogHistogram; 7],
+}
+
+impl StageSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample (milliseconds) for `stage`.
+    #[inline]
+    pub fn record(&mut self, stage: Stage, ms: f64) {
+        self.hists[stage.slot()].record(ms);
+    }
+
+    /// The histogram for one stage.
+    pub fn get(&self, stage: Stage) -> &LogHistogram {
+        &self.hists[stage.slot()]
+    }
+
+    /// Adds `other`'s samples into `self`.
+    pub fn merge(&mut self, other: &StageSet) {
+        for s in Stage::ALL {
+            self.hists[s.slot()].merge(&other.hists[s.slot()]);
+        }
+    }
+
+    /// True when no stage has recorded a sample.
+    pub fn is_empty(&self) -> bool {
+        self.hists.iter().all(|h| h.is_empty())
+    }
+
+    /// Iterates `(stage, histogram)` pairs for stages with samples, in
+    /// wire-id order.
+    pub fn non_empty(&self) -> impl Iterator<Item = (Stage, &LogHistogram)> {
+        Stage::ALL
+            .into_iter()
+            .map(|s| (s, &self.hists[s.slot()]))
+            .filter(|(_, h)| !h.is_empty())
+    }
+}
+
+/// A move-consume span guard: [`StageSpan::begin`] captures the clock
+/// (or not, when disabled — the single branch hot paths pay), and
+/// [`StageSpan::finish`] records the elapsed milliseconds into a
+/// [`StageSet`]. Consuming rather than `Drop`-based so the `&mut
+/// StageSet` borrow lives only at the record site.
+#[derive(Debug)]
+#[must_use = "a span that is never finished records nothing"]
+pub struct StageSpan {
+    stage: Stage,
+    start: Option<Instant>,
+}
+
+impl StageSpan {
+    /// Opens a span for `stage`. When `enabled` is false the span is
+    /// inert: no clock read now, no record at finish.
+    #[inline]
+    pub fn begin(stage: Stage, enabled: bool) -> Self {
+        StageSpan {
+            stage,
+            start: enabled.then(Instant::now),
+        }
+    }
+
+    /// Closes the span, recording into `set`. Returns the elapsed
+    /// milliseconds (0.0 when the span was inert).
+    #[inline]
+    pub fn finish(self, set: &mut StageSet) -> f64 {
+        match self.start {
+            Some(t) => {
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                set.record(self.stage, ms);
+                ms
+            }
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_ids_roundtrip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::from_wire(s.wire_id()), Some(s));
+        }
+        assert_eq!(Stage::from_wire(0), None);
+        assert_eq!(Stage::from_wire(8), None);
+        assert_eq!(Stage::from_wire(255), None);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = Stage::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 7);
+    }
+
+    #[test]
+    fn span_records_when_enabled_only() {
+        let mut set = StageSet::new();
+        let inert = StageSpan::begin(Stage::Trials, false);
+        assert_eq!(inert.finish(&mut set), 0.0);
+        assert!(set.is_empty());
+        let live = StageSpan::begin(Stage::Trials, true);
+        let ms = live.finish(&mut set);
+        assert!(ms >= 0.0);
+        assert_eq!(set.get(Stage::Trials).count(), 1);
+        assert_eq!(set.non_empty().count(), 1);
+    }
+
+    #[test]
+    fn merge_sums_per_stage() {
+        let mut a = StageSet::new();
+        let mut b = StageSet::new();
+        a.record(Stage::Admission, 1.0);
+        b.record(Stage::Admission, 2.0);
+        b.record(Stage::Socket, 3.0);
+        a.merge(&b);
+        assert_eq!(a.get(Stage::Admission).count(), 2);
+        assert_eq!(a.get(Stage::Socket).count(), 1);
+        assert_eq!(a.get(Stage::ColdFill).count(), 0);
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`core`] — the paper's augmentation schemes and greedy routing;
 //! * [`engine`] — the persistent batched query-serving subsystem;
 //! * [`net`] — the length-prefixed TCP serving front for [`engine`];
+//! * [`obs`] — bounded histograms, stage spans, and sampled query
+//!   traces (the observability layer threaded through [`engine`] and
+//!   [`net`]);
 //! * [`par`] — deterministic parallel substrate;
 //! * [`analysis`] — statistics, exponent fits, table output.
 //!
@@ -40,6 +43,7 @@ pub use nav_engine as engine;
 pub use nav_gen as gen;
 pub use nav_graph as graph;
 pub use nav_net as net;
+pub use nav_obs as obs;
 pub use nav_par as par;
 
 /// The most common imports in one place.

@@ -27,7 +27,9 @@ use navigability::engine::{AdmissionPolicy, Engine, EngineConfig, QueryBatch};
 use navigability::net::{
     frames_bits_eq, ErrorCode, ErrorFrame, Frame, FrameError, MetricsSnapshot, NetClient,
     NetConfig, NetError, NetServer, Request, Response, RetryPolicy, RetryingClient, ServerHandle,
+    StatsReply,
 };
+use navigability::obs::{ObsConfig, QueryTrace, Registry, Stage};
 use navigability::par::test_threads;
 use navigability::prelude::*;
 use proptest::prelude::*;
@@ -126,6 +128,52 @@ fn arb_error() -> impl Strategy<Value = Frame> {
     })
 }
 
+fn arb_stats() -> impl Strategy<Value = Frame> {
+    (
+        0u64..1000,
+        0usize..60,
+        1u64..64,
+        proptest::collection::vec((0u64..4096, 0u32..5000, 0u32..5000), 0..20),
+    )
+        .prop_map(|(seed, stage_samples, every, traces)| {
+            let mut reg = Registry::new(
+                ObsConfig {
+                    stages: true,
+                    trace_every: every,
+                    trace_capacity: 16,
+                },
+                seed,
+            );
+            for i in 0..stage_samples {
+                let stage = Stage::ALL[(seed as usize + i) % Stage::ALL.len()];
+                let v = ((seed.wrapping_mul(i as u64 + 1) % 100_000) as f64) * 0.01;
+                reg.stages_mut().record(stage, v);
+            }
+            for (index, s, t) in traces {
+                reg.record_trace(QueryTrace {
+                    index,
+                    s,
+                    t,
+                    shard: (t % 7) as u16,
+                    cache_hit: index % 2 == 0,
+                    trials: 3,
+                    trials_ms: 0.25 * (s as f64 + 1.0),
+                    dropped_links: s % 5,
+                    rerouted_hops: t % 3,
+                });
+            }
+            Frame::Stats(StatsReply {
+                metrics: MetricsSnapshot {
+                    queries: seed,
+                    batches: seed / 7,
+                    ..MetricsSnapshot::default()
+                },
+                shards: 1 + (seed % 4) as u32,
+                obs: reg.snapshot(),
+            })
+        })
+}
+
 fn roundtrips(frame: &Frame) {
     let bytes = frame.encode();
     let (back, used) = Frame::decode(&bytes, bytes.len()).expect("own encoding decodes");
@@ -149,6 +197,49 @@ proptest! {
     #[test]
     fn error_frames_roundtrip(frame in arb_error()) {
         roundtrips(&frame);
+    }
+
+    #[test]
+    fn stats_frames_roundtrip(frame in arb_stats()) {
+        roundtrips(&frame);
+    }
+
+    #[test]
+    fn mutated_stats_frames_never_panic_or_overallocate(
+        frame in arb_stats(),
+        pos_seed in 0usize..100_000,
+        byte in 0u8..=255,
+    ) {
+        // Same totality property as for requests, on the much richer
+        // stats payload: corrupted stage ids, bucket counts, histogram
+        // scalars, and trace fields must decode or refuse — and whatever
+        // decodes must survive quantile/summary/render calls (no panics
+        // from forged min > max or empty histograms).
+        let mut bytes = frame.encode();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] = byte;
+        match Frame::decode(&bytes, 1 << 20) {
+            Ok((Frame::Stats(reply), used)) => {
+                prop_assert!(used <= bytes.len());
+                for (_, h) in &reply.obs.stages {
+                    prop_assert!(!h.is_empty());
+                    let _ = h.quantile(0.5);
+                    let _ = h.summary();
+                }
+                let mut text = String::new();
+                reply.obs.render_text(&mut text);
+                let _ = reply.obs.to_json();
+            }
+            Ok((_, used)) => prop_assert!(used <= bytes.len()),
+            Err(
+                FrameError::Truncated
+                | FrameError::BadMagic(_)
+                | FrameError::BadVersion(_)
+                | FrameError::BadKind(_)
+                | FrameError::Oversized { .. }
+                | FrameError::Malformed(_),
+            ) => {}
+        }
     }
 
     #[test]
@@ -409,6 +500,103 @@ fn tcp_stream_is_bit_identical_to_local_engine_across_batch_splits() {
     drop(client);
     server.shutdown();
     assert!(identical(&want, &got));
+}
+
+#[test]
+fn stats_frame_reports_stages_and_traces_over_loopback() {
+    // The ops surface end to end: serve a few batches, then ask the
+    // same server for its stats frame and check every layer of it —
+    // counters, engine pipeline stages, the front's wire stages, and
+    // the sampled traces — plus both renderings.
+    let g = world(64, 33);
+    let engine = Engine::new(
+        g.clone(),
+        Box::new(UniformScheme),
+        EngineConfig {
+            seed: 5,
+            threads: 2,
+            cache_bytes: 1 << 20,
+            obs: ObsConfig {
+                stages: true,
+                trace_every: 1,
+                trace_capacity: 64,
+            },
+            ..EngineConfig::default()
+        },
+    );
+    let server = NetServer::bind(engine, NetConfig::default(), "127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    let pairs = client_pairs(&g, 1, 20);
+    for chunk in pairs.chunks(5) {
+        client
+            .serve(0, SamplerMode::Scalar, &QueryBatch::from_pairs(chunk, 2))
+            .expect("serve");
+    }
+    let reply = client.stats(0).expect("stats");
+    assert_eq!(reply.metrics.queries, 20);
+    assert_eq!(reply.metrics.batches, 4);
+    assert_eq!(reply.shards, 1);
+    // Engine pipeline stages: one sample per served batch.
+    for stage in [Stage::Admission, Stage::CacheLookup, Stage::Trials] {
+        let h = reply
+            .obs
+            .stage(stage)
+            .unwrap_or_else(|| panic!("{} stage missing", stage.label()));
+        assert_eq!(h.count(), 4, "{} samples", stage.label());
+        assert!(h.summary().is_some());
+    }
+    // Wire stages recorded by the serving front: at least recv+send per
+    // request frame already answered.
+    for stage in [Stage::Socket, Stage::Decode, Stage::Encode] {
+        let h = reply
+            .obs
+            .stage(stage)
+            .unwrap_or_else(|| panic!("{} stage missing", stage.label()));
+        assert!(h.count() >= 4, "{} samples", stage.label());
+    }
+    // 1-in-1 sampling traced every query, in lifetime-index order.
+    assert_eq!(reply.obs.trace_every, 1);
+    assert_eq!(reply.obs.traces_recorded, 20);
+    assert_eq!(reply.obs.traces.len(), 20);
+    for (i, t) in reply.obs.traces.iter().enumerate() {
+        assert_eq!(t.index, i as u64);
+        assert_eq!((t.s, t.t), (pairs[i].0, pairs[i].1));
+        assert_eq!(t.shard, 0);
+    }
+    // Both renderings carry the per-stage quantiles and the traces.
+    let mut text = String::new();
+    reply.obs.render_text(&mut text);
+    for needle in [
+        "# TYPE nav_stage_latency_ms summary",
+        "nav_stage_latency_ms{stage=\"trials\",quantile=\"0.99\"}",
+        "nav_traces_recorded 20",
+        "# trace index=0 ",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    let json = reply.obs.to_json();
+    for needle in ["\"trials\"", "\"p99\"", "\"traces\"", "\"index\": 0"] {
+        assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+    }
+    // A wrong tenant handle gets the same typed refusal as a query.
+    match client.stats(1) {
+        Err(NetError::Remote(e)) => assert!(matches!(e.code, ErrorCode::UnknownHandle)),
+        other => panic!("expected UnknownHandle refusal, got {other:?}"),
+    }
+    // The connection still serves queries after stats traffic.
+    let (a, _) = client
+        .serve(
+            0,
+            SamplerMode::Scalar,
+            &QueryBatch::from_pairs(&pairs[..4], 2),
+        )
+        .expect("serve after stats");
+    assert_eq!(a.len(), 4);
+    drop(client);
+    server.shutdown();
 }
 
 #[test]
