@@ -33,6 +33,13 @@
 //! # emit the BENCH_fault.json success/stretch-vs-drop-probability
 //! # degradation baseline (link drops + node churn)
 //! cargo run -p nav-bench --release --bin nav-engine -- chaos-bench [PATH] [--quick] [--threads N] [--seed S]
+//!
+//! # durability: capture a running server's state, restore a server from
+//! # it, and re-drive a recorded traffic log checking bit-identity
+//! cargo run -p nav-bench --release --bin nav-engine -- snapshot 127.0.0.1:4777 state.navs [--handle H]
+//! cargo run -p nav-bench --release --bin nav-engine -- serve-tcp --restore state.navs --addr 127.0.0.1:4777
+//! cargo run -p nav-bench --release --bin nav-engine -- serve-tcp FILE --record traffic.navr ...
+//! cargo run -p nav-bench --release --bin nav-engine -- replay traffic.navr 127.0.0.1:4777
 //! ```
 //!
 //! `serve`, `serve-tcp`, and `gen` all take `--shards K` (1..=255): `gen`
@@ -63,7 +70,8 @@ use nav_engine::workload::{
 };
 use nav_engine::{AdmissionPolicy, EngineConfig, ShardedEngine};
 use nav_graph::Graph;
-use nav_net::{MetricsSnapshot, NetClient, NetConfig, NetServer};
+use nav_net::{Frame, MetricsSnapshot, NetClient, NetConfig, NetError, NetServer};
+use nav_store::Snapshot;
 
 fn family_graph(spec: &GraphSpec) -> Graph {
     let family = match spec.family.as_str() {
@@ -186,6 +194,39 @@ fn resolve_fault(
     spec.to_config(seed)
 }
 
+/// Reads and decodes a snapshot file, restoring a serving front from it
+/// (exiting with a message on any failure). The snapshot carries
+/// everything answer-determining — graph, scheme, seed, cache, faults,
+/// shard count, per-shard counters and rows — so only the
+/// answer-invisible knobs (threads, tracing) come from the caller.
+fn restore_front(path: &str, threads: usize, trace_every: u64) -> ShardedEngine {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("reading {path}: {e}");
+        std::process::exit(2);
+    });
+    let snap = Snapshot::decode(&bytes).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    let obs = nav_obs::ObsConfig {
+        trace_every,
+        ..nav_obs::ObsConfig::default()
+    };
+    let engine = snap.restore(threads, obs).unwrap_or_else(|e| {
+        eprintln!("{path}: restore failed: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "[nav-engine] restored {path}: n={} seed={} shards={} served={} resident rows={}",
+        snap.num_nodes,
+        snap.seed,
+        snap.shards.len(),
+        snap.front_served,
+        snap.shards.iter().map(|s| s.rows.len()).sum::<usize>()
+    );
+    engine
+}
+
 /// Parses `--admission lru|segmented`.
 fn expect_admission(args: &mut impl Iterator<Item = String>) -> AdmissionPolicy {
     let value = args.next().unwrap_or_else(|| {
@@ -211,6 +252,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
     let mut drop_p: Option<f64> = None;
     let mut fault_epochs: Option<u32> = None;
     let mut trace_every = nav_obs::ObsConfig::default().trace_every;
+    let mut restore_path: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => threads = expect_num(&mut args, "--threads"),
@@ -221,6 +263,12 @@ fn serve(mut args: impl Iterator<Item = String>) {
             "--drop-p" => drop_p = Some(expect_num(&mut args, "--drop-p")),
             "--fault-epochs" => fault_epochs = Some(expect_num(&mut args, "--fault-epochs")),
             "--trace-every" => trace_every = expect_num(&mut args, "--trace-every"),
+            "--restore" => {
+                restore_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--restore needs a snapshot path");
+                    std::process::exit(2);
+                }))
+            }
             "--scheme" => {
                 scheme_name = args.next().unwrap_or_else(|| {
                     eprintln!("--scheme needs a value");
@@ -304,23 +352,39 @@ fn serve(mut args: impl Iterator<Item = String>) {
         threads,
         shards
     );
-    let mut engine = sharded_engine(
-        g,
-        &scheme_name,
-        EngineConfig {
-            seed,
-            threads,
-            cache_bytes: cache_mb << 20,
-            sampler,
-            admission,
-            fault,
-            obs: nav_obs::ObsConfig {
-                trace_every,
-                ..nav_obs::ObsConfig::default()
+    let mut engine = match &restore_path {
+        // The snapshot wins every answer-determining knob; the workload
+        // file still drives the query stream, so its graph must match.
+        Some(path) => {
+            let engine = restore_front(path, threads, trace_every);
+            if engine.graph().num_nodes() != g.num_nodes() {
+                eprintln!(
+                    "{path}: snapshot graph has {} nodes but workload {file} declares {} — refusing to serve a mismatched stream",
+                    engine.graph().num_nodes(),
+                    g.num_nodes()
+                );
+                std::process::exit(2);
+            }
+            engine
+        }
+        None => sharded_engine(
+            g,
+            &scheme_name,
+            EngineConfig {
+                seed,
+                threads,
+                cache_bytes: cache_mb << 20,
+                sampler,
+                admission,
+                fault,
+                obs: nav_obs::ObsConfig {
+                    trace_every,
+                    ..nav_obs::ObsConfig::default()
+                },
             },
-        },
-        shards,
-    );
+            shards,
+        ),
+    };
     let t0 = std::time::Instant::now();
     let mut failures = 0usize;
     for batch in spec.batches() {
@@ -531,12 +595,26 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
     let mut drop_p: Option<f64> = None;
     let mut fault_epochs: Option<u32> = None;
     let mut trace_every = nav_obs::ObsConfig::default().trace_every;
+    let mut restore_path: Option<String> = None;
+    let mut record_path: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--shards" => shards_flag = Some(expect_shards(&mut args)),
             "--drop-p" => drop_p = Some(expect_num(&mut args, "--drop-p")),
             "--fault-epochs" => fault_epochs = Some(expect_num(&mut args, "--fault-epochs")),
             "--trace-every" => trace_every = expect_num(&mut args, "--trace-every"),
+            "--restore" => {
+                restore_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--restore needs a snapshot path");
+                    std::process::exit(2);
+                }))
+            }
+            "--record" => {
+                record_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--record needs an output path");
+                    std::process::exit(2);
+                }))
+            }
             "--addr" => {
                 addr = args.next().unwrap_or_else(|| {
                     eprintln!("--addr needs HOST:PORT");
@@ -562,51 +640,71 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
             }
         }
     }
-    let file = file.unwrap_or_else(|| {
-        eprintln!("serve-tcp needs a workload file for its graph spec (try `gen` first)");
-        std::process::exit(2);
-    });
-    let (spec, g) = load_workload(&file);
-    let shards = shards_flag.unwrap_or(spec.shards);
-    let fault = resolve_fault(drop_p, fault_epochs, spec.fault, seed);
-    let engine = sharded_engine(
-        g,
-        &scheme_name,
-        EngineConfig {
-            seed,
-            threads,
-            cache_bytes: cache_mb << 20,
-            sampler: SamplerMode::Scalar,
-            admission,
-            fault,
-            obs: nav_obs::ObsConfig {
-                trace_every,
-                ..nav_obs::ObsConfig::default()
-            },
-        },
-        shards,
-    );
+    let engine = match &restore_path {
+        // The snapshot carries graph, scheme, and every answer-determining
+        // knob, so no workload file is needed (one given anyway is only a
+        // graph spec here — ignored with a note).
+        Some(path) => {
+            if let Some(f) = &file {
+                eprintln!("[nav-engine] note: workload file {f} ignored under --restore (the snapshot carries the graph and config)");
+            }
+            restore_front(path, threads, trace_every)
+        }
+        None => {
+            let file = file.unwrap_or_else(|| {
+                eprintln!("serve-tcp needs a workload file for its graph spec (try `gen` first) or --restore SNAPSHOT");
+                std::process::exit(2);
+            });
+            let (spec, g) = load_workload(&file);
+            let shards = shards_flag.unwrap_or(spec.shards);
+            let fault = resolve_fault(drop_p, fault_epochs, spec.fault, seed);
+            eprintln!(
+                "[nav-engine] serving graph {} n={} (scheme {}, seed {seed}, cache {cache_mb} MiB [{}], {} shards, {} workers × {threads} threads)",
+                spec.graph.family,
+                spec.graph.n,
+                scheme_name,
+                admission.label(),
+                shards,
+                net.workers
+            );
+            if fault.is_active() {
+                eprintln!(
+                    "[nav-engine] faults: drop_p={}, churn epochs={}",
+                    fault.drop_prob,
+                    fault.plan.map(|p| p.epochs()).unwrap_or(0)
+                );
+            }
+            sharded_engine(
+                g,
+                &scheme_name,
+                EngineConfig {
+                    seed,
+                    threads,
+                    cache_bytes: cache_mb << 20,
+                    sampler: SamplerMode::Scalar,
+                    admission,
+                    fault,
+                    obs: nav_obs::ObsConfig {
+                        trace_every,
+                        ..nav_obs::ObsConfig::default()
+                    },
+                },
+                shards,
+            )
+        }
+    };
     let server = NetServer::bind_sharded(engine, net, addr.as_str()).unwrap_or_else(|e| {
         eprintln!("binding {addr}: {e}");
         std::process::exit(1);
     });
-    let bound = server.local_addr().expect("bound address");
-    eprintln!(
-        "[nav-engine] serving graph {} n={} (scheme {}, seed {seed}, cache {cache_mb} MiB [{}], {} shards, {} workers × {threads} threads)",
-        spec.graph.family,
-        spec.graph.n,
-        scheme_name,
-        admission.label(),
-        shards,
-        net.workers
-    );
-    if fault.is_active() {
-        eprintln!(
-            "[nav-engine] faults: drop_p={}, churn epochs={}",
-            fault.drop_prob,
-            fault.plan.map(|p| p.epochs()).unwrap_or(0)
-        );
+    if let Some(path) = &record_path {
+        server.record_to(path).unwrap_or_else(|e| {
+            eprintln!("recording to {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[nav-engine] recording traffic -> {path}");
     }
+    let bound = server.local_addr().expect("bound address");
     // The one stdout line scripts wait for before starting clients.
     println!("listening on {bound}");
     use std::io::Write as _;
@@ -742,6 +840,7 @@ fn stats_text(reply: &nav_net::StatsReply) -> String {
         ("nav_cache_hits_total", m.cache_hits),
         ("nav_cache_misses_total", m.cache_misses),
         ("nav_cache_evictions_total", m.cache_evictions),
+        ("nav_cache_rejected_rows_total", m.cache_rejected_rows),
         ("nav_dropped_links_total", m.dropped_links),
         ("nav_rerouted_hops_total", m.rerouted_hops),
         ("nav_epoch_flips_total", m.epoch_flips),
@@ -767,7 +866,7 @@ fn stats_text(reply: &nav_net::StatsReply) -> String {
 fn stats_json(addr: &str, reply: &nav_net::StatsReply) -> String {
     let m = &reply.metrics;
     format!(
-        "{{\n  \"schema\": \"nav-engine-stats/v1\",\n  \"addr\": \"{}\",\n  \"shards\": {},\n  \"metrics\": {{\"queries\": {}, \"batches\": {}, \"trials\": {}, \"warm_targets\": {}, \"cold_targets\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \"cache_resident_rows\": {}, \"cache_resident_bytes\": {}, \"cache_capacity_bytes\": {}, \"dropped_links\": {}, \"rerouted_hops\": {}, \"epoch_flips\": {}, \"timeout_setup_failures\": {}}},\n  \"obs\": {}\n}}\n",
+        "{{\n  \"schema\": \"nav-engine-stats/v1\",\n  \"addr\": \"{}\",\n  \"shards\": {},\n  \"metrics\": {{\"queries\": {}, \"batches\": {}, \"trials\": {}, \"warm_targets\": {}, \"cold_targets\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \"cache_rejected_rows\": {}, \"cache_resident_rows\": {}, \"cache_resident_bytes\": {}, \"cache_capacity_bytes\": {}, \"dropped_links\": {}, \"rerouted_hops\": {}, \"epoch_flips\": {}, \"timeout_setup_failures\": {}}},\n  \"obs\": {}\n}}\n",
         json_escape(addr),
         reply.shards,
         m.queries,
@@ -778,6 +877,7 @@ fn stats_json(addr: &str, reply: &nav_net::StatsReply) -> String {
         m.cache_hits,
         m.cache_misses,
         m.cache_evictions,
+        m.cache_rejected_rows,
         m.cache_resident_rows,
         m.cache_resident_bytes,
         m.cache_capacity_bytes,
@@ -823,6 +923,168 @@ fn stats(mut args: impl Iterator<Item = String>) {
     } else {
         print!("{}", stats_text(&reply));
     }
+}
+
+/// `nav-engine snapshot ADDR FILE [--handle H]` — ask a running
+/// serve-tcp to capture its durable state and write the encoded snapshot
+/// to `FILE` (sanity-decoded first, so a bad capture never lands on
+/// disk). Restore it with `serve`/`serve-tcp --restore FILE`.
+fn snapshot_cmd(mut args: impl Iterator<Item = String>) {
+    let mut addr: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut handle = 0u32;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--handle" => handle = expect_num(&mut args, "--handle"),
+            other if addr.is_none() && !other.starts_with("--") => addr = Some(other.to_string()),
+            other if file.is_none() && !other.starts_with("--") => file = Some(other.to_string()),
+            other => {
+                eprintln!("unknown snapshot argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(addr), Some(file)) = (addr, file) else {
+        eprintln!("snapshot needs HOST:PORT and an output path");
+        std::process::exit(2);
+    };
+    let mut client = NetClient::connect(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("connecting {addr}: {e}");
+        std::process::exit(1);
+    });
+    let bytes = client.snapshot(handle).unwrap_or_else(|e| {
+        eprintln!("snapshot request failed: {e}");
+        std::process::exit(1);
+    });
+    let snap = Snapshot::decode(&bytes).unwrap_or_else(|e| {
+        eprintln!("server sent an undecodable snapshot: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&file, &bytes).unwrap_or_else(|e| panic!("writing {file}: {e}"));
+    eprintln!(
+        "[nav-engine] snapshot of {addr}: n={} seed={} shards={} served={} resident rows={} ({} bytes) -> {file}",
+        snap.num_nodes,
+        snap.seed,
+        snap.shards.len(),
+        snap.front_served,
+        snap.shards.iter().map(|s| s.rows.len()).sum::<usize>(),
+        bytes.len()
+    );
+}
+
+/// FNV-1a over a byte slice, continuing from `h` — the replay command's
+/// stream digest (self-contained; stable across platforms).
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Folds one answer into a stream digest, float fields by bit pattern —
+/// the same identity `PairStats::bits_eq` checks.
+fn hash_answer(h: &mut u64, a: &nav_core::trial::PairStats) {
+    for v in [a.s, a.t, a.dist, a.max_steps] {
+        fnv1a(h, &v.to_le_bytes());
+    }
+    fnv1a(h, &(a.failures as u64).to_le_bytes());
+    for v in [a.mean_steps, a.std_steps, a.mean_long_links] {
+        fnv1a(h, &v.to_bits().to_le_bytes());
+    }
+}
+
+/// `nav-engine replay FILE ADDR` — re-drive a `--record`ed traffic log
+/// against a running serve-tcp and check every answer against the
+/// recorded one, bit for bit. Works because each recorded request
+/// carries its own `rng_base`: answers are pure functions of the
+/// request, so a restored server must reproduce them exactly. Exits 1 on
+/// the first divergence; on success prints matching stream digests and
+/// the `replay bit-identical with recording` line CI greps for.
+fn replay_cmd(mut args: impl Iterator<Item = String>) {
+    let mut file: Option<String> = None;
+    let mut addr: Option<String> = None;
+    for arg in args.by_ref() {
+        match arg.as_str() {
+            other if file.is_none() && !other.starts_with("--") => file = Some(other.to_string()),
+            other if addr.is_none() && !other.starts_with("--") => addr = Some(other.to_string()),
+            other => {
+                eprintln!("unknown replay argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(file), Some(addr)) = (file, addr) else {
+        eprintln!("replay needs a traffic log and HOST:PORT");
+        std::process::exit(2);
+    };
+    let bytes = std::fs::read(&file).unwrap_or_else(|e| {
+        eprintln!("reading {file}: {e}");
+        std::process::exit(2);
+    });
+    let entries = nav_store::read_record_log(&bytes).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        std::process::exit(2);
+    });
+    let mut client = NetClient::connect(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("connecting {addr}: {e}");
+        std::process::exit(1);
+    });
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    let (mut recorded_digest, mut replayed_digest) = (FNV_OFFSET, FNV_OFFSET);
+    let max = nav_net::frame::DEFAULT_MAX_PAYLOAD;
+    let (mut compared, mut refusals, mut skipped) = (0usize, 0usize, 0usize);
+    for (i, entry) in entries.iter().enumerate() {
+        // Entries the current protocol version cannot decode are skipped,
+        // not fatal — a log may straddle a protocol upgrade.
+        let Ok((Frame::Request(req), _)) = Frame::decode(&entry.request, max) else {
+            skipped += 1;
+            continue;
+        };
+        match Frame::decode(&entry.response, max) {
+            Ok((Frame::Response(resp), _)) => {
+                let (answers, _) = client.request(req).unwrap_or_else(|e| {
+                    eprintln!("replay entry {i} failed: {e}");
+                    std::process::exit(1);
+                });
+                let identical = answers.len() == resp.answers.len()
+                    && answers.iter().zip(&resp.answers).all(|(a, b)| a.bits_eq(b));
+                if !identical {
+                    eprintln!("replay DIVERGED from recording at entry {i}");
+                    std::process::exit(1);
+                }
+                for a in &resp.answers {
+                    hash_answer(&mut recorded_digest, a);
+                }
+                for a in &answers {
+                    hash_answer(&mut replayed_digest, a);
+                }
+                compared += 1;
+            }
+            // A recorded refusal must refuse again (same deterministic
+            // admission checks); its bytes carry no answers to digest.
+            Ok((Frame::Error(_), _)) => match client.request(req) {
+                Err(NetError::Remote(_)) => refusals += 1,
+                other => {
+                    eprintln!(
+                        "replay entry {i}: recording holds a refusal but replay got {}",
+                        match other {
+                            Ok(_) => "an answer".to_string(),
+                            Err(e) => e.to_string(),
+                        }
+                    );
+                    std::process::exit(1);
+                }
+            },
+            _ => skipped += 1,
+        }
+    }
+    println!(
+        "replayed {} entries against {addr}: {compared} compared, {refusals} refusals, {skipped} skipped",
+        entries.len()
+    );
+    println!("recorded answers fnv1a={recorded_digest:016x}");
+    println!("replayed answers fnv1a={replayed_digest:016x}");
+    println!("replay bit-identical with recording");
 }
 
 fn emit_net_bench(cfg: &ExpConfig, path: &str) {
@@ -949,7 +1211,7 @@ fn chaos_bench(mut args: impl Iterator<Item = String>) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--sampler scalar|batched|ball-realized] [--admission lru|segmented] [--shards K] [--drop-p P] [--fault-epochs E] [--trace-every T] [--json PATH]\n       nav-engine serve-tcp FILE [--addr HOST:PORT] [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--admission lru|segmented] [--shards K] [--drop-p P] [--fault-epochs E] [--trace-every T] [--workers W] [--max-queries Q]\n       nav-engine bench-tcp FILE --addr HOST:PORT [--json PATH]\n       nav-engine bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine stats HOST:PORT [--handle H] [--json]\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B] [--shards K]\n       nav-engine scale-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine chaos-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
+        "usage: nav-engine serve FILE [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--sampler scalar|batched|ball-realized] [--admission lru|segmented] [--shards K] [--drop-p P] [--fault-epochs E] [--trace-every T] [--restore SNAPSHOT] [--json PATH]\n       nav-engine serve-tcp FILE|--restore SNAPSHOT [--addr HOST:PORT] [--threads N] [--seed S] [--cache-mb M] [--scheme NAME] [--admission lru|segmented] [--shards K] [--drop-p P] [--fault-epochs E] [--trace-every T] [--workers W] [--max-queries Q] [--record LOG]\n       nav-engine bench-tcp FILE --addr HOST:PORT [--json PATH]\n       nav-engine bench-tcp --bench-json [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine stats HOST:PORT [--handle H] [--json]\n       nav-engine snapshot HOST:PORT FILE [--handle H]\n       nav-engine replay LOG HOST:PORT\n       nav-engine gen FILE [--family F] [--n N] [--graph-seed S] [--queries C] [--theta T] [--hot H] [--zipf-seed Z] [--trials T] [--batch B] [--shards K]\n       nav-engine scale-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine chaos-bench [PATH] [--quick] [--threads N] [--seed S]\n       nav-engine --bench-json [PATH] [--quick] [--threads N] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -961,6 +1223,8 @@ fn main() {
         Some("serve-tcp") => serve_tcp(args),
         Some("bench-tcp") => bench_tcp(args),
         Some("stats") => stats(args),
+        Some("snapshot") => snapshot_cmd(args),
+        Some("replay") => replay_cmd(args),
         Some("gen") => gen(args),
         Some("scale-bench") => scale_bench(args),
         Some("chaos-bench") => chaos_bench(args),

@@ -305,6 +305,50 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
     }
     let ball_qps = |ms: f64| ball_queries.len() as f64 / (ms / 1e3);
 
+    // --- restore-warm: durability as a serving optimization --------------
+    // Freeze the steady-state engine into a `nav-store` snapshot, push it
+    // through its own encode/decode (the on-disk round trip), restore,
+    // and replay the stream from RNG base 0. Two gates before a number is
+    // rendered: the restored answers are bit-identical to the reference
+    // (restore is answer-invisible), and in full mode the restored replay
+    // beats the cold one (the imported rows actually serve warm).
+    let front = nav_engine::ShardedEngine::from_engine(warm_engine);
+    let snap = nav_store::Snapshot::capture(&front).expect("uniform scheme snapshots");
+    let snap_bytes = snap.encode();
+    let decoded = nav_store::Snapshot::decode(&snap_bytes).expect("own encoding decodes");
+    let mut restored = decoded
+        .restore(cfg.threads, nav_obs::ObsConfig::default())
+        .expect("own snapshot restores");
+    let mut restored_answers = Vec::new();
+    let mut restore_latency = Vec::with_capacity(batches.len());
+    let mut base = 0u64;
+    let t3 = Instant::now();
+    for b in &batches {
+        let r = restored
+            .serve_at(b, base, SamplerMode::Scalar)
+            .expect("workload validated");
+        base += b.len() as u64;
+        restore_latency.push(r.elapsed_ms);
+        restored_answers.extend(r.answers);
+    }
+    let restore_ms = t3.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        stats_identical(&restored_answers, &reference.pairs),
+        "restored engine answers diverged from run_trials"
+    );
+    let restore_qps = count as f64 / (restore_ms / 1e3);
+    if cfg.quick {
+        eprintln!(
+            "[bench] restore-warm quick: {restore_qps:.0} qps off a {}-byte snapshot (cold {cold_qps:.0} qps)",
+            snap_bytes.len()
+        );
+    } else {
+        assert!(
+            restore_qps > cold_qps,
+            "restored-warm replay ({restore_qps:.0} qps) must beat cold ({cold_qps:.0} qps)"
+        );
+    }
+
     // --- render ----------------------------------------------------------
     let mut out = String::new();
     out.push_str("{\n");
@@ -359,6 +403,19 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
         warm_stats.evictions,
         fms(warm_stats.hit_rate())
     ));
+    out.push_str(&replay_json(
+        "restore_warm",
+        restore_ms,
+        count,
+        &restore_latency,
+    ));
+    out.push_str(&format!(
+        "  \"restore\": {{\"snapshot_bytes\": {}, \"restored_rows\": {}, \"restore_over_cold_speedup\": {}, \"bit_identical_after_restore\": true, \"gated\": {}}},\n",
+        snap_bytes.len(),
+        snap.shards.iter().map(|s| s.rows.len()).sum::<usize>(),
+        fms(cold_ms / restore_ms),
+        !cfg.quick
+    ));
     out.push_str(&format!(
         "  \"warm_over_cold_speedup\": {},\n",
         fms(cold_ms / warm_ms)
@@ -393,6 +450,9 @@ mod tests {
             "\"batch_latency_ms\":",
             "\"cache\":",
             "\"obs_overhead\":",
+            "\"restore_warm\":",
+            "\"restore\":",
+            "\"bit_identical_after_restore\": true",
             "\"warm_over_cold_speedup\":",
             "\"bit_identical_to_run_trials\": true",
         ] {

@@ -88,6 +88,10 @@ impl AugmentationScheme for Realization {
     fn sample_contact(&self, _g: &Graph, u: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
         self.contact(u)
     }
+
+    fn contact_table(&self) -> Option<Vec<Option<NodeId>>> {
+        Some(self.contacts.clone())
+    }
 }
 
 /// A realization's per-node distribution is a point mass on the fixed

@@ -33,6 +33,17 @@ pub trait AugmentationScheme: Sync {
         let _ = (g, byte_cap);
         None
     }
+
+    /// The scheme's explicit per-node contact table, when the scheme *is*
+    /// one — i.e. a fixed realization whose entry `u` is node `u`'s
+    /// deterministic long-range contact. `None` (the default) for every
+    /// distributional scheme. The durability layer uses this to serialize
+    /// realized schemes: a snapshot must carry the actual joint draw, not
+    /// the distribution it was drawn from, or a restore would re-roll the
+    /// links and break bit-identical replay.
+    fn contact_table(&self) -> Option<Vec<Option<NodeId>>> {
+        None
+    }
 }
 
 /// Schemes able to enumerate `φ_u` explicitly, enabling the exact

@@ -184,7 +184,13 @@ impl RowCache {
     pub fn with_policy(capacity_bytes: usize, policy: AdmissionPolicy) -> Self {
         let protected_cap = match policy {
             AdmissionPolicy::Lru => 0,
-            AdmissionPolicy::Segmented => capacity_bytes / 100 * PROTECTED_PCT,
+            // Multiply before dividing (widened so `usize::MAX`-scale
+            // capacities cannot overflow): `capacity / 100 * PCT` truncates
+            // first, giving a 0-byte protected tier below 100 bytes and a
+            // sub-1% sizing error everywhere else.
+            AdmissionPolicy::Segmented => {
+                ((capacity_bytes as u128 * PROTECTED_PCT as u128) / 100) as usize
+            }
         };
         RowCache {
             capacity_bytes,
@@ -261,6 +267,62 @@ impl RowCache {
             self.evictions += 1;
         }
         true
+    }
+
+    /// Exports every resident row in **re-insertion order**: probation
+    /// then protected, each tier coldest (LRU) first, so replaying the
+    /// rows through [`RowCache::import_row`] (which pushes to the front)
+    /// reproduces both tiers' recency order exactly. The `bool` is
+    /// "protected". Rows stay resident — this is a read-only walk, the
+    /// snapshot layer's view of cache warmth.
+    pub fn export_rows(&self) -> Vec<(NodeId, Arc<DistRowBuf>, bool)> {
+        let mut out = Vec::with_capacity(self.index.len());
+        for (list, protected) in [(&self.probation, false), (&self.protected, true)] {
+            let mut slot = list.tail;
+            while slot != NIL {
+                let s = &self.slots[slot];
+                out.push((s.key, Arc::clone(&s.row), protected));
+                slot = s.prev;
+            }
+        }
+        out
+    }
+
+    /// Re-admits one exported row at the current epoch, as the most
+    /// recent entry of its tier (`protected` is ignored under strict
+    /// LRU, where only one list exists). Same admission discipline as
+    /// [`RowCache::insert`]: an over-capacity row is rejected (counted),
+    /// and the cache evicts/demotes as needed so the byte bounds hold
+    /// even against a snapshot taken under a larger capacity.
+    pub fn import_row(&mut self, t: NodeId, row: Arc<DistRowBuf>, protected: bool) {
+        let bytes = row.bytes();
+        if bytes > self.capacity_bytes {
+            self.rejected += 1;
+            return;
+        }
+        if let Some(slot) = self.index.get(&t).copied() {
+            self.detach(slot);
+            self.index.remove(&t);
+            self.free.push(slot);
+        }
+        let tier = if protected && self.policy == AdmissionPolicy::Segmented {
+            Tier::Protected
+        } else {
+            Tier::Probation
+        };
+        while self.resident_bytes + bytes > self.capacity_bytes {
+            self.evict_one();
+        }
+        let slot = self.alloc_slot(t, row, bytes, tier);
+        self.index.insert(t, slot);
+        self.resident_bytes += bytes;
+        if tier == Tier::Protected {
+            self.protected_bytes += bytes;
+            self.protected_rows += 1;
+        }
+        self.push_front(slot);
+        self.insertions += 1;
+        self.rebalance_protected();
     }
 
     /// Looks up the row of target `t`. A hit promotes the row: to the
@@ -732,13 +794,95 @@ mod tests {
     fn segmented_tiny_capacity_still_bounded() {
         // Capacity smaller than one protected budget row: promotion
         // demotes the row right back; the byte bound always holds.
-        let mut c = RowCache::with_policy(25, AdmissionPolicy::Segmented);
+        let mut c = RowCache::with_policy(24, AdmissionPolicy::Segmented);
         c.insert(1, row(10, true)); // 20 B in probation
-        assert!(c.get(1).is_some()); // promote: 20 > 25*0.8 -> demoted back
+        assert!(c.get(1).is_some()); // promote: 20 > floor(24*0.8)=19 -> demoted back
         let s = c.stats();
         assert_eq!(s.resident_rows, 1);
         assert_eq!(s.protected_rows, 0);
         assert!(c.get(1).is_some(), "row survives the demotion round-trip");
-        assert!(c.stats().resident_bytes <= 25);
+        assert!(c.stats().resident_bytes <= 24);
+    }
+
+    #[test]
+    fn protected_cap_is_multiply_before_divide() {
+        // `capacity / 100 * PCT` truncated the quotient first: every
+        // capacity under 100 bytes got a 0-byte protected tier. The
+        // fixed computation is floor(capacity * 80 / 100) at every
+        // scale, including capacities where the product overflows usize.
+        for (capacity, expected) in [
+            (1usize, 0usize),
+            (99, 79),
+            (100, 80),
+            (
+                usize::MAX / 2,
+                usize::MAX / 2 / 100 * 80 + (usize::MAX / 2 % 100) * 80 / 100,
+            ),
+        ] {
+            let c = RowCache::with_policy(capacity, AdmissionPolicy::Segmented);
+            assert_eq!(
+                c.protected_cap, expected,
+                "protected cap at capacity {capacity}"
+            );
+            let lru = RowCache::with_policy(capacity, AdmissionPolicy::Lru);
+            assert_eq!(lru.protected_cap, 0, "LRU has no protected tier");
+        }
+        // The regression the truncation caused: a sub-100-byte SLRU can
+        // now actually protect a row that fits its 80% share.
+        let mut c = RowCache::with_policy(30, AdmissionPolicy::Segmented);
+        c.insert(1, row(10, true)); // 20 B <= floor(30*0.8)=24
+        assert!(c.get(1).is_some());
+        assert_eq!(c.stats().protected_rows, 1, "small caches protect too");
+    }
+
+    #[test]
+    fn export_import_reproduces_rows_tiers_and_recency() {
+        let mut c = RowCache::with_policy(200, AdmissionPolicy::Segmented);
+        for t in 1..=4u32 {
+            c.insert(t, row(10, true)); // 20 B each, probation
+        }
+        assert!(c.get(2).is_some()); // promote 2
+        assert!(c.get(3).is_some()); // promote 3 (3 is protected-MRU)
+        let exported = c.export_rows();
+        assert_eq!(exported.len(), 4);
+
+        let mut r = RowCache::with_policy(200, AdmissionPolicy::Segmented);
+        r.set_epoch(5);
+        for (t, row, protected) in &exported {
+            r.import_row(*t, Arc::clone(row), *protected);
+        }
+        let (a, b) = (c.stats(), r.stats());
+        assert_eq!(a.resident_rows, b.resident_rows);
+        assert_eq!(a.resident_bytes, b.resident_bytes);
+        assert_eq!(
+            (a.protected_rows, a.protected_bytes),
+            (b.protected_rows, b.protected_bytes)
+        );
+        // Same eviction order from here on: fill probation until the
+        // original probation rows (1, then 4 — 1 is colder) evict first.
+        for cache in [&mut c, &mut r] {
+            cache.insert(50, row(10, true));
+            cache.insert(51, row(10, true));
+            cache.insert(52, row(10, true));
+            cache.insert(53, row(10, true));
+            cache.insert(54, row(10, true)); // 9 rows x 20 B > 200 B: evict coldest probation
+        }
+        for t in [2u32, 3] {
+            assert!(c.get(t).is_some());
+            assert!(
+                r.get(t).is_some(),
+                "protected row {t} must survive in the restored cache"
+            );
+        }
+        assert_eq!(
+            c.get(1).is_some(),
+            r.get(1).is_some(),
+            "same eviction victim"
+        );
+        // Imports are rejected against the *importing* cache's capacity.
+        let mut tiny = RowCache::new(10);
+        tiny.import_row(9, row(10, true), false); // 20 B > 10 B
+        assert_eq!(tiny.stats().rejected, 1);
+        assert_eq!(tiny.stats().resident_rows, 0);
     }
 }

@@ -80,6 +80,27 @@ impl Default for EngineConfig {
     }
 }
 
+/// Resumable state of one [`Engine`], as exported for the durability
+/// layer: the lifetime query counter (the RNG index the next `serve`
+/// continues from), the cache's churn epoch, and the resident rows in
+/// re-insertion order with their SLRU tier. Together with the
+/// construction inputs (graph, scheme, [`EngineConfig`]) this is
+/// everything a restore needs to answer the continuation of the stream
+/// bit-identically to the uninterrupted engine.
+#[derive(Clone, Debug)]
+pub struct EngineState {
+    /// Queries answered over the engine's lifetime ([`Engine::serve`]'s
+    /// next RNG base).
+    pub served: u64,
+    /// The cache's churn epoch at export time, so a restored engine under
+    /// a [`nav_core::faulty::FailurePlan`] resumes in the right epoch
+    /// instead of replaying a purge.
+    pub epoch: u64,
+    /// Resident rows in re-insertion order (coldest first per tier); the
+    /// `bool` is "protected" (see [`RowCache::export_rows`]).
+    pub rows: Vec<(NodeId, Arc<DistRowBuf>, bool)>,
+}
+
 /// A persistent query-serving engine: owns a graph and an augmentation
 /// scheme, keeps hot target rows resident across batches, and answers
 /// [`QueryBatch`]es with statistics bit-identical to a fresh
@@ -173,6 +194,42 @@ impl Engine {
     /// Queries answered over the engine's lifetime.
     pub fn queries_served(&self) -> u64 {
         self.served
+    }
+
+    /// The augmentation scheme being served — the durability layer reads
+    /// its [`AugmentationScheme::contact_table`] to serialize realized
+    /// schemes by their actual joint draw.
+    pub fn scheme(&self) -> &(dyn AugmentationScheme + Send) {
+        self.scheme.as_ref()
+    }
+
+    /// Exports the engine's resumable state (lifetime counter, churn
+    /// epoch, resident cache rows) without disturbing it — the snapshot
+    /// layer's read side.
+    pub fn export_state(&self) -> EngineState {
+        EngineState {
+            served: self.served,
+            epoch: self.cache.epoch(),
+            rows: self.cache.export_rows(),
+        }
+    }
+
+    /// Restores state exported by [`Engine::export_state`] into this
+    /// engine (built from the same graph, scheme, and config): the
+    /// lifetime counter resumes the stream where it stopped, and the
+    /// cache epoch is set **before** the rows are re-admitted so every
+    /// restored row is tagged with the epoch it was exported under —
+    /// otherwise the first post-restore churn check would purge a cache
+    /// that is not stale. Rows larger than this engine's capacity are
+    /// rejected by the cache's normal admission control, so restoring a
+    /// snapshot into a smaller cache stays safe (and visible via
+    /// [`CacheStats::rejected`]).
+    pub fn import_state(&mut self, state: EngineState) {
+        self.served = state.served;
+        self.cache.set_epoch(state.epoch);
+        for (t, row, protected) in state.rows {
+            self.cache.import_row(t, row, protected);
+        }
     }
 
     /// Serves one batch through the pipeline:

@@ -52,7 +52,7 @@ pub mod workload;
 
 pub use batch::{BatchResult, Query, QueryBatch};
 pub use cache::{AdmissionPolicy, CacheStats, RowCache};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, EngineState};
 pub use metrics::EngineMetrics;
 pub use shard::ShardedEngine;
 pub use workload::{FaultSpec, GraphSpec, WorkloadError, WorkloadSpec, ZipfSpec};

@@ -114,6 +114,28 @@ impl ShardedEngine {
         &self.shards
     }
 
+    /// Mutable access to the shard engines, in shard order — the restore
+    /// path feeds each shard its own [`crate::engine::EngineState`]
+    /// section through [`Engine::import_state`].
+    pub fn shards_mut(&mut self) -> &mut [Engine] {
+        &mut self.shards
+    }
+
+    /// Batches accepted at the front over its lifetime (the counter
+    /// behind the merged [`ShardedEngine::metrics`] `batches` field).
+    pub fn front_batches(&self) -> u64 {
+        self.front_batches
+    }
+
+    /// Restores the front's lifetime counters from a snapshot, so a
+    /// restored front continues the stream at the RNG base the original
+    /// stopped at and its merged metrics keep reporting front-level
+    /// batch totals.
+    pub fn restore_front(&mut self, served: u64, front_batches: u64) {
+        self.served = served;
+        self.front_batches = front_batches;
+    }
+
     /// The served graph (every shard holds an identical clone).
     pub fn graph(&self) -> &Graph {
         self.shards[0].graph()

@@ -3,8 +3,8 @@
 //! with bounded, jittered backoff — same answers, bit for bit).
 
 use crate::frame::{
-    read_frame, write_frame, ErrorFrame, Frame, MetricsSnapshot, ReadError, Request, StatsReply,
-    StatsRequest, DEFAULT_MAX_PAYLOAD,
+    read_frame, write_frame, ErrorFrame, Frame, MetricsSnapshot, ReadError, Request,
+    SnapshotRequest, StatsReply, StatsRequest, DEFAULT_MAX_PAYLOAD,
 };
 use nav_core::sampler::SamplerMode;
 use nav_core::trial::PairStats;
@@ -120,10 +120,11 @@ impl NetClient {
         match read_frame(&mut self.reader, self.max_frame_bytes)? {
             Some(Frame::Response(resp)) => Ok((resp.answers, resp.metrics)),
             Some(Frame::Error(e)) => Err(NetError::Remote(e)),
-            Some(Frame::Request(_) | Frame::StatsRequest(_)) => {
+            Some(Frame::Request(_) | Frame::StatsRequest(_) | Frame::SnapshotRequest(_)) => {
                 Err(NetError::UnexpectedReply("request frame"))
             }
             Some(Frame::Stats(_)) => Err(NetError::UnexpectedReply("stats frame")),
+            Some(Frame::SnapshotReply(_)) => Err(NetError::UnexpectedReply("snapshot frame")),
             None => Err(NetError::UnexpectedReply("connection closed")),
         }
     }
@@ -141,10 +142,33 @@ impl NetClient {
         match read_frame(&mut self.reader, self.max_frame_bytes)? {
             Some(Frame::Stats(reply)) => Ok(reply),
             Some(Frame::Error(e)) => Err(NetError::Remote(e)),
-            Some(Frame::Request(_) | Frame::StatsRequest(_)) => {
+            Some(Frame::Request(_) | Frame::StatsRequest(_) | Frame::SnapshotRequest(_)) => {
                 Err(NetError::UnexpectedReply("request frame"))
             }
             Some(Frame::Response(_)) => Err(NetError::UnexpectedReply("response frame")),
+            Some(Frame::SnapshotReply(_)) => Err(NetError::UnexpectedReply("snapshot frame")),
+            None => Err(NetError::UnexpectedReply("connection closed")),
+        }
+    }
+
+    /// Asks the server to capture a durable state snapshot of the engine
+    /// behind `handle` and returns the encoded `nav-store` bytes (decode
+    /// them with `nav_store::Snapshot::decode`). Tenant-checked exactly
+    /// like a query handle; the shard byte is ignored — a snapshot always
+    /// covers the whole front.
+    pub fn snapshot(&mut self, handle: u32) -> Result<Vec<u8>, NetError> {
+        write_frame(
+            &mut self.writer,
+            &Frame::SnapshotRequest(SnapshotRequest { handle }),
+        )?;
+        match read_frame(&mut self.reader, self.max_frame_bytes)? {
+            Some(Frame::SnapshotReply(reply)) => Ok(reply.bytes),
+            Some(Frame::Error(e)) => Err(NetError::Remote(e)),
+            Some(Frame::Request(_) | Frame::StatsRequest(_) | Frame::SnapshotRequest(_)) => {
+                Err(NetError::UnexpectedReply("request frame"))
+            }
+            Some(Frame::Response(_)) => Err(NetError::UnexpectedReply("response frame")),
+            Some(Frame::Stats(_)) => Err(NetError::UnexpectedReply("stats frame")),
             None => Err(NetError::UnexpectedReply("connection closed")),
         }
     }
@@ -330,6 +354,39 @@ impl RetryingClient {
                     // The connection's state is unknowable after a failure
                     // mid-conversation; replay only ever runs on a fresh
                     // socket.
+                    self.client = None;
+                    self.retries += 1;
+                    std::thread::sleep(self.next_backoff());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`NetClient::stats`] with retries: reconnects and re-asks on
+    /// retryable failures, same policy as [`RetryingClient::request`].
+    /// Re-asking is safe for the same reason replaying a request is —
+    /// stats are a read, so the worst a retry can observe is a *newer*
+    /// snapshot, never a corrupted one.
+    pub fn stats(&mut self, handle: u32) -> Result<StatsReply, NetError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = match self.client.as_mut() {
+                Some(c) => c.stats(handle),
+                None => match NetClient::connect_with(self.addr, self.max_frame_bytes) {
+                    Ok(mut c) => {
+                        let r = c.stats(handle);
+                        self.client = Some(c);
+                        r
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            match result {
+                Ok(out) => return Ok(out),
+                Err(e) if attempt < attempts && e.is_retryable() => {
                     self.client = None;
                     self.retries += 1;
                     std::thread::sleep(self.next_backoff());

@@ -9,9 +9,10 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "NAVF"
-//! 4       2     version (= 2)
+//! 4       2     version (= 3)
 //! 6       1     kind    (1 = request, 2 = response, 3 = error,
-//!                        4 = stats request, 5 = stats)
+//!                        4 = stats request, 5 = stats,
+//!                        6 = snapshot request, 7 = snapshot reply)
 //! 7       1     reserved (= 0)
 //! 8       4     payload length in bytes
 //! 12      …     payload
@@ -33,8 +34,9 @@ use std::time::{Duration, Instant};
 
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"NAVF";
-/// Protocol version this build speaks (2 added the stats frames).
-pub const VERSION: u16 = 2;
+/// Protocol version this build speaks (2 added the stats frames; 3 added
+/// the snapshot frames and the cache-rejection metric).
+pub const VERSION: u16 = 3;
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 12;
 /// Default payload bound (16 MiB) — comfortably above any realistic
@@ -46,14 +48,16 @@ const KIND_RESPONSE: u8 = 2;
 const KIND_ERROR: u8 = 3;
 const KIND_STATS_REQUEST: u8 = 4;
 const KIND_STATS: u8 = 5;
+const KIND_SNAPSHOT_REQUEST: u8 = 6;
+const KIND_SNAPSHOT_REPLY: u8 = 7;
 
 /// Wire encoding of one query: `s`, `t`, `trials`, 4 bytes each.
 const QUERY_WIRE: usize = 12;
 /// Wire encoding of one [`PairStats`]: four `u32`s, one `u64`, three
 /// `f64`s.
 const STATS_WIRE: usize = 48;
-/// Wire encoding of a [`MetricsSnapshot`]: fifteen `u64`s.
-const METRICS_WIRE: usize = 120;
+/// Wire encoding of a [`MetricsSnapshot`]: sixteen `u64`s.
+const METRICS_WIRE: usize = 128;
 /// Wire encoding of one stage histogram entry: stage id byte, then
 /// `sum`/`min`/`max` as `f64` and the 64 bucket counts as `u64`s.
 const STAGE_WIRE: usize = 1 + 3 * 8 + BUCKETS * 8;
@@ -176,6 +180,10 @@ pub struct MetricsSnapshot {
     /// still serve, but shutdown polling and deadlines degrade to
     /// blocking reads — worth watching, hence counted instead of dropped.
     pub timeout_setup_failures: u64,
+    /// Rows refused admission because a single row exceeded the cache's
+    /// whole capacity. A non-zero value means the capacity is sized below
+    /// one distance row — the cache is effectively disabled.
+    pub cache_rejected_rows: u64,
 }
 
 /// The server's answer to one [`Request`].
@@ -221,6 +229,26 @@ pub struct StatsReply {
     pub obs: ObsSnapshot,
 }
 
+/// A client's request for a durable state snapshot of the served engine
+/// — the durability layer's capture endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotRequest {
+    /// Which graph/scheme to snapshot (same addressing as
+    /// [`Request::handle`]; the shard byte is ignored — a snapshot always
+    /// covers the whole front).
+    pub handle: u32,
+}
+
+/// The server's reply to a [`SnapshotRequest`]: an encoded `nav-store`
+/// snapshot, carried opaquely. The wire layer never parses it — the
+/// snapshot format versions independently of the protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotReply {
+    /// The encoded snapshot, exactly as `nav_store::Snapshot::encode`
+    /// produced it.
+    pub bytes: Vec<u8>,
+}
+
 /// One protocol message.
 #[derive(Clone, Debug)]
 pub enum Frame {
@@ -234,6 +262,10 @@ pub enum Frame {
     StatsRequest(StatsRequest),
     /// Server → client: the ops snapshot.
     Stats(StatsReply),
+    /// Client → server: capture a durable state snapshot.
+    SnapshotRequest(SnapshotRequest),
+    /// Server → client: the encoded state snapshot.
+    SnapshotReply(SnapshotReply),
 }
 
 /// Why a byte sequence failed to decode as a frame.
@@ -351,6 +383,7 @@ fn put_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
         m.rerouted_hops,
         m.epoch_flips,
         m.timeout_setup_failures,
+        m.cache_rejected_rows,
     ] {
         put_u64(out, v);
     }
@@ -364,6 +397,8 @@ impl Frame {
             Frame::Error(_) => KIND_ERROR,
             Frame::StatsRequest(_) => KIND_STATS_REQUEST,
             Frame::Stats(_) => KIND_STATS,
+            Frame::SnapshotRequest(_) => KIND_SNAPSHOT_REQUEST,
+            Frame::SnapshotReply(_) => KIND_SNAPSHOT_REPLY,
         }
     }
 
@@ -432,6 +467,13 @@ impl Frame {
                     put_u32(out, t.rerouted_hops);
                 }
             }
+            Frame::SnapshotRequest(req) => {
+                put_u32(out, req.handle);
+            }
+            Frame::SnapshotReply(reply) => {
+                put_u32(out, reply.bytes.len() as u32);
+                out.extend_from_slice(&reply.bytes);
+            }
         }
     }
 
@@ -478,7 +520,7 @@ fn decode_header(h: &[u8], max_payload: usize) -> Result<(u8, usize), FrameError
         return Err(FrameError::BadVersion(version));
     }
     let kind = h[6];
-    if !(KIND_REQUEST..=KIND_STATS).contains(&kind) {
+    if !(KIND_REQUEST..=KIND_SNAPSHOT_REPLY).contains(&kind) {
         return Err(FrameError::BadKind(kind));
     }
     let len = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes")) as usize;
@@ -560,6 +602,7 @@ fn decode_metrics(cur: &mut Cur<'_>) -> Result<MetricsSnapshot, FrameError> {
         rerouted_hops: cur.u64()?,
         epoch_flips: cur.u64()?,
         timeout_setup_failures: cur.u64()?,
+        cache_rejected_rows: cur.u64()?,
     })
 }
 
@@ -713,6 +756,20 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
                     traces_recorded,
                 },
             }))
+        }
+        KIND_SNAPSHOT_REQUEST => {
+            let handle = cur.u32()?;
+            cur.done()?;
+            Ok(Frame::SnapshotRequest(SnapshotRequest { handle }))
+        }
+        KIND_SNAPSHOT_REPLY => {
+            let len = cur.u32()? as usize;
+            if cur.remaining() != len {
+                return Err(FrameError::Malformed("snapshot length mismatches payload"));
+            }
+            let bytes = cur.take(len)?.to_vec();
+            cur.done()?;
+            Ok(Frame::SnapshotReply(SnapshotReply { bytes }))
         }
         other => Err(FrameError::BadKind(other)),
     }
@@ -892,6 +949,8 @@ pub fn frames_bits_eq(a: &Frame, b: &Frame) -> bool {
         // Stats carry no NaN-able floats in practice (histogram min/max
         // come from real samples), so derived equality is bit-faithful.
         (Frame::Stats(x), Frame::Stats(y)) => x == y,
+        (Frame::SnapshotRequest(x), Frame::SnapshotRequest(y)) => x == y,
+        (Frame::SnapshotReply(x), Frame::SnapshotReply(y)) => x == y,
         _ => false,
     }
 }
@@ -1132,6 +1191,7 @@ mod tests {
                 rerouted_hops: 22,
                 epoch_flips: 33,
                 timeout_setup_failures: 44,
+                cache_rejected_rows: 55,
                 ..MetricsSnapshot::default()
             },
         }));
@@ -1289,6 +1349,37 @@ mod tests {
                 let _ = h.quantile(0.5);
                 let _ = h.summary();
             }
+        }
+    }
+
+    #[test]
+    fn snapshot_request_roundtrip() {
+        roundtrip(Frame::SnapshotRequest(SnapshotRequest {
+            handle: 0x0a0b_0c0d,
+        }));
+    }
+
+    #[test]
+    fn snapshot_reply_roundtrip() {
+        roundtrip(Frame::SnapshotReply(SnapshotReply {
+            bytes: (0u16..300).map(|v| (v % 251) as u8).collect(),
+        }));
+        // An empty snapshot body is a valid (if useless) reply.
+        roundtrip(Frame::SnapshotReply(SnapshotReply { bytes: Vec::new() }));
+    }
+
+    #[test]
+    fn forged_snapshot_length_cannot_overallocate_or_panic() {
+        let bytes = Frame::SnapshotReply(SnapshotReply { bytes: vec![7; 32] }).encode();
+        // Forge the embedded length both ways: the decoder must refuse
+        // the mismatch before sizing anything from it.
+        for forged_len in [0u32, 31, 33, u32::MAX] {
+            let mut forged = bytes.clone();
+            forged[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&forged_len.to_le_bytes());
+            assert!(matches!(
+                Frame::decode(&forged, DEFAULT_MAX_PAYLOAD).unwrap_err(),
+                FrameError::Malformed(_)
+            ));
         }
     }
 

@@ -37,6 +37,15 @@
 //! [`read_frame_timed`]), and sampled query traces — rendered by
 //! `nav-engine stats` as Prometheus-style text or JSON.
 //!
+//! And a **durability surface**: a [`SnapshotRequest`] frame answers
+//! with a [`SnapshotReply`] carrying an encoded `nav-store` snapshot of
+//! the served engine (opaque to the wire layer), while
+//! [`NetServer::record_to`] appends every accepted request frame and
+//! its reply to a length-prefixed traffic log — together they make
+//! `kill -9` → restore → replay a bit-identical round trip, exercised
+//! end to end by `nav-engine snapshot` / `replay` and CI's
+//! durability-smoke job.
+//!
 //! The `nav-engine serve-tcp` / `bench-tcp` CLI pair (in `nav-bench`)
 //! puts a workload file on one end of this protocol and a replaying
 //! client on the other; `BENCH_net.json` records what the wire costs.
@@ -52,7 +61,8 @@ pub use client::{NetClient, NetError, RetryPolicy, RetryingClient};
 pub use frame::{
     frames_bits_eq, is_deadline_expiry, is_timeout, read_frame, read_frame_deadline,
     read_frame_timed, write_frame, ErrorCode, ErrorFrame, Frame, FrameError, MetricsSnapshot,
-    ReadError, Request, Response, StatsReply, StatsRequest, WireTiming,
+    ReadError, Request, Response, SnapshotReply, SnapshotRequest, StatsReply, StatsRequest,
+    WireTiming,
 };
 pub use server::{
     compose_handle, split_handle, NetConfig, NetServer, ServerHandle, TENANT_BITS, TENANT_MASK,

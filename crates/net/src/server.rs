@@ -18,14 +18,17 @@
 
 use crate::frame::{
     is_deadline_expiry, is_timeout, read_frame_timed, write_frame, ErrorCode, ErrorFrame, Frame,
-    FrameError, MetricsSnapshot, ReadError, Request, Response, StatsReply, StatsRequest,
-    DEFAULT_MAX_PAYLOAD,
+    FrameError, MetricsSnapshot, ReadError, Request, Response, SnapshotReply, SnapshotRequest,
+    StatsReply, StatsRequest, DEFAULT_MAX_PAYLOAD,
 };
 use nav_engine::{Engine, QueryBatch, ShardedEngine};
 use nav_obs::{Stage, StageSet};
+use nav_store::{RecordWriter, Snapshot};
 use std::collections::VecDeque;
+use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -195,6 +198,11 @@ struct Shared {
     /// stage timings. One short lock per frame; never held across
     /// engine execution or socket I/O.
     net_stages: Mutex<StageSet>,
+    /// Traffic recorder ([`NetServer::record_to`]): every accepted
+    /// request frame and its reply, appended and flushed entry by entry
+    /// so a `kill -9` leaves a replayable durable prefix. `None` when
+    /// recording is off (the default).
+    recorder: Mutex<Option<RecordWriter<BufWriter<File>>>>,
 }
 
 /// A bound, not-yet-running server. [`NetServer::bind`] → inspect
@@ -238,8 +246,21 @@ impl NetServer {
                 stop: AtomicBool::new(false),
                 timeout_failures: AtomicU64::new(0),
                 net_stages: Mutex::new(StageSet::default()),
+                recorder: Mutex::new(None),
             }),
         })
+    }
+
+    /// Starts recording traffic to `path` (truncating any existing
+    /// file): every accepted request frame and the reply it produced,
+    /// flushed per entry, in `nav-store` record-log format. Replay the
+    /// log with `nav-engine replay` to re-drive the exact query stream —
+    /// answers are bit-identical because every request carries its own
+    /// RNG offset. Call before [`NetServer::run`]/[`NetServer::spawn`].
+    pub fn record_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let writer = RecordWriter::new(BufWriter::new(File::create(path)?))?;
+        *self.shared.recorder.lock().expect("recorder poisoned") = Some(writer);
+        Ok(())
     }
 
     /// The bound address (resolves port 0).
@@ -397,13 +418,26 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 return;
             }
         };
+        // Re-encode the accepted request for the traffic recorder before
+        // dispatch moves it into the engine. Only query requests are
+        // recorded — they are the replayable stream; stats and snapshot
+        // reads don't shape it.
+        let recorded_req = match &frame {
+            Frame::Request(_) if shared.recorder.lock().expect("recorder poisoned").is_some() => {
+                Some(frame.encode())
+            }
+            _ => None,
+        };
         let reply = match frame {
             Frame::Request(req) => answer(shared, req),
             Frame::StatsRequest(req) => stats_reply(shared, req),
-            Frame::Response(_) | Frame::Error(_) | Frame::Stats(_) => Frame::Error(ErrorFrame {
-                code: ErrorCode::UnexpectedFrame,
-                message: "server accepts request frames only".into(),
-            }),
+            Frame::SnapshotRequest(req) => snapshot_reply(shared, req),
+            Frame::Response(_) | Frame::Error(_) | Frame::Stats(_) | Frame::SnapshotReply(_) => {
+                Frame::Error(ErrorFrame {
+                    code: ErrorCode::UnexpectedFrame,
+                    message: "server accepts request frames only".into(),
+                })
+            }
         };
         // Encode and send separately so each lands in its own wire-stage
         // histogram; the receive half of Socket was timed by
@@ -411,6 +445,13 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         let e0 = Instant::now();
         let bytes = reply.encode();
         let encode_ms = e0.elapsed().as_secs_f64() * 1e3;
+        // Append to the traffic log *before* the reply goes out: the
+        // entry is durable by the time any client can act on the answer.
+        if let Some(req_bytes) = recorded_req {
+            if let Some(rec) = shared.recorder.lock().expect("recorder poisoned").as_mut() {
+                let _ = rec.append(&req_bytes, &bytes);
+            }
+        }
         let s0 = Instant::now();
         let sent = writer.write_all(&bytes).and_then(|()| writer.flush());
         let send_ms = s0.elapsed().as_secs_f64() * 1e3;
@@ -531,6 +572,7 @@ fn metrics_snapshot(shared: &Shared, engine: &ShardedEngine) -> MetricsSnapshot 
         rerouted_hops: m.rerouted_hops,
         epoch_flips: m.epoch_flips,
         timeout_setup_failures: shared.timeout_failures.load(Ordering::Relaxed),
+        cache_rejected_rows: c.rejected,
     }
 }
 
@@ -562,4 +604,33 @@ fn stats_reply(shared: &Shared, req: StatsRequest) -> Frame {
         shards,
         obs,
     })
+}
+
+/// Answers a [`SnapshotRequest`]: captures the served engine's durable
+/// state under the engine lock (so the snapshot sits at a batch
+/// boundary) and ships the encoded `nav-store` bytes. Tenant-checked
+/// like a query; the handle's shard byte is ignored — a snapshot always
+/// covers the whole front.
+fn snapshot_reply(shared: &Shared, req: SnapshotRequest) -> Frame {
+    let (tenant, _) = split_handle(req.handle);
+    if tenant != shared.cfg.handle & TENANT_MASK {
+        return Frame::Error(ErrorFrame {
+            code: ErrorCode::UnknownHandle,
+            message: format!(
+                "handle {} not served here (this server owns handle {})",
+                tenant,
+                shared.cfg.handle & TENANT_MASK
+            ),
+        });
+    }
+    let engine = shared.engine.lock().expect("engine poisoned");
+    match Snapshot::capture(&engine) {
+        Ok(snap) => Frame::SnapshotReply(SnapshotReply {
+            bytes: snap.encode(),
+        }),
+        Err(e) => Frame::Error(ErrorFrame {
+            code: ErrorCode::Internal,
+            message: format!("snapshot capture failed: {e}"),
+        }),
+    }
 }

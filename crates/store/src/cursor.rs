@@ -1,0 +1,66 @@
+//! The bounds-checked little-endian read cursor every decoder in this
+//! crate shares — the same totality discipline as the wire codec: a read
+//! past the end is a [`StoreError::Truncated`], never a panic.
+
+use crate::StoreError;
+
+pub(crate) struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cur { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated(what));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, what: &'static str) -> Result<u16, StoreError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, StoreError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, StoreError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Floats travel as raw bits, so every value (including NaN payloads)
+    /// round-trips exactly.
+    pub(crate) fn f64(&mut self, what: &'static str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Asserts the cursor consumed its slice exactly — trailing bytes in
+    /// a section mean the writer and reader disagree about the format.
+    pub(crate) fn done(&self, what: &'static str) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Malformed(what));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,181 @@
+//! Length-prefixed binary traffic recording.
+//!
+//! The server appends each accepted request frame and the reply it
+//! produced as one log entry, flushed before the next request is read —
+//! so a `kill -9` can lose at most the entry being written, and the
+//! durable prefix it leaves behind is exactly a replayable query stream
+//! (every request frame carries its own `rng_base`, so answers are
+//! order- and restart-independent). The log stores raw frame *bytes*:
+//! this crate never parses them, keeping the dependency arrow pointing
+//! from the wire layer down to the store and letting a future frame
+//! version ride the same log format unchanged.
+
+use crate::cursor::Cur;
+use crate::StoreError;
+use std::io::{self, Write};
+
+/// First bytes of a traffic recording.
+pub const RECORD_MAGIC: [u8; 4] = *b"NAVR";
+
+/// Format version this module writes and reads.
+const RECORD_VERSION: u16 = 1;
+
+/// One recorded request/response exchange, as raw frame bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordedExchange {
+    /// The accepted request frame, exactly as it arrived on the wire.
+    pub request: Vec<u8>,
+    /// The reply frame the server produced for it.
+    pub response: Vec<u8>,
+}
+
+/// Appends recorded exchanges to any byte sink, one durable entry at a
+/// time.
+pub struct RecordWriter<W: Write> {
+    sink: W,
+    entries: u64,
+}
+
+impl<W: Write> RecordWriter<W> {
+    /// Writes the log header and returns the writer.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(&RECORD_MAGIC)?;
+        sink.write_all(&RECORD_VERSION.to_le_bytes())?;
+        sink.write_all(&0u16.to_le_bytes())?; // reserved
+        sink.flush()?;
+        Ok(RecordWriter { sink, entries: 0 })
+    }
+
+    /// Appends one exchange and flushes, so the entry is durable before
+    /// the caller serves the next request.
+    pub fn append(&mut self, request: &[u8], response: &[u8]) -> io::Result<()> {
+        let req_len = u32::try_from(request.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "request frame too large"))?;
+        let resp_len = u32::try_from(response.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "response frame too large"))?;
+        self.sink.write_all(&req_len.to_le_bytes())?;
+        self.sink.write_all(request)?;
+        self.sink.write_all(&resp_len.to_le_bytes())?;
+        self.sink.write_all(response)?;
+        self.sink.flush()?;
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Entries appended through this writer.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Consumes the writer and hands back the sink — the way an
+    /// in-memory recording is read back.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+/// Reads the durable prefix of a traffic recording: every complete
+/// entry, in order. A tail cut mid-entry — the normal shape of a log
+/// whose writer was killed — is silently dropped; a log whose *header*
+/// is damaged errors, because then nothing about the bytes is trusted.
+pub fn read_record_log(bytes: &[u8]) -> Result<Vec<RecordedExchange>, StoreError> {
+    let mut cur = Cur::new(bytes);
+    if cur.take(4, "record magic")? != RECORD_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = cur.u16("record version")?;
+    if version != RECORD_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    cur.u16("record reserved")?;
+    let mut out = Vec::new();
+    // Each read that fails from here on is a truncated tail: keep the
+    // prefix read so far.
+    while let Ok(req_len) = cur.u32("") {
+        let Ok(request) = cur.take(req_len as usize, "") else {
+            break;
+        };
+        let Ok(resp_len) = cur.u32("") else { break };
+        let Ok(response) = cur.take(resp_len as usize, "") else {
+            break;
+        };
+        out.push(RecordedExchange {
+            request: request.to_vec(),
+            response: response.to_vec(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log(entries: &[(&[u8], &[u8])]) -> Vec<u8> {
+        let mut w = RecordWriter::new(Vec::new()).unwrap();
+        for (req, resp) in entries {
+            w.append(req, resp).unwrap();
+        }
+        assert_eq!(w.entries(), entries.len() as u64);
+        w.sink
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_exchange() {
+        let log = sample_log(&[(b"req-one", b"resp-one"), (b"", b"r2"), (b"q3", b"")]);
+        let got = read_record_log(&log).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].request, b"req-one");
+        assert_eq!(got[0].response, b"resp-one");
+        assert_eq!(got[1].request, b"");
+        assert_eq!(got[2].response, b"");
+    }
+
+    #[test]
+    fn truncated_tail_keeps_the_durable_prefix() {
+        let log = sample_log(&[(b"aaaa", b"bbbb"), (b"cccc", b"dddd")]);
+        // Cut anywhere strictly inside the second entry: the first entry
+        // must survive, whole-log errors must not appear.
+        let second_entry_start = 8 + (4 + 4 + 4 + 4);
+        for cut in second_entry_start..log.len() {
+            let got = read_record_log(&log[..cut]).unwrap();
+            assert_eq!(got.len(), 1, "cut at {cut}");
+            assert_eq!(got[0].request, b"aaaa");
+        }
+    }
+
+    #[test]
+    fn empty_log_is_a_valid_recording() {
+        let log = sample_log(&[]);
+        assert_eq!(log.len(), 8);
+        assert!(read_record_log(&log).unwrap().is_empty());
+    }
+
+    #[test]
+    fn damaged_header_is_an_error_not_an_empty_log() {
+        let log = sample_log(&[(b"x", b"y")]);
+        let mut bad = log.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(read_record_log(&bad), Err(StoreError::BadMagic));
+        let mut newer = log.clone();
+        newer[4] = 9;
+        assert_eq!(
+            read_record_log(&newer),
+            Err(StoreError::UnsupportedVersion(9))
+        );
+        assert!(matches!(
+            read_record_log(&log[..6]),
+            Err(StoreError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn forged_entry_length_reads_as_truncation_not_allocation() {
+        let mut log = sample_log(&[(b"abcd", b"efgh")]);
+        // Forge the first request length to a huge value: the reader must
+        // treat it as a truncated tail (nothing durable follows), not
+        // trust it.
+        log[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_record_log(&log).unwrap().is_empty());
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`obs`] — bounded histograms, stage spans, and sampled query
 //!   traces (the observability layer threaded through [`engine`] and
 //!   [`net`]);
+//! * [`store`] — the durability layer: versioned snapshot/restore of a
+//!   serving front and length-prefixed traffic recording for replay;
 //! * [`par`] — deterministic parallel substrate;
 //! * [`analysis`] — statistics, exponent fits, table output.
 //!
@@ -45,6 +47,7 @@ pub use nav_graph as graph;
 pub use nav_net as net;
 pub use nav_obs as obs;
 pub use nav_par as par;
+pub use nav_store as store;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -455,6 +455,92 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn snapshot_restore_resumes_the_stream_bit_identically(
+        g in connected_graph(40),
+        seed in 0u64..500,
+        num_pairs in 6usize..20,
+        cut_seed in 1usize..19,
+        batch_size in 1usize..6,
+    ) {
+        // The durability contract at the engine layer: freeze a warm,
+        // fault-injected front mid-stream, round-trip it through the
+        // on-disk snapshot *bytes*, restore at a different thread count,
+        // and the continuation must be bit-identical to the engine that
+        // was never interrupted — whatever the cut point, batch split,
+        // or shard count. Cache contents, churn epoch, and the RNG
+        // cursor all travel through the encoding.
+        use navigability::engine::ShardedEngine;
+        use navigability::obs::ObsConfig;
+        use navigability::store::Snapshot;
+        let n = g.num_nodes() as NodeId;
+        let mut rng = seeded_rng(seed ^ 0x5704a9e);
+        let pairs: Vec<(NodeId, NodeId)> = (0..num_pairs)
+            .map(|_| {
+                use rand::Rng;
+                (rng.gen_range(0..n), rng.gen_range(0..n))
+            })
+            .collect();
+        let cfg = EngineConfig {
+            seed,
+            threads: 1,
+            cache_bytes: 1 << 20,
+            admission: AdmissionPolicy::Segmented,
+            fault: FaultConfig {
+                drop_prob: 0.25,
+                plan: Some(FailurePlan::new(seed ^ 0xc4, 3, 4, 0.15)),
+            },
+            ..EngineConfig::default()
+        };
+        let cut = cut_seed.min(pairs.len() - 1).max(1);
+        for shards in [1usize, 3] {
+            let mut uninterrupted =
+                ShardedEngine::new(g.clone(), || Box::new(UniformScheme), cfg, shards);
+            let mut reference = Vec::new();
+            for chunk in pairs.chunks(batch_size) {
+                reference.extend(
+                    uninterrupted
+                        .serve(&QueryBatch::from_pairs(chunk, 3))
+                        .expect("valid")
+                        .answers,
+                );
+            }
+            // Serve a prefix, snapshot, drop everything but the bytes.
+            let mut victim =
+                ShardedEngine::new(g.clone(), || Box::new(UniformScheme), cfg, shards);
+            let mut resumed = Vec::new();
+            for chunk in pairs[..cut].chunks(batch_size) {
+                resumed.extend(
+                    victim
+                        .serve(&QueryBatch::from_pairs(chunk, 3))
+                        .expect("valid")
+                        .answers,
+                );
+            }
+            let bytes = Snapshot::capture(&victim)
+                .expect("uniform scheme snapshots")
+                .encode();
+            drop(victim);
+            let mut restored = Snapshot::decode(&bytes)
+                .expect("own encoding decodes")
+                .restore(test_threads(), ObsConfig::default())
+                .expect("own snapshot restores");
+            prop_assert_eq!(restored.queries_served(), cut as u64);
+            for chunk in pairs[cut..].chunks(batch_size) {
+                resumed.extend(
+                    restored
+                        .serve(&QueryBatch::from_pairs(chunk, 3))
+                        .expect("valid")
+                        .answers,
+                );
+            }
+            prop_assert!(
+                identical(&resumed, &reference),
+                "restored stream diverged at shards={shards} cut={cut} batch={batch_size}"
+            );
+        }
+    }
 }
 
 /// The adaptive row storage's u16→u32 fallback, exercised by an *actual*

@@ -86,7 +86,7 @@ fn arb_response() -> impl Strategy<Value = Frame> {
         });
     (
         proptest::collection::vec(stats, 0..32),
-        proptest::collection::vec(0u64..u64::MAX, 15..16),
+        proptest::collection::vec(0u64..u64::MAX, 16..17),
     )
         .prop_map(|(answers, m)| {
             Frame::Response(Response {
@@ -107,6 +107,7 @@ fn arb_response() -> impl Strategy<Value = Frame> {
                     rerouted_hops: m[12],
                     epoch_flips: m[13],
                     timeout_setup_failures: m[14],
+                    cache_rejected_rows: m[15],
                 },
             })
         })
@@ -600,6 +601,75 @@ fn stats_frame_reports_stages_and_traces_over_loopback() {
 }
 
 #[test]
+fn snapshot_over_the_wire_restores_a_bit_identical_front() {
+    // The durability surface end to end: serve a prefix over TCP, pull
+    // a snapshot frame, restore it into a *local* front, and the suffix
+    // must come out bit-identical from both — the wire round trip loses
+    // neither the RNG cursor nor the warm state.
+    use navigability::store::Snapshot;
+    let g = world(64, 27);
+    let server = spawn_server(&g, 31, AdmissionPolicy::Segmented, NetConfig::default());
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    let pairs = client_pairs(&g, 6, 24);
+    for chunk in pairs[..12].chunks(4) {
+        client
+            .serve(0, SamplerMode::Scalar, &QueryBatch::from_pairs(chunk, 3))
+            .expect("serve");
+    }
+    let bytes = client.snapshot(0).expect("snapshot frame");
+    let snap = Snapshot::decode(&bytes).expect("wire snapshot decodes");
+    assert!(
+        snap.shards.iter().any(|s| !s.rows.is_empty()),
+        "the snapshot must carry the warm cache"
+    );
+    let mut local = snap
+        .restore(test_threads(), ObsConfig::default())
+        .expect("wire snapshot restores");
+    let mut from_wire = Vec::new();
+    for chunk in pairs[12..].chunks(4) {
+        let (a, _) = client
+            .serve(0, SamplerMode::Scalar, &QueryBatch::from_pairs(chunk, 3))
+            .expect("serve");
+        from_wire.extend(a);
+    }
+    // The wire stamps every request with an explicit rng_base (the
+    // client's cumulative counter), so the restored front is continued
+    // the same way.
+    let mut from_restore = Vec::new();
+    let mut base = 12u64;
+    for chunk in pairs[12..].chunks(4) {
+        let b = QueryBatch::from_pairs(chunk, 3);
+        from_restore.extend(
+            local
+                .serve_at(&b, base, SamplerMode::Scalar)
+                .expect("serve")
+                .answers,
+        );
+        base += b.len() as u64;
+    }
+    assert!(
+        identical(&from_wire, &from_restore),
+        "restored front diverged from the server it was snapshotted from"
+    );
+    // A wrong tenant handle refuses, typed, and the connection stays
+    // healthy for queries afterwards.
+    match client.snapshot(7) {
+        Err(NetError::Remote(e)) => assert_eq!(e.code, ErrorCode::UnknownHandle),
+        other => panic!("expected UnknownHandle refusal, got {other:?}"),
+    }
+    let (a, _) = client
+        .serve(
+            0,
+            SamplerMode::Scalar,
+            &QueryBatch::from_pairs(&pairs[..3], 3),
+        )
+        .expect("healthy after refusal");
+    assert_eq!(a.len(), 3);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_completes_despite_idle_connections() {
     // A client that connects, gets served once, and then goes silent
     // must not be able to hang shutdown: workers poll the stop flag at
@@ -1000,6 +1070,62 @@ fn retried_streams_equal_uninterrupted_streams_under_churn_and_chaos() {
         total_retries.load(std::sync::atomic::Ordering::Relaxed) > 0,
         "chaos proxy severed 3 connections but no client retried"
     );
+    server.shutdown();
+}
+
+#[test]
+fn retrying_client_stats_reconnect_and_reask_after_a_cut_reply() {
+    // Fleet-health polling must be as churn-tolerant as the query path:
+    // a stats reply severed mid-frame forces RetryingClient::stats to
+    // reconnect and re-ask (safe — stats are a read), while
+    // deterministic refusals still pass through without burning
+    // attempts.
+    let g = world(48, 17);
+    let server = spawn_server(&g, 23, AdmissionPolicy::Segmented, NetConfig::default());
+    let direct = server.addr();
+    // Warm the counters over a plain connection first.
+    let mut warm = NetClient::connect(direct).expect("connect");
+    let pairs = client_pairs(&g, 3, 8);
+    for chunk in pairs.chunks(4) {
+        warm.serve(0, SamplerMode::Scalar, &QueryBatch::from_pairs(chunk, 2))
+            .expect("serve");
+    }
+    drop(warm);
+    // A proxy that cuts the first connection's reply after 100 bytes:
+    // a stats frame (12-byte header + 128 bytes of counters + the obs
+    // snapshot) can never complete, so the first ask must fail
+    // retryably.
+    let proxied = flaky_proxy(direct, 1, 100);
+    let mut rc = RetryingClient::connect(
+        proxied,
+        RetryPolicy {
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(20),
+            ..RetryPolicy::default()
+        },
+    )
+    .expect("resolve");
+    let reply = rc.stats(0).expect("stats through a severed reply");
+    assert_eq!(reply.metrics.queries, 8);
+    assert_eq!(reply.metrics.batches, 2);
+    assert!(
+        rc.retries() >= 1,
+        "the cut reply must have forced a reconnect-and-reask"
+    );
+    // An explicit sever loses only the socket: the next poll reconnects
+    // transparently and still answers.
+    rc.sever();
+    let again = rc.stats(0).expect("stats after sever");
+    assert_eq!(again.metrics.queries, 8);
+    // A wrong tenant handle is a deterministic refusal: typed, and not
+    // retried.
+    let retries_before = rc.retries();
+    match rc.stats(9) {
+        Err(NetError::Remote(e)) => assert_eq!(e.code, ErrorCode::UnknownHandle),
+        other => panic!("expected UnknownHandle refusal, got {other:?}"),
+    }
+    assert_eq!(rc.retries(), retries_before);
     server.shutdown();
 }
 
