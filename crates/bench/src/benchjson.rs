@@ -18,6 +18,7 @@
 use crate::workloads::Workload;
 use crate::ExpConfig;
 use nav_core::ball::BallScheme;
+use nav_core::conformance::{check_sampler, ConformanceConfig};
 use nav_core::routing::{default_step_cap, GreedyRouter};
 use nav_core::sampler::SamplerMode;
 use nav_core::scheme::AugmentationScheme;
@@ -27,7 +28,7 @@ use nav_core::trial::{
 use nav_core::uniform::UniformScheme;
 use nav_graph::bfs::Bfs;
 use nav_graph::distance::DistanceMatrix;
-use nav_graph::msbfs::MsBfs;
+use nav_graph::msbfs::{LaneWidth, MsBfs};
 use nav_graph::{Graph, NodeId, INFINITY};
 use nav_par::rng::{seeded_rng, task_rng};
 use std::time::Instant;
@@ -96,7 +97,7 @@ fn fms(v: f64) -> String {
 /// between thread counts — the JSON is only produced for a correct engine.
 pub fn render_core_bench(cfg: &ExpConfig) -> String {
     let n = if cfg.quick { 512 } else { 4096 };
-    let reps_ap = if cfg.quick { 3 } else { 2 };
+    let reps_ap = 3;
     let num_random_pairs = if cfg.quick { 30 } else { 510 };
     let trials_per_pair = 8;
 
@@ -139,6 +140,53 @@ pub fn render_core_bench(cfg: &ExpConfig) -> String {
         );
     }
 
+    // --- all-pairs lane-width sweep --------------------------------------
+    // The same matrix at 64, 128 and 256 lanes: wider word blocks cut the
+    // pass count (n/64 → n/256 sweeps over the graph) and amortize each
+    // edge traversal over more sources, at the price of wider frontier
+    // words. Distances are *bit-identical* at every width by the MS-BFS
+    // contract — asserted against the legacy engine per width before any
+    // number is rendered.
+    // Best-of-5 per width: the sweep compares ~40–70 ms fills against
+    // each other on a shared host, so it needs tighter minima than the
+    // one-sided before/after sections to keep the speedup floor stable.
+    let mut ap_width: Vec<(LaneWidth, f64)> = Vec::new();
+    for w in LaneWidth::ALL {
+        let mut m = None;
+        let ms = time_ms(5, || {
+            m = Some(DistanceMatrix::with_threads_width(&g, cfg.threads, w))
+        });
+        let m = m.expect("timed at least once");
+        for u in 0..n {
+            assert!(
+                m.row(u as NodeId).eq_wide(&legacy_data[u * n..(u + 1) * n]),
+                "all-pairs row {u} at {} lanes diverged from the legacy engine",
+                w.label()
+            );
+        }
+        ap_width.push((w, ms));
+    }
+    let ap_w64_ms = ap_width[0].1;
+    let (ap_best_w, ap_best_ms) = ap_width
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("three widths timed");
+    let ap_best_speedup = ap_w64_ms / ap_best_ms;
+    if cfg.quick {
+        eprintln!(
+            "[bench] all-pairs width sweep quick: best {} lanes at {ap_best_speedup:.2}x over 64",
+            ap_best_w.label()
+        );
+    } else {
+        assert!(
+            ap_best_speedup >= 1.5,
+            "widest profitable lane width ({} lanes) must beat the 64-lane \
+             all-pairs baseline by 1.5x, got {ap_best_speedup:.2}x",
+            ap_best_w.label()
+        );
+    }
+
     // --- E1-style trial sweep -------------------------------------------
     let scheme = UniformScheme;
     let mut pairs = extremal_pairs(&g);
@@ -149,6 +197,7 @@ pub fn render_core_bench(cfg: &ExpConfig) -> String {
         seed: cfg.seed_for("bench-trials", n),
         threads: cfg.threads,
         sampler: SamplerMode::Scalar,
+        width: LaneWidth::W64,
     };
     let mut legacy_stats = Vec::new();
     let before_sweep_ms = time_ms(3, || {
@@ -198,6 +247,7 @@ pub fn render_core_bench(cfg: &ExpConfig) -> String {
         seed: cfg.seed_for("bench-ball", n),
         threads: cfg.threads,
         sampler: SamplerMode::Scalar,
+        width: LaneWidth::W64,
     };
     let tc_ball_batched = TrialConfig {
         sampler: SamplerMode::Batched,
@@ -261,6 +311,47 @@ pub fn render_core_bench(cfg: &ExpConfig) -> String {
         );
     }
 
+    // --- ball-scheme lane-width sweep ------------------------------------
+    // Wider blocks run more trials as bit-lanes of the same lockstep
+    // walk and fill ball rows in fewer MS-BFS passes. A wide row holds
+    // the same rank buckets in a different member order, so answers are
+    // compared across widths as estimators (the at-a-fixed-width
+    // reproducibility gate lives in the engine tests), and each width's
+    // sampler must pass the same chi-squared conformance harness as the
+    // scheme's own draws.
+    let mut ball_width: Vec<(LaneWidth, f64, f64)> = Vec::new();
+    for w in LaneWidth::ALL {
+        let tcw = TrialConfig {
+            sampler: SamplerMode::Batched,
+            width: w,
+            ..tc_ball.clone()
+        };
+        let mut res = None;
+        let ms = time_ms(3, || {
+            res = Some(run_trials(&g, &ball, &pairs, &tcw).expect("valid pairs"))
+        });
+        let res = res.expect("timed at least once");
+        assert_eq!(res.failures(), 0);
+        let gm = res.grand_mean();
+        assert!(
+            (gm_s - gm).abs() / gm_s.max(1e-9) < 0.10,
+            "ball sweep at {} lanes diverged as an estimator: scalar {gm_s:.3} vs {gm:.3}",
+            w.label()
+        );
+        let mut sampler = ball
+            .batched_sampler_w(&g, usize::MAX, w)
+            .expect("ball scheme has a batched sampler");
+        let probe: Vec<NodeId> = vec![0, 37 % n as NodeId];
+        check_sampler(
+            &g,
+            &ball,
+            sampler.as_mut(),
+            &probe,
+            &ConformanceConfig::with_samples(if cfg.quick { 12_000 } else { 40_000 }),
+        );
+        ball_width.push((w, ms, gm));
+    }
+
     // --- render ----------------------------------------------------------
     let mut out = String::new();
     out.push_str("{\n");
@@ -306,7 +397,7 @@ pub fn render_core_bench(cfg: &ExpConfig) -> String {
         fms(before_sweep_ms / after_sweep_ms)
     ));
     out.push_str(&format!(
-        "  \"ball_sweep\": {{\"pairs\": {}, \"trials_per_pair\": {}, \"scheme\": \"ball(thm4)\", \"scalar_ms\": {}, \"batched_ms\": {}, \"speedup\": {}, \"grand_mean_scalar\": {}, \"grand_mean_batched\": {}, \"distribution_identical\": true, \"thread_invariant\": true}}\n",
+        "  \"ball_sweep\": {{\"pairs\": {}, \"trials_per_pair\": {}, \"scheme\": \"ball(thm4)\", \"scalar_ms\": {}, \"batched_ms\": {}, \"speedup\": {}, \"grand_mean_scalar\": {}, \"grand_mean_batched\": {}, \"distribution_identical\": true, \"thread_invariant\": true}},\n",
         pairs.len(),
         trials_per_pair,
         fms(ball_scalar_ms),
@@ -314,6 +405,26 @@ pub fn render_core_bench(cfg: &ExpConfig) -> String {
         fms(ball_scalar_ms / ball_batched_ms),
         fms(gm_s),
         fms(gm_b)
+    ));
+    out.push_str(&format!(
+        "  \"all_pairs_width_sweep\": {{\"n\": {}, \"w64_ms\": {}, \"w128_ms\": {}, \"w256_ms\": {}, \"best_lanes\": {}, \"best_speedup_vs_64\": {}, \"bit_identical\": true}},\n",
+        n,
+        fms(ap_width[0].1),
+        fms(ap_width[1].1),
+        fms(ap_width[2].1),
+        ap_best_w.label(),
+        fms(ap_best_speedup)
+    ));
+    out.push_str(&format!(
+        "  \"ball_width_sweep\": {{\"pairs\": {}, \"trials_per_pair\": {}, \"w64_ms\": {}, \"w128_ms\": {}, \"w256_ms\": {}, \"grand_means\": [{}, {}, {}], \"conformance\": true, \"estimator_agreement\": true}}\n",
+        pairs.len(),
+        trials_per_pair,
+        fms(ball_width[0].1),
+        fms(ball_width[1].1),
+        fms(ball_width[2].1),
+        fms(ball_width[0].2),
+        fms(ball_width[1].2),
+        fms(ball_width[2].2)
     ));
     out.push_str("}\n");
     out
@@ -343,6 +454,10 @@ mod tests {
             "\"all_pairs\"",
             "\"trial_sweep\"",
             "\"ball_sweep\"",
+            "\"all_pairs_width_sweep\"",
+            "\"ball_width_sweep\"",
+            "\"conformance\": true",
+            "\"estimator_agreement\": true",
             "\"distribution_identical\": true",
             "\"bit_identical\": true",
             "\"thread_invariant\": true",

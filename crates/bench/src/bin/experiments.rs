@@ -4,9 +4,13 @@
 //! distance-oracle layer.
 //!
 //! ```text
-//! cargo run -p nav-bench --release --bin experiments -- [--quick] [--exp e1,e7] [--threads N] [--seed S] [--sampler scalar|batched] [--drop-p P] [--fault-epochs E] [--csv]
+//! cargo run -p nav-bench --release --bin experiments -- [--quick] [--exp e1,e7] [--threads N] [--seed S] [--sampler scalar|batched] [--width 64|128|256] [--drop-p P] [--fault-epochs E] [--csv]
 //! cargo run -p nav-bench --release --bin experiments -- --bench-json [PATH] [--quick] [--threads N] [--seed S]
 //! ```
+//!
+//! `--width` sets the MS-BFS lane width every batched traversal runs at
+//! (64/128/256 concurrent sources per word block). Distances are
+//! bit-identical at every width; the knob only moves wall-clock.
 //!
 //! `--sampler batched` routes every trial sweep (e.g. the E1/E7 ball
 //! sweeps) through the batched per-step sampler — the ball scheme then
@@ -64,6 +68,13 @@ fn main() {
                     .and_then(SamplerMode::parse)
                     .expect("--sampler needs scalar|batched");
             }
+            "--width" => {
+                cfg.width = args
+                    .next()
+                    .as_deref()
+                    .and_then(nav_graph::msbfs::LaneWidth::parse)
+                    .expect("--width needs 64|128|256");
+            }
             "--drop-p" => {
                 let p: f64 = args
                     .next()
@@ -94,11 +105,12 @@ fn main() {
         }
     }
     eprintln!(
-        "[experiments] mode={} seed={} threads={} sampler={}",
+        "[experiments] mode={} seed={} threads={} sampler={} width={}",
         if cfg.quick { "quick" } else { "full" },
         cfg.seed,
         cfg.threads,
-        cfg.sampler.label()
+        cfg.sampler.label(),
+        cfg.width.label()
     );
     let start = std::time::Instant::now();
     if let Some(path) = bench_json {

@@ -69,6 +69,7 @@ use nav_engine::workload::{
     parse_workload, render_workload_with_shards, FaultSpec, GraphSpec, WorkloadSpec, ZipfSpec,
 };
 use nav_engine::{AdmissionPolicy, EngineConfig, ShardedEngine};
+use nav_graph::msbfs::LaneWidth;
 use nav_graph::Graph;
 use nav_net::{Frame, MetricsSnapshot, NetClient, NetConfig, NetError, NetServer};
 use nav_store::Snapshot;
@@ -119,12 +120,16 @@ fn sharded_engine(g: Graph, scheme_name: &str, cfg: EngineConfig, shards: usize)
         .map(|_| scheme_for(scheme_name, &g, cfg.seed, cfg.threads))
         .collect();
     let mut schemes = schemes.into_iter();
-    ShardedEngine::new(
+    ShardedEngine::try_new(
         g,
         move || schemes.next().expect("one scheme per shard"),
         cfg,
         shards,
     )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -227,6 +232,18 @@ fn restore_front(path: &str, threads: usize, trace_every: u64) -> ShardedEngine 
     engine
 }
 
+/// Parses `--width 64|128|256` (MS-BFS lanes per word block).
+fn expect_width(args: &mut impl Iterator<Item = String>) -> LaneWidth {
+    let value = args.next().unwrap_or_else(|| {
+        eprintln!("--width needs 64|128|256");
+        std::process::exit(2);
+    });
+    LaneWidth::parse(&value).unwrap_or_else(|| {
+        eprintln!("unknown lane width `{value}` (64|128|256)");
+        std::process::exit(2);
+    })
+}
+
 /// Parses `--admission lru|segmented`.
 fn expect_admission(args: &mut impl Iterator<Item = String>) -> AdmissionPolicy {
     let value = args.next().unwrap_or_else(|| {
@@ -253,12 +270,14 @@ fn serve(mut args: impl Iterator<Item = String>) {
     let mut fault_epochs: Option<u32> = None;
     let mut trace_every = nav_obs::ObsConfig::default().trace_every;
     let mut restore_path: Option<String> = None;
+    let mut width = LaneWidth::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => threads = expect_num(&mut args, "--threads"),
             "--seed" => seed = expect_num(&mut args, "--seed"),
             "--cache-mb" => cache_mb = expect_num(&mut args, "--cache-mb"),
             "--admission" => admission = expect_admission(&mut args),
+            "--width" => width = expect_width(&mut args),
             "--shards" => shards_flag = Some(expect_shards(&mut args)),
             "--drop-p" => drop_p = Some(expect_num(&mut args, "--drop-p")),
             "--fault-epochs" => fault_epochs = Some(expect_num(&mut args, "--fault-epochs")),
@@ -377,6 +396,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
                 sampler,
                 admission,
                 fault,
+                width,
                 obs: nav_obs::ObsConfig {
                     trace_every,
                     ..nav_obs::ObsConfig::default()
@@ -597,8 +617,10 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
     let mut trace_every = nav_obs::ObsConfig::default().trace_every;
     let mut restore_path: Option<String> = None;
     let mut record_path: Option<String> = None;
+    let mut width = LaneWidth::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--width" => width = expect_width(&mut args),
             "--shards" => shards_flag = Some(expect_shards(&mut args)),
             "--drop-p" => drop_p = Some(expect_num(&mut args, "--drop-p")),
             "--fault-epochs" => fault_epochs = Some(expect_num(&mut args, "--fault-epochs")),
@@ -684,6 +706,7 @@ fn serve_tcp(mut args: impl Iterator<Item = String>) {
                     sampler: SamplerMode::Scalar,
                     admission,
                     fault,
+                    width,
                     obs: nav_obs::ObsConfig {
                         trace_every,
                         ..nav_obs::ObsConfig::default()
@@ -1148,6 +1171,7 @@ fn scale_bench(mut args: impl Iterator<Item = String>) {
             "--quick" => cfg.quick = true,
             "--threads" => cfg.threads = expect_num(&mut args, "--threads"),
             "--seed" => cfg.seed = expect_num(&mut args, "--seed"),
+            "--width" => cfg.width = expect_width(&mut args),
             other if !path_set && !other.starts_with("--") => {
                 path = other.to_string();
                 path_set = true;
@@ -1159,10 +1183,11 @@ fn scale_bench(mut args: impl Iterator<Item = String>) {
         }
     }
     eprintln!(
-        "[nav-engine] scale-bench mode={} seed={} threads={}",
+        "[nav-engine] scale-bench mode={} seed={} threads={} width={}",
         if cfg.quick { "quick" } else { "full" },
         cfg.seed,
-        cfg.threads
+        cfg.threads,
+        cfg.width.label()
     );
     let start = std::time::Instant::now();
     let json = render_scale_bench(&cfg);

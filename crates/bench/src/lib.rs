@@ -54,6 +54,11 @@ pub struct ExpConfig {
     /// when positive, E10 appends a per-epoch churn table (seeded
     /// [`nav_core::faulty::FailurePlan`], 5% of nodes down per epoch).
     pub fault_epochs: u32,
+    /// MS-BFS lane width (`--width`): 64, 128, or 256 concurrent
+    /// sources per word-block in every batched traversal. Distances are
+    /// bit-identical at every width; wider blocks trade register
+    /// pressure for fewer passes.
+    pub width: nav_graph::msbfs::LaneWidth,
 }
 
 impl Default for ExpConfig {
@@ -65,6 +70,7 @@ impl Default for ExpConfig {
             sampler: nav_core::sampler::SamplerMode::Scalar,
             drop_p: None,
             fault_epochs: 0,
+            width: nav_graph::msbfs::LaneWidth::default(),
         }
     }
 }

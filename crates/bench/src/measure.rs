@@ -38,6 +38,7 @@ pub fn measure(
         seed,
         threads: cfg.threads,
         sampler: cfg.sampler,
+        width: cfg.width,
     };
     let result = run_trials(g, scheme, &pairs, &tc).expect("valid pairs");
     assert_eq!(result.failures(), 0, "routing failures on {tag}");

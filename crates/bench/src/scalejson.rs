@@ -336,6 +336,7 @@ fn measure_serving(g: &Graph, cfg: &ExpConfig, p: &ScaleParams, targets: &[NodeI
             trials_per_pair: p.serve_trials,
             seed,
             threads: cfg.threads,
+            width: cfg.width,
             ..TrialConfig::default()
         },
     )
@@ -345,6 +346,7 @@ fn measure_serving(g: &Graph, cfg: &ExpConfig, p: &ScaleParams, targets: &[NodeI
         seed,
         threads: cfg.threads,
         cache_bytes: (serve_t * n * 4).max(1 << 20),
+        width: cfg.width,
         ..EngineConfig::default()
     };
 

@@ -237,6 +237,7 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
                 seed: ball_seed,
                 threads: cfg.threads,
                 sampler: mode,
+                ..TrialConfig::default()
             },
         )
         .expect("valid pairs");
@@ -269,6 +270,7 @@ pub fn render_serve_bench(cfg: &ExpConfig) -> String {
             seed: ball_seed,
             threads: cfg.threads,
             sampler: SamplerMode::Scalar,
+            ..TrialConfig::default()
         },
     )
     .expect("valid pairs");

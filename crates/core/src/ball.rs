@@ -19,7 +19,7 @@ use crate::sampler::{ContactSampler, SamplerStats};
 use crate::scheme::{AugmentationScheme, ExplicitScheme};
 use crate::workspace::with_bfs;
 use nav_graph::ball::rank_of_distance;
-use nav_graph::msbfs::{with_msbfs, LANES};
+use nav_graph::msbfs::{LaneWidth, MsBfsW, MsBfsWorkspace};
 use nav_graph::{Graph, NodeId, INFINITY};
 use nav_par::rng::task_rng;
 use rand::{Rng, RngCore};
@@ -55,7 +55,8 @@ impl BallScheme {
     }
 
     /// Realizes one long-range draw for **every** node, batched: centres
-    /// are packed [`LANES`] (= 64) per bit-parallel MS-BFS pass and the
+    /// are packed [`LANES`](nav_graph::msbfs::LANES) (= 64) per
+    /// bit-parallel MS-BFS pass and the
     /// passes fanned out to `threads` `nav-par` workers — replacing the
     /// one scalar truncated BFS per node that [`Realization::sample`]
     /// would issue through [`AugmentationScheme::sample_contact`].
@@ -69,18 +70,48 @@ impl BallScheme {
     /// [`Realization::sample`], which consumes one shared stream in node
     /// order.
     pub fn realize_batched(&self, g: &Graph, seed: u64, threads: usize) -> Realization {
+        self.realize_batched_w(g, seed, threads, LaneWidth::W64)
+    }
+
+    /// [`realize_batched`] at an explicit MS-BFS word-block width:
+    /// `width.lanes()` centres per pass instead of 64. Draws select ball
+    /// members **by index** against exact distance rows with a per-node
+    /// RNG, so the realization is bit-identical at every width (and to
+    /// [`realize_batched`]) — the width only changes how many rows one
+    /// pass amortises.
+    ///
+    /// [`realize_batched`]: BallScheme::realize_batched
+    pub fn realize_batched_w(
+        &self,
+        g: &Graph,
+        seed: u64,
+        threads: usize,
+        width: LaneWidth,
+    ) -> Realization {
+        match width {
+            LaneWidth::W64 => self.realize_impl::<1>(g, seed, threads),
+            LaneWidth::W128 => self.realize_impl::<2>(g, seed, threads),
+            LaneWidth::W256 => self.realize_impl::<4>(g, seed, threads),
+        }
+    }
+
+    fn realize_impl<const W: usize>(&self, g: &Graph, seed: u64, threads: usize) -> Realization
+    where
+        MsBfsW<W>: MsBfsWorkspace,
+    {
         let n = g.num_nodes();
-        let batches: Vec<Vec<NodeId>> = (0..n.div_ceil(LANES))
+        let lanes = MsBfsW::<W>::LANES;
+        let batches: Vec<Vec<NodeId>> = (0..n.div_ceil(lanes))
             .map(|c| {
-                let lo = c * LANES;
-                let hi = (lo + LANES).min(n);
+                let lo = c * lanes;
+                let hi = (lo + lanes).min(n);
                 (lo as NodeId..hi as NodeId).collect()
             })
             .collect();
         let per_batch: Vec<Vec<Option<NodeId>>> =
             nav_par::parallel_map(batches.len(), threads, |b| {
                 let centres = &batches[b];
-                with_msbfs(n, |ms| {
+                MsBfsW::<W>::with_ws(n, |ms| {
                     let rows = ms.distances(g, centres);
                     centres
                         .iter()
@@ -130,6 +161,16 @@ impl AugmentationScheme for BallScheme {
     fn batched_sampler(&self, g: &Graph, byte_cap: usize) -> Option<Box<dyn ContactSampler + '_>> {
         let _ = g;
         Some(Box::new(BallRowSampler::new(*self, byte_cap)))
+    }
+
+    fn batched_sampler_w(
+        &self,
+        g: &Graph,
+        byte_cap: usize,
+        width: LaneWidth,
+    ) -> Option<Box<dyn ContactSampler + '_>> {
+        let _ = g;
+        Some(Box::new(BallRowSampler::with_width(*self, byte_cap, width)))
     }
 
     fn sample_contact(&self, g: &Graph, u: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
@@ -296,7 +337,7 @@ impl BallRow {
 /// a pair's trials in lockstep rounds ([`ContactSampler::wants_lockstep`])
 /// and announces every concurrent walk's current node through
 /// [`ContactSampler::prepare`]; the sampler packs the *uncached* ones —
-/// real misses, no speculative lanes — up to [`LANES`] per bit-parallel
+/// real misses, no speculative lanes — up to `width.lanes()` per bit-parallel
 /// MS-BFS pass and builds their [`BallRow`]s straight from the pass's
 /// level-ordered discoveries. Every draw at a cached node is then two
 /// `gen_range` calls. Same per-node distribution as the scalar
@@ -312,18 +353,30 @@ pub struct BallRowSampler {
     rows: HashMap<NodeId, BallRow>,
     byte_cap: usize,
     bytes: usize,
+    width: LaneWidth,
     stats: SamplerStats,
 }
 
 impl BallRowSampler {
     /// A sampler for `scheme` bounded at `byte_cap` cached bytes
-    /// (`usize::MAX` = unbounded).
+    /// (`usize::MAX` = unbounded), filling 64 rows per pass.
     pub fn new(scheme: BallScheme, byte_cap: usize) -> Self {
+        Self::with_width(scheme, byte_cap, LaneWidth::W64)
+    }
+
+    /// [`new`], filling `width.lanes()` rows per MS-BFS pass. Rows built
+    /// at any width hold the same rank buckets (discovery order within a
+    /// bucket may differ — every draw is uniform over a bucket prefix, so
+    /// the per-draw distribution is width-invariant).
+    ///
+    /// [`new`]: BallRowSampler::new
+    pub fn with_width(scheme: BallScheme, byte_cap: usize, width: LaneWidth) -> Self {
         BallRowSampler {
             scheme,
             rows: HashMap::new(),
             byte_cap,
             bytes: 0,
+            width,
             stats: SamplerStats::default(),
         }
     }
@@ -333,12 +386,23 @@ impl BallRowSampler {
         self.rows.get(&u)
     }
 
-    /// Computes and caches ball rows for up to [`LANES`] centres in one
-    /// MS-BFS pass, building each [`BallRow`] directly from the pass's
+    /// Computes and caches ball rows for up to `width.lanes()` centres in
+    /// one MS-BFS pass, building each [`BallRow`] directly from the pass's
     /// level-ordered discoveries (distances arrive ascending per lane, so
     /// rank buckets are contiguous runs — no distance buffer, no sort).
     fn fill_batch(&mut self, g: &Graph, centres: &[NodeId]) {
-        debug_assert!(centres.len() <= LANES);
+        match self.width {
+            LaneWidth::W64 => self.fill_batch_w::<1>(g, centres),
+            LaneWidth::W128 => self.fill_batch_w::<2>(g, centres),
+            LaneWidth::W256 => self.fill_batch_w::<4>(g, centres),
+        }
+    }
+
+    fn fill_batch_w<const W: usize>(&mut self, g: &Graph, centres: &[NodeId])
+    where
+        MsBfsW<W>: MsBfsWorkspace,
+    {
+        debug_assert!(centres.len() <= MsBfsW::<W>::LANES);
         let kk = self.scheme.k_max;
         let max_radius = BallScheme::radius(kk);
         let mut building: Vec<BallRow> = centres
@@ -348,7 +412,7 @@ impl BallRowSampler {
                 ball_sizes: vec![0u32; kk as usize + 1],
             })
             .collect();
-        with_msbfs(g.num_nodes(), |ms| {
+        MsBfsW::<W>::with_ws(g.num_nodes(), |ms| {
             ms.run(g, centres, |lane, v, d| {
                 if d <= max_radius {
                     let row = &mut building[lane as usize];
@@ -419,7 +483,7 @@ impl ContactSampler for BallRowSampler {
 
     fn prepare(&mut self, g: &Graph, nodes: &[NodeId]) {
         let misses = self.plan_misses(g, nodes);
-        for chunk in misses.chunks(LANES) {
+        for chunk in misses.chunks(self.width.lanes()) {
             self.fill_batch(g, chunk);
         }
     }
@@ -713,6 +777,70 @@ mod tests {
                 b.sort_unstable();
                 assert_eq!(a, b, "u={u} k={k}");
             }
+        }
+    }
+
+    #[test]
+    fn batched_realization_is_width_invariant() {
+        // Draws are by index over exact rows with a per-node RNG, so the
+        // realization must be bit-identical at every word-block width.
+        let g = path(300); // > 256: every width still needs multiple passes
+        let scheme = BallScheme::new(&g);
+        let base = scheme.realize_batched(&g, 11, 2);
+        for width in LaneWidth::ALL {
+            assert_eq!(
+                scheme.realize_batched_w(&g, 11, 2, width),
+                base,
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_sampler_rows_hold_the_same_rank_buckets() {
+        // Rows filled at 128/256 lanes bucket exactly the dyadic balls the
+        // scalar construction does (member order within a bucket is free).
+        let g = path(150);
+        let scheme = BallScheme::new(&g);
+        for width in [LaneWidth::W128, LaneWidth::W256] {
+            let mut sampler = BallRowSampler::with_width(scheme, usize::MAX, width);
+            sampler.prepare(&g, &(0..150).collect::<Vec<_>>());
+            assert_eq!(sampler.stats().rows, 150, "{width}");
+            assert_eq!(
+                sampler.stats().passes as usize,
+                150usize.div_ceil(width.lanes()),
+                "{width}"
+            );
+            for u in 0..150u32 {
+                let dist = with_bfs(150, |bfs| bfs.distances(&g, u));
+                let reference = BallRow::from_distances(scheme, &dist);
+                let got = sampler.row(u).unwrap();
+                for k in 1..=scheme.scales() {
+                    assert_eq!(
+                        got.ball_size(k),
+                        reference.ball_size(k),
+                        "{width} u={u} k={k}"
+                    );
+                    let mut a = got.ball_members(k).to_vec();
+                    let mut b = reference.ball_members(k).to_vec();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "{width} u={u} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_row_sampler_passes_conformance_at_every_width() {
+        // The per-draw distribution is width-invariant: the chi-squared
+        // gate that pins the 64-lane cache also pins the wide ones.
+        let g = path(17);
+        let scheme = BallScheme::new(&g);
+        let cfg = ConformanceConfig::with_samples(60_000);
+        for width in LaneWidth::ALL {
+            let mut sampler = BallRowSampler::with_width(scheme, usize::MAX, width);
+            crate::conformance::check_sampler(&g, &scheme, &mut sampler, &[0, 8, 16], &cfg);
         }
     }
 

@@ -40,6 +40,7 @@ use crate::routing::{GreedyRouter, RouteOutcome};
 use crate::scheme::AugmentationScheme;
 use nav_graph::bfs::Bfs;
 use nav_graph::distance::{double_sweep, DistRowBuf};
+use nav_graph::msbfs::LaneWidth;
 use nav_graph::{Graph, GraphError, NodeId, INFINITY};
 use rand::RngCore;
 
@@ -113,6 +114,19 @@ impl<'g> TargetDistanceCache<'g> {
         targets: impl IntoIterator<Item = NodeId>,
         threads: usize,
     ) -> Result<Self, GraphError> {
+        Self::build_width(g, targets, threads, LaneWidth::W64)
+    }
+
+    /// [`TargetDistanceCache::build`] at an explicit MS-BFS word-block
+    /// width: `width.lanes()` targets per pass. Rows are exact BFS
+    /// distances, so the cache is **bit-identical at every width** — the
+    /// knob only changes how many targets amortise one traversal.
+    pub fn build_width(
+        g: &'g Graph,
+        targets: impl IntoIterator<Item = NodeId>,
+        threads: usize,
+        width: LaneWidth,
+    ) -> Result<Self, GraphError> {
         let n = g.num_nodes();
         let mut distinct: Vec<NodeId> = Vec::new();
         for t in targets {
@@ -121,10 +135,10 @@ impl<'g> TargetDistanceCache<'g> {
         }
         distinct.sort_unstable();
         distinct.dedup();
-        // Workers fill their 64-row stripes of the final buffer in place
-        // (each entry is overwritten, so zero-init suffices).
+        // Workers fill their width.lanes()-row stripes of the final buffer
+        // in place (each entry is overwritten, so zero-init suffices).
         let mut rows = vec![0u32; distinct.len() * n];
-        nav_graph::msbfs::batched_rows_into(g, &distinct, threads, &mut rows);
+        nav_graph::msbfs::batched_rows_into_w(g, &distinct, threads, width, &mut rows);
         Ok(TargetDistanceCache {
             g,
             n,

@@ -28,6 +28,7 @@
 //! path when the scheme has none, so the knob is safe on every scheme.
 
 use crate::scheme::AugmentationScheme;
+use nav_graph::msbfs::LaneWidth;
 use nav_graph::{Graph, NodeId};
 use rand::RngCore;
 
@@ -192,10 +193,24 @@ pub fn sampler_for<'s, S: AugmentationScheme + ?Sized>(
     mode: SamplerMode,
     byte_cap: usize,
 ) -> Box<dyn ContactSampler + 's> {
+    sampler_for_w(scheme, g, mode, byte_cap, LaneWidth::W64)
+}
+
+/// [`sampler_for`] at an explicit MS-BFS word-block width: a batching
+/// backend fills `width.lanes()` rows per pass instead of 64. The width
+/// never changes the per-draw distribution — only how many misses one
+/// pass amortises.
+pub fn sampler_for_w<'s, S: AugmentationScheme + ?Sized>(
+    scheme: &'s S,
+    g: &Graph,
+    mode: SamplerMode,
+    byte_cap: usize,
+    width: LaneWidth,
+) -> Box<dyn ContactSampler + 's> {
     match mode {
         SamplerMode::Scalar => Box::new(ScalarSampler::new(scheme)),
         SamplerMode::Batched => scheme
-            .batched_sampler(g, byte_cap)
+            .batched_sampler_w(g, byte_cap, width)
             .unwrap_or_else(|| Box::new(ScalarSampler::new(scheme))),
     }
 }

@@ -34,6 +34,24 @@ pub trait AugmentationScheme: Sync {
         None
     }
 
+    /// [`batched_sampler`] at an explicit MS-BFS word-block width: the
+    /// backend's batch fills carry `width.lanes()` sources per pass. The
+    /// default ignores the width and delegates to [`batched_sampler`]
+    /// (correct for any backend — the width is a throughput knob, never a
+    /// distribution change). Schemes whose backend batches MS-BFS passes
+    /// (the ball scheme's row cache) override this to widen their fills.
+    ///
+    /// [`batched_sampler`]: AugmentationScheme::batched_sampler
+    fn batched_sampler_w(
+        &self,
+        g: &Graph,
+        byte_cap: usize,
+        width: nav_graph::msbfs::LaneWidth,
+    ) -> Option<Box<dyn ContactSampler + '_>> {
+        let _ = width;
+        self.batched_sampler(g, byte_cap)
+    }
+
     /// The scheme's explicit per-node contact table, when the scheme *is*
     /// one — i.e. a fixed realization whose entry `u` is node `u`'s
     /// deterministic long-range contact. `None` (the default) for every

@@ -10,8 +10,9 @@
 
 use crate::oracle::TargetDistanceCache;
 use crate::routing::{default_step_cap, GreedyRouter};
-use crate::sampler::{sampler_for, ContactSampler, SamplerMode};
+use crate::sampler::{sampler_for_w, ContactSampler, SamplerMode};
 use crate::scheme::AugmentationScheme;
+use nav_graph::msbfs::LaneWidth;
 use nav_graph::{Graph, GraphError, NodeId, INFINITY};
 use nav_par::rng::task_rng;
 use rand::{Rng, RngCore};
@@ -28,9 +29,15 @@ pub struct TrialConfig {
     /// The per-step contact-sampling backend each worker builds.
     /// [`SamplerMode::Scalar`] (the default) is bit-identical to the
     /// pre-sampler engine; [`SamplerMode::Batched`] serves ball draws
-    /// from 64-lane MS-BFS row caches — same distributions, different RNG
+    /// from MS-BFS row caches — same distributions, different RNG
     /// consumption.
     pub sampler: SamplerMode,
+    /// MS-BFS word-block width for the target-distance oracle fills and
+    /// the batched sampler backends: 64, 128 or 256 bit-lanes per pass.
+    /// Distance rows are exact at every width, so scalar-mode results are
+    /// bit-identical across widths; batched ball results are
+    /// distribution-identical (cache fill order differs).
+    pub width: LaneWidth,
 }
 
 impl Default for TrialConfig {
@@ -40,6 +47,7 @@ impl Default for TrialConfig {
             seed: 0x5eed,
             threads: nav_par::default_threads(),
             sampler: SamplerMode::Scalar,
+            width: LaneWidth::W64,
         }
     }
 }
@@ -245,15 +253,15 @@ pub fn run_trials<S: AugmentationScheme + ?Sized>(
         g.check_node(s)?;
         g.check_node(t)?;
     }
-    // Group the pair indices by distinct target, 64 distinct targets per
-    // group, and process the groups in waves of `threads`: within a wave
-    // every group's oracle builds on its own worker (one MS-BFS pass
-    // each) and the wave's pairs then share the full worker pool, so both
-    // phases scale with cores while resident rows stay bounded at
-    // `O(64·threads·n)` however many targets the workload has. Outputs
-    // are a pure function of `(seed, pair index)`, so neither grouping
-    // nor wave partitioning changes them.
-    use nav_graph::msbfs::LANES;
+    // Group the pair indices by distinct target, `width.lanes()` distinct
+    // targets per group, and process the groups in waves of `threads`:
+    // within a wave every group's oracle builds on its own worker (one
+    // MS-BFS pass each) and the wave's pairs then share the full worker
+    // pool, so both phases scale with cores while resident rows stay
+    // bounded at `O(lanes·threads·n)` however many targets the workload
+    // has. Outputs are a pure function of `(seed, pair index)`, so
+    // neither grouping nor wave partitioning changes them.
+    let lanes = cfg.width.lanes();
     let mut slot_of = vec![u32::MAX; g.num_nodes()];
     let mut num_targets = 0usize;
     let mut groups: Vec<Vec<usize>> = Vec::new();
@@ -262,11 +270,11 @@ pub fn run_trials<S: AugmentationScheme + ?Sized>(
         if *slot == u32::MAX {
             *slot = num_targets as u32;
             num_targets += 1;
-            if num_targets.div_ceil(LANES) > groups.len() {
+            if num_targets.div_ceil(lanes) > groups.len() {
                 groups.push(Vec::new());
             }
         }
-        groups[*slot as usize / LANES].push(idx);
+        groups[*slot as usize / lanes].push(idx);
     }
     let cap = default_step_cap(g);
     let mut stats: Vec<PairStats> = vec![PairStats::default(); pairs.len()];
@@ -274,7 +282,10 @@ pub fn run_trials<S: AugmentationScheme + ?Sized>(
         let oracles: Vec<Option<TargetDistanceCache<'_>>> =
             nav_par::parallel_map(wave.len(), cfg.threads, |w| {
                 let targets = wave[w].iter().map(|&i| pairs[i].1);
-                Some(TargetDistanceCache::build(g, targets, 1).expect("pairs validated above"))
+                Some(
+                    TargetDistanceCache::build_width(g, targets, 1, cfg.width)
+                        .expect("pairs validated above"),
+                )
             });
         let items: Vec<(usize, usize)> = wave
             .iter()
@@ -287,7 +298,7 @@ pub fn run_trials<S: AugmentationScheme + ?Sized>(
             let oracle = oracles[w].as_ref().expect("built above");
             let router = oracle.router(t).expect("target cached above");
             let mut rng = task_rng(cfg.seed, idx as u64);
-            let mut sampler = sampler_for(scheme, g, cfg.sampler, usize::MAX);
+            let mut sampler = sampler_for_w(scheme, g, cfg.sampler, usize::MAX, cfg.width);
             aggregate_pair_with(
                 &router,
                 sampler.as_mut(),
@@ -455,6 +466,36 @@ mod tests {
             assert_eq!(p.mean_steps, mean, "pair {idx}");
             assert_eq!(p.max_steps, steps.iter().copied().max().unwrap());
             assert_eq!(p.dist, router.dist_to_target(s));
+        }
+    }
+
+    #[test]
+    fn scalar_mode_results_are_width_invariant() {
+        // The oracle rows are exact at every word-block width and the
+        // scalar sampler never touches MS-BFS state, so every statistic
+        // must be bit-identical across widths (and across thread counts,
+        // which regroup the widened target batches differently).
+        let g = path(90);
+        let pairs: Vec<(NodeId, NodeId)> = (0..80).map(|i| (i, 89 - (i % 30))).collect();
+        let base = TrialConfig {
+            trials_per_pair: 6,
+            seed: 21,
+            threads: 1,
+            ..TrialConfig::default()
+        };
+        let reference = run_trials(&g, &UniformScheme, &pairs, &base).unwrap();
+        for width in LaneWidth::ALL {
+            for threads in [1usize, 3] {
+                let cfg = TrialConfig {
+                    width,
+                    threads,
+                    ..base.clone()
+                };
+                let r = run_trials(&g, &UniformScheme, &pairs, &cfg).unwrap();
+                for (a, b) in reference.pairs.iter().zip(&r.pairs) {
+                    assert!(a.bits_eq(b), "width {width} threads {threads}");
+                }
+            }
         }
     }
 

@@ -5,10 +5,11 @@ use crate::cache::{AdmissionPolicy, CacheStats, RowCache};
 use crate::metrics::EngineMetrics;
 use nav_core::faulty::{FaultConfig, FaultySampler};
 use nav_core::routing::{default_step_cap, GreedyRouter};
-use nav_core::sampler::{sampler_for, ContactSampler, SamplerMode, SamplerStats};
+use nav_core::sampler::{sampler_for_w, ContactSampler, SamplerMode, SamplerStats};
 use nav_core::scheme::AugmentationScheme;
 use nav_core::trial::{aggregate_pair_with, PairStats};
 use nav_graph::distance::DistRowBuf;
+use nav_graph::msbfs::LaneWidth;
 use nav_graph::{Graph, GraphError, NodeId};
 use nav_obs::{ObsConfig, ObsSnapshot, QueryTrace, Registry, Stage, StageSpan};
 use nav_par::rng::task_rng;
@@ -62,6 +63,13 @@ pub struct EngineConfig {
     /// perturb answers and the traced set is identical across thread
     /// counts, batch splits, and shard layouts.
     pub obs: ObsConfig,
+    /// MS-BFS word-block width for the cold-fill passes and the batched
+    /// sampler backends: 64, 128 or 256 bit-lanes per pass. Distance rows
+    /// are exact at every width, so scalar-mode answers are bit-identical
+    /// across widths; batched ball answers at width `w` reproduce
+    /// [`nav_core::trial::run_trials`] at the same `w` bit for bit, and
+    /// are distribution-identical across widths.
+    pub width: LaneWidth,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +84,7 @@ impl Default for EngineConfig {
             admission: AdmissionPolicy::Lru,
             fault: FaultConfig::default(),
             obs: ObsConfig::default(),
+            width: LaneWidth::W64,
         }
     }
 }
@@ -343,7 +352,13 @@ impl Engine {
         if !cold.is_empty() {
             let span = StageSpan::begin(Stage::ColdFill, obs_on);
             let mut wide = vec![0u32; cold.len() * n];
-            nav_graph::msbfs::batched_rows_into(&self.g, &cold, self.cfg.threads, &mut wide);
+            nav_graph::msbfs::batched_rows_into_w(
+                &self.g,
+                &cold,
+                self.cfg.threads,
+                self.cfg.width,
+                &mut wide,
+            );
             for (i, &t) in cold.iter().enumerate() {
                 let row = Arc::new(DistRowBuf::from_wide(&wide[i * n..(i + 1) * n]));
                 self.cache.insert(t, Arc::clone(&row));
@@ -373,8 +388,13 @@ impl Engine {
                 let mut rng = task_rng(self.cfg.seed, bases[i]);
                 // Per-query transient sampler state, byte-capped by the
                 // engine's one memory knob; freed when the query answers.
-                let inner =
-                    sampler_for(self.scheme.as_ref(), &self.g, sampler, self.cfg.cache_bytes);
+                let inner = sampler_for_w(
+                    self.scheme.as_ref(),
+                    &self.g,
+                    sampler,
+                    self.cfg.cache_bytes,
+                    self.cfg.width,
+                );
                 let (stats, sampler_stats, coin_drops) = if fault.drop_prob > 0.0 {
                     let mut s = FaultySampler::new(inner, fault.drop_prob);
                     let stats =
@@ -410,10 +430,10 @@ impl Engine {
                     shard: self.shard_label,
                     // `cold` is sorted (built from the sorted target list).
                     cache_hit: cold.binary_search(&q.t).is_err(),
-                    trials: q.trials.min(u32::MAX as usize) as u32,
+                    trials: q.trials as u64,
                     trials_ms,
-                    dropped_links: dropped.min(u32::MAX as u64) as u32,
-                    rerouted_hops: rerouted.min(u32::MAX as u64) as u32,
+                    dropped_links: dropped,
+                    rerouted_hops: rerouted,
                 });
             }
             answers.push(ps);
@@ -618,6 +638,7 @@ mod tests {
                 seed: 77,
                 threads: 1,
                 sampler: SamplerMode::Batched,
+                ..TrialConfig::default()
             },
         )
         .unwrap();
@@ -627,6 +648,67 @@ mod tests {
         assert!(stats.hits > 0, "{stats:?}");
         assert_eq!(stats.fallbacks, 0);
         assert!(stats.row_bytes > 0);
+    }
+
+    #[test]
+    fn scalar_answers_are_width_invariant() {
+        // Cold-fill rows are exact at every word-block width, so a scalar
+        // engine's answers must be bit-identical across widths.
+        let g = path(96);
+        let pairs: Vec<(NodeId, NodeId)> = (0..20).map(|i| (i, 95 - (i % 9))).collect();
+        let serve = |width: LaneWidth| {
+            let cfg = EngineConfig {
+                seed: 23,
+                threads: 2,
+                cache_bytes: 1 << 20,
+                width,
+                ..EngineConfig::default()
+            };
+            let mut e = Engine::new(g.clone(), Box::new(UniformScheme), cfg);
+            e.serve(&QueryBatch::from_pairs(&pairs, 7)).unwrap().answers
+        };
+        let base = serve(LaneWidth::W64);
+        for width in [LaneWidth::W128, LaneWidth::W256] {
+            assert!(identical(&base, &serve(width)), "width {width}");
+        }
+    }
+
+    #[test]
+    fn wide_batched_engine_matches_run_trials_at_same_width() {
+        // At a fixed width the engine and run_trials build the same
+        // BallRowSampler, so batched answers reproduce run_trials bit for
+        // bit at *every* width (across widths they are only
+        // distribution-identical: row fill order differs).
+        use nav_core::ball::BallScheme;
+        let g = path(72);
+        let scheme = BallScheme::new(&g);
+        let pairs: Vec<(NodeId, NodeId)> = (0..10).map(|i| (i * 7 % 72, 71 - i)).collect();
+        for width in [LaneWidth::W128, LaneWidth::W256] {
+            let cfg = EngineConfig {
+                seed: 77,
+                threads: 2,
+                cache_bytes: 1 << 20,
+                sampler: SamplerMode::Batched,
+                width,
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(g.clone(), Box::new(scheme), cfg);
+            let got = engine.serve(&QueryBatch::from_pairs(&pairs, 6)).unwrap();
+            let want = run_trials(
+                &g,
+                &scheme,
+                &pairs,
+                &TrialConfig {
+                    trials_per_pair: 6,
+                    seed: 77,
+                    threads: 1,
+                    sampler: SamplerMode::Batched,
+                    width,
+                },
+            )
+            .unwrap();
+            assert!(identical(&got.answers, &want.pairs), "width {width}");
+        }
     }
 
     #[test]

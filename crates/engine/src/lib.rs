@@ -54,5 +54,5 @@ pub use batch::{BatchResult, Query, QueryBatch};
 pub use cache::{AdmissionPolicy, CacheStats, RowCache};
 pub use engine::{Engine, EngineConfig, EngineState};
 pub use metrics::EngineMetrics;
-pub use shard::ShardedEngine;
+pub use shard::{ShardError, ShardedEngine};
 pub use workload::{FaultSpec, GraphSpec, WorkloadError, WorkloadSpec, ZipfSpec};

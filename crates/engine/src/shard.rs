@@ -28,6 +28,32 @@ use nav_graph::{Graph, GraphError, NodeId};
 use nav_obs::ObsSnapshot;
 use std::time::Instant;
 
+/// Why a sharded front refused to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// More shards requested than shard labels exist: traces stamp the
+    /// owning shard as a `u16`, so a front beyond `u16::MAX + 1` shards
+    /// would silently alias observability labels across shards.
+    TooManyShards {
+        /// The refused shard count.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::TooManyShards { requested } => write!(
+                f,
+                "{requested} shards exceed the {} shard labels a trace can carry",
+                u16::MAX as usize + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
 /// A front over `k` target-sharded [`Engine`]s, answering batches
 /// bit-identically to a single engine (see the module docs).
 ///
@@ -67,25 +93,46 @@ impl ShardedEngine {
     /// with a single engine the factory must produce identical schemes —
     /// sampling is driven entirely by per-query RNG streams, so equal
     /// schemes make shard placement invisible.
+    ///
+    /// # Panics
+    /// Panics when `shards` exceeds the `u16` shard-label space — use
+    /// [`ShardedEngine::try_new`] to handle the refusal as a value.
     pub fn new(
+        g: Graph,
+        scheme_factory: impl FnMut() -> Box<dyn AugmentationScheme + Send>,
+        cfg: EngineConfig,
+        shards: usize,
+    ) -> Self {
+        Self::try_new(g, scheme_factory, cfg, shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ShardedEngine::new`] that refuses oversized fronts with a typed
+    /// error instead of panicking: every trace stamps its owning shard as
+    /// a `u16`, so a front beyond `u16::MAX + 1` shards would alias
+    /// observability labels across shards. No engine is constructed on
+    /// refusal.
+    pub fn try_new(
         g: Graph,
         mut scheme_factory: impl FnMut() -> Box<dyn AugmentationScheme + Send>,
         cfg: EngineConfig,
         shards: usize,
-    ) -> Self {
+    ) -> Result<Self, ShardError> {
         let shards = shards.max(1);
+        if shards > u16::MAX as usize + 1 {
+            return Err(ShardError::TooManyShards { requested: shards });
+        }
         let engines = (0..shards)
             .map(|s| {
                 let mut e = Engine::new(g.clone(), scheme_factory(), cfg);
-                e.set_shard_label(s.min(u16::MAX as usize) as u16);
+                e.set_shard_label(s as u16);
                 e
             })
             .collect();
-        ShardedEngine {
+        Ok(ShardedEngine {
             shards: engines,
             served: 0,
             front_batches: 0,
-        }
+        })
     }
 
     /// Wraps an existing engine as a 1-shard front (what single-engine
@@ -466,6 +513,39 @@ mod tests {
         assert!(snap.stage(Stage::Trials).unwrap().count() >= 3);
         assert!(snap.stage(Stage::Admission).is_some());
         assert!(snap.stage(Stage::ColdFill).is_some());
+    }
+
+    #[test]
+    fn oversized_fronts_are_refused_with_a_typed_error() {
+        // Shard labels are u16: a front past 65536 shards would alias
+        // trace labels across shards, so construction refuses up front
+        // (before building a single engine).
+        let g = path(4);
+        let cfg = EngineConfig::default();
+        let requested = u16::MAX as usize + 2;
+        let err =
+            match ShardedEngine::try_new(g.clone(), || Box::new(UniformScheme), cfg, requested) {
+                Err(e) => e,
+                Ok(_) => panic!("must refuse"),
+            };
+        assert_eq!(err, ShardError::TooManyShards { requested });
+        assert!(err.to_string().contains("65536"));
+        // The boundary itself is fine: labels 0..=u16::MAX all exist.
+        // (Not built here — 65536 engines — but the check is exact.)
+        let ok = ShardedEngine::try_new(g, || Box::new(UniformScheme), cfg, 3).unwrap();
+        assert_eq!(ok.num_shards(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard labels")]
+    fn new_panics_on_oversized_fronts() {
+        let g = path(4);
+        let _ = ShardedEngine::new(
+            g,
+            || Box::new(UniformScheme),
+            EngineConfig::default(),
+            u16::MAX as usize + 2,
+        );
     }
 
     #[test]

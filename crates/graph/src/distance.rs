@@ -11,7 +11,7 @@
 //! [`diameter_exact`] scale with cores instead of running `n` sequential
 //! scalar sweeps.
 
-use crate::msbfs::{with_msbfs, LANES};
+use crate::msbfs::{with_msbfs, LaneWidth, MsBfsW, MsBfsWorkspace, LANES};
 use crate::{bfs::Bfs, csr::Graph, NodeId, INFINITY};
 
 /// The value encoding [`INFINITY`] inside narrow (`u16`) distance storage.
@@ -213,39 +213,72 @@ impl DistanceMatrix {
     /// inline). Distances are exact, so the result is identical for every
     /// thread count.
     pub fn with_threads(g: &Graph, threads: usize) -> Self {
+        Self::with_threads_width(g, threads, LaneWidth::W64)
+    }
+
+    /// [`DistanceMatrix::with_threads`] at an explicit MS-BFS word-block
+    /// width: `width.lanes()` sources per pass. Distances are exact, so
+    /// the matrix is **bit-identical at every width and thread count** —
+    /// the knob only changes how many sources amortise one traversal (see
+    /// `BENCH_core.json`'s `all_pairs_width_sweep`).
+    pub fn with_threads_width(g: &Graph, threads: usize, width: LaneWidth) -> Self {
+        match width {
+            LaneWidth::W64 => Self::fill::<1>(g, threads),
+            LaneWidth::W128 => Self::fill::<2>(g, threads),
+            LaneWidth::W256 => Self::fill::<4>(g, threads),
+        }
+    }
+
+    fn fill<const W: usize>(g: &Graph, threads: usize) -> Self
+    where
+        MsBfsW<W>: MsBfsWorkspace,
+    {
         use std::sync::atomic::{AtomicBool, Ordering};
         let n = g.num_nodes();
+        let lanes = MsBfsW::<W>::LANES;
         let sources: Vec<NodeId> = (0..n as NodeId).collect();
-        let batches: Vec<&[NodeId]> = sources.chunks(LANES).collect();
-        // Optimistically narrow: workers fill a small per-stripe wide
-        // scratch (64 rows) and convert it cache-warm straight into the
-        // final 16-bit buffer — the full-width `n × n` matrix is never
-        // materialised, halving both the resident footprint and the
-        // allocation traffic. Only a graph with an eccentricity ≥ 65535
-        // takes the wide fallback (a full recompute, but such a graph
-        // pays Θ(n·diam) traversals anyway).
+        let batches: Vec<&[NodeId]> = sources.chunks(lanes).collect();
+        // Optimistically narrow: workers write their stripe's 16-bit
+        // cells straight out of the MS-BFS pass (`distances_into_narrow`
+        // emits `NARROW_INFINITY` natively) — the full-width `n × n`
+        // matrix is never materialised and no widen-then-narrow pass runs,
+        // halving both the resident footprint and the extraction traffic.
+        // Only a graph with an eccentricity ≥ 65535 takes the wide
+        // fallback (a full recompute, but such a graph pays Θ(n·diam)
+        // traversals anyway).
         let mut narrow = vec![0u16; n * n];
         let overflow = AtomicBool::new(false);
-        nav_par::parallel_chunks_mut(&mut narrow, LANES * n.max(1), threads, |b, stripe| {
-            if overflow.load(Ordering::Relaxed) {
-                return;
+        if threads <= 1 {
+            // Inline fill: the graph is undirected, so each batch's
+            // distances are also the matrix's *columns* for those sources
+            // (`M[v][s] = M[s][v]`) — stream them out node-major straight
+            // from the pass's depth planes and skip the lane-major
+            // transpose. Parallel fills can't use this (workers own
+            // disjoint row stripes, columns interleave), and don't need
+            // to: the transpose rides a worker while others traverse.
+            let ok = MsBfsW::<W>::with_ws(n, |ms| {
+                batches.iter().enumerate().all(|(b, batch)| {
+                    ms.distances_into_columns(g, batch, b * lanes, n, &mut narrow)
+                })
+            });
+            if !ok {
+                overflow.store(true, Ordering::Relaxed);
             }
-            let mut wide = vec![0u32; batches[b].len() * n];
-            with_msbfs(n, |ms| ms.distances_into(g, batches[b], &mut wide));
-            for (slot, &d) in stripe.iter_mut().zip(&wide) {
-                *slot = if d == INFINITY {
-                    NARROW_INFINITY
-                } else if d < NARROW_INFINITY as u32 {
-                    d as u16
-                } else {
-                    overflow.store(true, Ordering::Relaxed);
+        } else {
+            nav_par::parallel_chunks_mut(&mut narrow, lanes * n.max(1), threads, |b, stripe| {
+                if overflow.load(Ordering::Relaxed) {
                     return;
-                };
-            }
-        });
+                }
+                let ok =
+                    MsBfsW::<W>::with_ws(n, |ms| ms.distances_into_narrow(g, batches[b], stripe));
+                if !ok {
+                    overflow.store(true, Ordering::Relaxed);
+                }
+            });
+        }
         let data = if overflow.into_inner() {
             let mut wide = vec![0u32; n * n];
-            crate::msbfs::batched_rows_into(g, &sources, threads, &mut wide);
+            crate::msbfs::batched_rows_impl_for::<W>(g, &sources, threads, &mut wide);
             DistRowBuf::Wide(wide)
         } else {
             DistRowBuf::Narrow(narrow)
@@ -524,6 +557,26 @@ mod tests {
             eccentricities_with_threads(&g, 1),
             eccentricities_with_threads(&g, 4)
         );
+    }
+
+    #[test]
+    fn matrix_identical_across_lane_widths() {
+        // The width is a pure throughput knob: every (width, threads)
+        // combination must produce the same bytes.
+        let n = 200usize; // a partial batch at every width
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as NodeId {
+            b.add_edge(u, (u + 1) % n as NodeId);
+            b.add_edge(u, (u + 23) % n as NodeId);
+        }
+        let g = b.build().unwrap();
+        let base = DistanceMatrix::with_threads(&g, 2);
+        for width in LaneWidth::ALL {
+            for threads in [1, 3] {
+                let m = DistanceMatrix::with_threads_width(&g, threads, width);
+                assert_eq!(m, base, "width {width} threads {threads}");
+            }
+        }
     }
 
     #[test]

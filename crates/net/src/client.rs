@@ -3,7 +3,7 @@
 //! with bounded, jittered backoff — same answers, bit for bit).
 
 use crate::frame::{
-    read_frame, write_frame, ErrorFrame, Frame, MetricsSnapshot, ReadError, Request,
+    read_frame, write_frame, ErrorCode, ErrorFrame, Frame, MetricsSnapshot, ReadError, Request,
     SnapshotRequest, StatsReply, StatsRequest, DEFAULT_MAX_PAYLOAD,
 };
 use nav_core::sampler::SamplerMode;
@@ -73,6 +73,29 @@ impl From<ReadError> for NetError {
     }
 }
 
+/// Refuses a request the wire cannot carry faithfully. The query frame
+/// encodes `trials` as `u32`; older builds clamped larger values, which
+/// silently answered a *different* question. Now the client refuses with
+/// a typed, non-retryable [`ErrorCode::InvalidQuery`] before any bytes
+/// hit the socket.
+fn validate_request(req: &Request) -> Result<(), NetError> {
+    for q in &req.queries {
+        if q.trials > u32::MAX as usize {
+            return Err(NetError::Remote(ErrorFrame {
+                code: ErrorCode::InvalidQuery,
+                message: format!(
+                    "query ({}, {}) asks for {} trials; the wire carries at most {}",
+                    q.s,
+                    q.t,
+                    q.trials,
+                    u32::MAX
+                ),
+            }));
+        }
+    }
+    Ok(())
+}
+
 /// A blocking connection to a [`crate::NetServer`]. One request is in
 /// flight at a time (the protocol is strictly request/response per
 /// connection; open more connections for pipelining).
@@ -114,8 +137,12 @@ impl NetClient {
         self.sent
     }
 
-    /// Sends one fully explicit request and waits for the answer.
+    /// Sends one fully explicit request and waits for the answer. A
+    /// request the wire cannot carry faithfully (any query's `trials`
+    /// beyond `u32::MAX`) is refused locally with a non-retryable
+    /// [`ErrorCode::InvalidQuery`] — never clamped, never sent.
     pub fn request(&mut self, req: Request) -> Result<(Vec<PairStats>, MetricsSnapshot), NetError> {
+        validate_request(&req)?;
         write_frame(&mut self.writer, &Frame::Request(req))?;
         match read_frame(&mut self.reader, self.max_frame_bytes)? {
             Some(Frame::Response(resp)) => Ok((resp.answers, resp.metrics)),
@@ -331,8 +358,11 @@ impl RetryingClient {
     /// Sends `req` exactly as given, reconnecting and replaying it on
     /// retryable failures up to the policy's attempt bound. The caller
     /// owns `rng_base`, so a replay is byte-identical to the original
-    /// send.
+    /// send. An unencodable request (oversized `trials`) is refused
+    /// before the first connect — [`ErrorCode::InvalidQuery`] is
+    /// deterministic, so retrying it would only fail identically.
     pub fn request(&mut self, req: Request) -> Result<(Vec<PairStats>, MetricsSnapshot), NetError> {
+        validate_request(&req)?;
         let attempts = self.policy.max_attempts.max(1);
         let mut attempt = 0u32;
         loop {

@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "NAVF"
-//! 4       2     version (= 3)
+//! 4       2     version (= 4)
 //! 6       1     kind    (1 = request, 2 = response, 3 = error,
 //!                        4 = stats request, 5 = stats,
 //!                        6 = snapshot request, 7 = snapshot reply)
@@ -35,8 +35,10 @@ use std::time::{Duration, Instant};
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"NAVF";
 /// Protocol version this build speaks (2 added the stats frames; 3 added
-/// the snapshot frames and the cache-rejection metric).
-pub const VERSION: u16 = 3;
+/// the snapshot frames and the cache-rejection metric; 4 widened the
+/// per-trace `trials`/`dropped_links`/`rerouted_hops` counters to `u64`
+/// and added the non-retryable [`ErrorCode::InvalidQuery`] refusal).
+pub const VERSION: u16 = 4;
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 12;
 /// Default payload bound (16 MiB) — comfortably above any realistic
@@ -62,9 +64,10 @@ const METRICS_WIRE: usize = 128;
 /// `sum`/`min`/`max` as `f64` and the 64 bucket counts as `u64`s.
 const STAGE_WIRE: usize = 1 + 3 * 8 + BUCKETS * 8;
 /// Wire encoding of one [`QueryTrace`]: index `u64`, `s`/`t` `u32`,
-/// shard `u16`, cache-hit byte, trials `u32`, trials_ms `f64`,
-/// dropped/rerouted `u32`.
-const TRACE_WIRE: usize = 8 + 4 + 4 + 2 + 1 + 4 + 8 + 4 + 4;
+/// shard `u16`, cache-hit byte, trials `u64`, trials_ms `f64`,
+/// dropped/rerouted `u64` (full width since v4 — long churn runs
+/// overflow 32 bits, and a trace must report what actually ran).
+const TRACE_WIRE: usize = 8 + 4 + 4 + 2 + 1 + 8 + 8 + 8 + 8;
 
 /// Why a server refused a well-formed request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,6 +87,12 @@ pub enum ErrorCode {
     /// Transient by construction — the same request succeeds once load
     /// drains, so this is the one refusal a client should retry.
     Overloaded,
+    /// A query field cannot be represented on the wire (today: `trials`
+    /// beyond `u32::MAX`, which the v3 encoder silently clamped — the
+    /// server would then answer a *different* question). Deterministic in
+    /// the request, hence non-retryable; raised client-side before any
+    /// bytes are sent.
+    InvalidQuery,
 }
 
 impl ErrorCode {
@@ -95,6 +104,7 @@ impl ErrorCode {
             ErrorCode::UnexpectedFrame => 4,
             ErrorCode::Internal => 5,
             ErrorCode::Overloaded => 6,
+            ErrorCode::InvalidQuery => 7,
         }
     }
 
@@ -106,6 +116,7 @@ impl ErrorCode {
             4 => Some(ErrorCode::UnexpectedFrame),
             5 => Some(ErrorCode::Internal),
             6 => Some(ErrorCode::Overloaded),
+            7 => Some(ErrorCode::InvalidQuery),
             _ => None,
         }
     }
@@ -412,7 +423,14 @@ impl Frame {
                 for q in &req.queries {
                     put_u32(out, q.s);
                     put_u32(out, q.t);
-                    put_u32(out, q.trials.min(u32::MAX as usize) as u32);
+                    // No silent clamp: the client refuses oversized trials
+                    // with a typed InvalidQuery before encoding, so a
+                    // value that doesn't fit here is a caller bug.
+                    put_u32(
+                        out,
+                        u32::try_from(q.trials)
+                            .expect("trials beyond u32 must be refused before encoding"),
+                    );
                 }
             }
             Frame::Response(resp) => {
@@ -461,10 +479,10 @@ impl Frame {
                     put_u32(out, t.t);
                     put_u16(out, t.shard);
                     out.push(t.cache_hit as u8);
-                    put_u32(out, t.trials);
+                    put_u64(out, t.trials);
                     put_f64(out, t.trials_ms);
-                    put_u32(out, t.dropped_links);
-                    put_u32(out, t.rerouted_hops);
+                    put_u64(out, t.dropped_links);
+                    put_u64(out, t.rerouted_hops);
                 }
             }
             Frame::SnapshotRequest(req) => {
@@ -739,10 +757,10 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, FrameError> {
                     t,
                     shard,
                     cache_hit,
-                    trials: cur.u32()?,
+                    trials: cur.u64()?,
                     trials_ms: cur.f64()?,
-                    dropped_links: cur.u32()?,
-                    rerouted_hops: cur.u32()?,
+                    dropped_links: cur.u64()?,
+                    rerouted_hops: cur.u64()?,
                 });
             }
             cur.done()?;
@@ -1170,6 +1188,7 @@ mod tests {
             ErrorCode::UnexpectedFrame,
             ErrorCode::Internal,
             ErrorCode::Overloaded,
+            ErrorCode::InvalidQuery,
         ];
         for code in all {
             assert_eq!(
@@ -1179,7 +1198,7 @@ mod tests {
             );
             assert_eq!(ErrorCode::from_u16(code.to_u16()), Some(code));
         }
-        assert_eq!(ErrorCode::from_u16(7), None);
+        assert_eq!(ErrorCode::from_u16(8), None);
     }
 
     #[test]
@@ -1303,6 +1322,45 @@ mod tests {
             shards: 1,
             obs: ObsSnapshot::default(),
         }));
+    }
+
+    #[test]
+    fn trace_counters_above_u32_survive_the_wire() {
+        // v3 carried these as u32; long churn runs overflow that. Pin the
+        // widened encoding with values no 32-bit field could hold.
+        let mut reg = nav_obs::Registry::new(
+            nav_obs::ObsConfig {
+                stages: false,
+                trace_every: 1,
+                trace_capacity: 4,
+            },
+            3,
+        );
+        let big = QueryTrace {
+            index: 9,
+            s: 1,
+            t: 2,
+            shard: 0,
+            cache_hit: false,
+            trials: u32::MAX as u64 + 17,
+            trials_ms: 1.5,
+            dropped_links: u32::MAX as u64 + 1,
+            rerouted_hops: u64::MAX,
+        };
+        reg.record_trace(big);
+        let frame = Frame::Stats(StatsReply {
+            metrics: MetricsSnapshot::default(),
+            shards: 1,
+            obs: reg.snapshot(),
+        });
+        let bytes = frame.encode();
+        let (decoded, _) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).expect("decodes");
+        match decoded {
+            Frame::Stats(reply) => {
+                assert_eq!(reply.obs.traces, vec![big]);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
     }
 
     #[test]

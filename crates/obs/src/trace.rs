@@ -63,14 +63,18 @@ pub struct QueryTrace {
     pub shard: u16,
     /// Whether the target's distance row was already resident.
     pub cache_hit: bool,
-    /// Routing trials executed.
-    pub trials: u32,
+    /// Routing trials executed. Full width — a trace must report the
+    /// query it actually served, not a clamped image of it.
+    pub trials: u64,
     /// Wall-clock spent in the trials stage for this query, milliseconds.
     pub trials_ms: f64,
     /// Long-range contacts suppressed by fault injection for this query.
-    pub dropped_links: u32,
-    /// Hops rerouted around a down node for this query.
-    pub rerouted_hops: u32,
+    /// `u64`: long churn runs overflow 32 bits, and the wire carries the
+    /// full counter (protocol v4).
+    pub dropped_links: u64,
+    /// Hops rerouted around a down node for this query (`u64`, like
+    /// [`dropped_links`](QueryTrace::dropped_links)).
+    pub rerouted_hops: u64,
 }
 
 /// Bounded overwrite-oldest buffer of [`QueryTrace`] records.

@@ -13,9 +13,11 @@
 //! for realized schemes — the joint draw itself, never the distribution
 //! it came from), `CONFIG` (every answer-determining engine knob; thread
 //! count and observability are restore-time parameters because they are
-//! answer-invisible by contract), and `SHARDS` (front counters plus per
+//! answer-invisible by contract), `SHARDS` (front counters plus per
 //! shard the lifetime counter, churn epoch, and resident rows with their
-//! SLRU tier). Readers skip unknown section ids, so the format can grow
+//! SLRU tier), and `WIDTH` (the engine's MS-BFS lane width — one byte,
+//! defaulting to 64 lanes when absent so pre-width snapshots restore
+//! unchanged). Readers skip unknown section ids, so the format can grow
 //! sections without a version bump; a version bump means the header
 //! itself changed.
 
@@ -29,6 +31,7 @@ use nav_core::scheme::AugmentationScheme;
 use nav_core::uniform::{NoAugmentation, UniformScheme};
 use nav_engine::{AdmissionPolicy, Engine, EngineConfig, EngineState, ShardedEngine};
 use nav_graph::distance::DistRowBuf;
+use nav_graph::msbfs::LaneWidth;
 use nav_graph::{GraphBuilder, NodeId};
 use nav_obs::ObsConfig;
 use std::sync::Arc;
@@ -43,6 +46,7 @@ const SEC_GRAPH: u16 = 1;
 const SEC_SCHEME: u16 = 2;
 const SEC_CONFIG: u16 = 3;
 const SEC_SHARDS: u16 = 4;
+const SEC_WIDTH: u16 = 5;
 
 /// Sentinel in a serialized contact table for "no long-range link".
 const NO_CONTACT: u32 = u32::MAX;
@@ -133,6 +137,11 @@ pub struct Snapshot {
     /// travels with the snapshot so a restored front keeps flipping
     /// epochs on the same schedule.
     pub fault: FaultConfig,
+    /// MS-BFS lane width ([`EngineConfig::width`]). Travels with the
+    /// snapshot because batched-mode answers are reproducible only at
+    /// the width that produced them; snapshots written before the
+    /// `WIDTH` section existed restore at the 64-lane default.
+    pub width: LaneWidth,
     /// Queries answered at the front (the next `serve` RNG base).
     pub front_served: u64,
     /// Batches accepted at the front.
@@ -159,6 +168,7 @@ impl Snapshot {
             admission: cfg.admission,
             sampler: cfg.sampler,
             fault: cfg.fault,
+            width: cfg.width,
             front_served: front.queries_served(),
             front_batches: front.front_batches(),
             shards: front.shards().iter().map(Engine::export_state).collect(),
@@ -192,6 +202,7 @@ impl Snapshot {
             sampler: self.sampler,
             admission: self.admission,
             fault: self.fault,
+            width: self.width,
             obs,
         };
         if self.shards.is_empty() {
@@ -212,11 +223,13 @@ impl Snapshot {
         let scheme = self.encode_scheme();
         let config = self.encode_config();
         let shards = self.encode_shards();
-        let sections: [(u16, &[u8]); 4] = [
+        let width = [self.width.words() as u8];
+        let sections: [(u16, &[u8]); 5] = [
             (SEC_GRAPH, &graph),
             (SEC_SCHEME, &scheme),
             (SEC_CONFIG, &config),
             (SEC_SHARDS, &shards),
+            (SEC_WIDTH, &width),
         ];
         // Header: magic(4) + version(2) + count(2), then 20 bytes per
         // table entry (id + reserved + offset + len).
@@ -346,6 +359,7 @@ impl Snapshot {
         let mut scheme = None;
         let mut config = None;
         let mut shards = None;
+        let mut width = None;
         for _ in 0..section_count {
             let id = cur.u16("section id")?;
             cur.u16("section reserved")?;
@@ -363,6 +377,7 @@ impl Snapshot {
                 SEC_SCHEME => &mut scheme,
                 SEC_CONFIG => &mut config,
                 SEC_SHARDS => &mut shards,
+                SEC_WIDTH => &mut width,
                 // Unknown sections are future format growth: skip them.
                 _ => continue,
             };
@@ -377,6 +392,9 @@ impl Snapshot {
             decode_config(config.ok_or(StoreError::Malformed("missing config section"))?)?;
         let (front_served, front_batches, shards) =
             decode_shards(shards.ok_or(StoreError::Malformed("missing shards section"))?)?;
+        // Absent on snapshots written before the section existed: those
+        // engines always ran 64-lane MS-BFS, so the default is exact.
+        let width = width.map_or(Ok(LaneWidth::default()), decode_width)?;
         Ok(Snapshot {
             num_nodes,
             edges,
@@ -386,6 +404,7 @@ impl Snapshot {
             admission,
             sampler,
             fault,
+            width,
             front_served,
             front_batches,
             shards,
@@ -435,6 +454,18 @@ fn decode_scheme(body: &[u8]) -> Result<SchemeSpec, StoreError> {
     };
     cur.done("trailing bytes in scheme section")?;
     Ok(spec)
+}
+
+fn decode_width(body: &[u8]) -> Result<LaneWidth, StoreError> {
+    let mut cur = Cur::new(body);
+    let width = match cur.u8("lane width")? {
+        1 => LaneWidth::W64,
+        2 => LaneWidth::W128,
+        4 => LaneWidth::W256,
+        _ => return Err(StoreError::Malformed("unknown lane width")),
+    };
+    cur.done("trailing bytes in width section")?;
+    Ok(width)
 }
 
 type ConfigFields = (u64, usize, AdmissionPolicy, SamplerMode, FaultConfig);
@@ -614,6 +645,56 @@ mod tests {
         assert!(a.answers.iter().zip(&b.answers).all(|(x, y)| x.bits_eq(y)));
         // The restored cache is warm: the repeated hot targets hit.
         assert!(restored.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn lane_width_survives_the_snapshot_and_defaults_when_absent() {
+        let cfg = EngineConfig {
+            seed: 11,
+            threads: 1,
+            width: LaneWidth::W256,
+            ..EngineConfig::default()
+        };
+        let mut front = ShardedEngine::new(path(48), || Box::new(UniformScheme), cfg, 2);
+        let pairs: Vec<(NodeId, NodeId)> = (0..8).map(|i| (i, 40 + (i % 4))).collect();
+        front.serve(&QueryBatch::from_pairs(&pairs, 2)).unwrap();
+        let snap = Snapshot::capture(&front).unwrap();
+        assert_eq!(snap.width, LaneWidth::W256);
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back.width, LaneWidth::W256);
+        let restored = back.restore(1, ObsConfig::default()).unwrap();
+        assert_eq!(restored.config().width, LaneWidth::W256);
+
+        // A pre-width snapshot (no WIDTH section) restores at 64 lanes:
+        // strip the section by rewriting the table without its entry.
+        let count = u16::from_le_bytes([bytes[6], bytes[7]]) as usize;
+        let mut stripped = bytes[..6].to_vec();
+        put_u16(&mut stripped, (count - 1) as u16);
+        for i in 0..count {
+            let e = &bytes[8 + 20 * i..8 + 20 * (i + 1)];
+            let id = u16::from_le_bytes([e[0], e[1]]);
+            if id == SEC_WIDTH {
+                continue;
+            }
+            stripped.extend_from_slice(e);
+        }
+        // Offsets in the kept entries still point into `bytes`' body
+        // layout, so append the original bodies at the original offsets
+        // by padding the removed table entry's 20 bytes.
+        stripped.extend_from_slice(&[0u8; 20][..]);
+        stripped.extend_from_slice(&bytes[8 + 20 * count..]);
+        let old = Snapshot::decode(&stripped).unwrap();
+        assert_eq!(old.width, LaneWidth::W64);
+
+        // A corrupt width byte is refused, not defaulted.
+        let mut bad = bytes.clone();
+        let widx = bytes.len() - 1; // WIDTH is the last, 1-byte section
+        bad[widx] = 3;
+        assert!(matches!(
+            Snapshot::decode(&bad).unwrap_err(),
+            StoreError::Malformed("unknown lane width")
+        ));
     }
 
     #[test]

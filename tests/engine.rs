@@ -287,7 +287,10 @@ proptest! {
                 &g,
                 scheme.as_ref(),
                 &pairs,
-                &TrialConfig { trials_per_pair: 3, seed, threads: 1, sampler: mode },
+                &TrialConfig {
+                    trials_per_pair: 3, seed, threads: 1, sampler: mode,
+                    ..TrialConfig::default()
+                },
             )
             .expect("valid pairs");
             let mut engine = Engine::new(
@@ -330,7 +333,10 @@ proptest! {
         let pairs: Vec<(NodeId, NodeId)> = (0..10u32).map(|i| (i % n, (i * 3 + 1) % n)).collect();
         for mode in [SamplerMode::Scalar, SamplerMode::Batched] {
             for threads in [1usize, test_threads()] {
-                let cfg = TrialConfig { trials_per_pair: 3, seed, threads, sampler: mode };
+                let cfg = TrialConfig {
+                    trials_per_pair: 3, seed, threads, sampler: mode,
+                    ..TrialConfig::default()
+                };
                 let plain = run_trials(&g, &BallScheme::new(&g), &pairs, &cfg).expect("valid");
                 let wrapped =
                     run_trials(&g, &FaultyScheme::new(BallScheme::new(&g), 0.0), &pairs, &cfg)
@@ -352,7 +358,10 @@ proptest! {
         for mode in [SamplerMode::Scalar, SamplerMode::Batched] {
             let reference = run_trials(
                 &g, &faulty, &pairs,
-                &TrialConfig { trials_per_pair: 3, seed, threads: 1, sampler: mode },
+                &TrialConfig {
+                    trials_per_pair: 3, seed, threads: 1, sampler: mode,
+                    ..TrialConfig::default()
+                },
             ).expect("valid");
             for threads in [1usize, test_threads()] {
                 let mut engine = Engine::new(

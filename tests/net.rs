@@ -114,7 +114,7 @@ fn arb_response() -> impl Strategy<Value = Frame> {
 }
 
 fn arb_error() -> impl Strategy<Value = Frame> {
-    (1u16..7, proptest::collection::vec(32u8..127, 0..80)).prop_map(|(code, msg)| {
+    (1u16..8, proptest::collection::vec(32u8..127, 0..80)).prop_map(|(code, msg)| {
         Frame::Error(ErrorFrame {
             code: match code {
                 1 => ErrorCode::UnknownHandle,
@@ -122,7 +122,8 @@ fn arb_error() -> impl Strategy<Value = Frame> {
                 3 => ErrorCode::InvalidEndpoint,
                 4 => ErrorCode::UnexpectedFrame,
                 5 => ErrorCode::Internal,
-                _ => ErrorCode::Overloaded,
+                6 => ErrorCode::Overloaded,
+                _ => ErrorCode::InvalidQuery,
             },
             message: String::from_utf8(msg).expect("ascii"),
         })
@@ -159,8 +160,10 @@ fn arb_stats() -> impl Strategy<Value = Frame> {
                     cache_hit: index % 2 == 0,
                     trials: 3,
                     trials_ms: 0.25 * (s as f64 + 1.0),
-                    dropped_links: s % 5,
-                    rerouted_hops: t % 3,
+                    // Shifted past 32 bits every few traces: the v4 wire
+                    // must carry full-width counters.
+                    dropped_links: (s as u64 % 5) << (8 * (index % 5)),
+                    rerouted_hops: (t as u64 % 3) << (8 * (s as u64 % 5)),
                 });
             }
             Frame::Stats(StatsReply {
@@ -773,6 +776,61 @@ fn refusals_are_typed_and_non_poisoning() {
     assert_eq!(metrics.batches, 1);
     assert_eq!(metrics.queries, 6);
     drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_trials_are_refused_client_side_without_retries() {
+    // The v3 encoder silently clamped `trials` to u32::MAX, so the server
+    // answered a *different* question than the client asked. Now the
+    // client refuses before a single byte hits the socket: typed,
+    // non-retryable, connection left clean.
+    let g = world(48, 9);
+    let server = spawn_server(&g, 9, AdmissionPolicy::Lru, NetConfig::default());
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    let mut batch = QueryBatch::from_pairs(&[(0u32, 40u32)], 3);
+    batch.queries[0].trials = u32::MAX as usize + 1;
+    let err = client
+        .serve(0, SamplerMode::Scalar, &batch)
+        .expect_err("a query the wire cannot carry must be refused");
+    assert!(
+        matches!(&err, NetError::Remote(e) if e.code == ErrorCode::InvalidQuery),
+        "{err}"
+    );
+    assert!(!err.is_retryable());
+    // Nothing was sent: the RNG offset did not advance, and the same
+    // connection still serves well-formed batches bit-identically.
+    assert_eq!(client.queries_sent(), 0);
+    let pairs = client_pairs(&g, 4, 6);
+    let reference = run_trials(
+        &g,
+        &UniformScheme,
+        &pairs,
+        &TrialConfig {
+            trials_per_pair: 3,
+            seed: 9,
+            threads: 1,
+            ..TrialConfig::default()
+        },
+    )
+    .expect("valid");
+    let (answers, _) = client
+        .serve(0, SamplerMode::Scalar, &QueryBatch::from_pairs(&pairs, 3))
+        .expect("healthy after the local refusal");
+    assert!(identical(&answers, &reference.pairs));
+
+    // RetryingClient refuses identically and burns zero reconnects — a
+    // deterministic refusal replayed N times would fail N times.
+    let mut rc = RetryingClient::connect(server.addr(), RetryPolicy::default()).expect("connect");
+    let err = rc
+        .serve(0, SamplerMode::Scalar, &batch)
+        .expect_err("must refuse without retrying");
+    assert!(
+        matches!(&err, NetError::Remote(e) if e.code == ErrorCode::InvalidQuery),
+        "{err}"
+    );
+    assert_eq!(rc.retries(), 0);
+    assert_eq!(rc.queries_sent(), 0);
     server.shutdown();
 }
 

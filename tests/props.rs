@@ -221,6 +221,7 @@ proptest! {
         let pairs: Vec<(u32, u32)> = (0..6u32).map(|i| (i % n, (i * 11 + 3) % n)).collect();
         let cfg1 = TrialConfig {
             trials_per_pair: 5, seed, threads: 1, sampler: SamplerMode::Batched,
+            ..TrialConfig::default()
         };
         let cfg4 = TrialConfig { threads: 4, ..cfg1.clone() };
         let ball = BallScheme::new(&g);
@@ -246,12 +247,69 @@ proptest! {
         let pairs = [(0u32, n - 1), (n / 2, 0)];
         let scalar = TrialConfig {
             trials_per_pair: 4, seed, threads: 2, sampler: SamplerMode::Scalar,
+            ..TrialConfig::default()
         };
         let batched = TrialConfig { sampler: SamplerMode::Batched, ..scalar.clone() };
         let a = run_trials(&g, &UniformScheme, &pairs, &scalar).unwrap();
         let b = run_trials(&g, &UniformScheme, &pairs, &batched).unwrap();
         for (x, y) in a.pairs.iter().zip(&b.pairs) {
             prop_assert!(x.bits_eq(y));
+        }
+    }
+
+    #[test]
+    fn msbfs_distances_identical_at_every_lane_width(g in arbitrary_graph(90), seed in 0u64..1000) {
+        // The lane-width contract: the same sources through 128- and
+        // 256-lane word blocks produce the 64-lane rows bit for bit —
+        // across thread counts and batch splits (batched_rows chunks at
+        // the width's lane count, so each width splits differently) —
+        // and each row is the scalar BFS row.
+        use navigability::graph::bfs::Bfs;
+        use navigability::graph::msbfs::{batched_rows_into_w, LaneWidth};
+        use rand::Rng;
+        let n = g.num_nodes();
+        let mut rng = seeded_rng(seed ^ 0x31de);
+        let k = rng.gen_range(1..200usize);
+        let sources: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n as u32)).collect();
+        let mut reference = vec![0u32; k * n];
+        batched_rows_into_w(&g, &sources, 1, LaneWidth::W64, &mut reference);
+        let threads = rng.gen_range(1..4usize);
+        for width in [LaneWidth::W128, LaneWidth::W256] {
+            let mut rows = vec![0u32; k * n];
+            batched_rows_into_w(&g, &sources, threads, width, &mut rows);
+            prop_assert_eq!(&rows, &reference, "width {} diverged", width.label());
+        }
+        let mut bfs = Bfs::new(n);
+        for (i, &s) in sources.iter().enumerate() {
+            let scalar = bfs.distances(&g, s);
+            prop_assert_eq!(&reference[i * n..(i + 1) * n], scalar.as_slice(), "source {}", s);
+        }
+    }
+
+    #[test]
+    fn scalar_trials_are_width_invariant(g in connected_graph(48), seed in 0u64..1000) {
+        // In scalar sampling mode the lane width only changes how the
+        // target-distance oracle is filled — and oracle rows are exact at
+        // every width — so trial answers must be bit-identical across
+        // widths and thread counts.
+        use navigability::core::sampler::SamplerMode;
+        use navigability::graph::msbfs::LaneWidth;
+        let n = g.num_nodes() as u32;
+        let pairs: Vec<(u32, u32)> = (0..5u32).map(|i| (i % n, (i * 7 + 1) % n)).collect();
+        let ball = BallScheme::new(&g);
+        let base = TrialConfig {
+            trials_per_pair: 4, seed, threads: 1, sampler: SamplerMode::Scalar,
+            width: LaneWidth::W64,
+        };
+        let reference = run_trials(&g, &ball, &pairs, &base).unwrap();
+        for width in [LaneWidth::W128, LaneWidth::W256] {
+            for threads in [1usize, 3] {
+                let cfg = TrialConfig { width, threads, ..base.clone() };
+                let r = run_trials(&g, &ball, &pairs, &cfg).unwrap();
+                for (a, b) in reference.pairs.iter().zip(&r.pairs) {
+                    prop_assert!(a.bits_eq(b), "width {} threads {}", width.label(), threads);
+                }
+            }
         }
     }
 }
